@@ -1,0 +1,27 @@
+.PHONY: all build test bench examples fuzz doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/conv2d_explorer.exe
+	dune exec examples/mttkrp_dataflows.exe
+	dune exec examples/design_space.exe
+	dune exec examples/verilog_tour.exe
+	dune exec examples/tiled_reuse.exe
+	dune exec examples/custom_einsum.exe
+
+fuzz:
+	dune exec bin/fuzz.exe -- 500
+
+clean:
+	dune clean

@@ -1,0 +1,84 @@
+(* Design-space fuzzer: random statements x random transformations, each
+   netlist-supported design elaborated, simulated, and checked against the
+   golden executor.  A standing end-to-end soundness harness for the
+   generator (the CI-style long-running counterpart of the property tests).
+
+   Usage: dune exec bin/fuzz.exe -- [iterations] [seed] *)
+
+open Tensorlib
+
+let random_stmt rng =
+  let extent () = 2 + Random.State.int rng 3 in
+  let depth = 3 + Random.State.int rng 2 in
+  let names = [| "i"; "j"; "k"; "l" |] in
+  let iters = List.init depth (fun d -> Iter.v names.(d) (extent ())) in
+  let access name =
+    (* non-empty random subset of iterators, one coefficient-1 term each *)
+    let rec rows () =
+      let chosen =
+        List.filteri (fun _ _ -> Random.State.bool rng) (List.init depth Fun.id)
+      in
+      if chosen = [] then rows () else chosen
+    in
+    Access.of_terms name ~depth (List.map (fun j -> [ j ]) (rows ()))
+  in
+  let inputs =
+    if Random.State.bool rng then [ access "A"; access "B" ]
+    else [ access "A"; access "B"; access "C" ]
+  in
+  Stmt.v "fuzz" ~iters ~output:(access "O") ~inputs
+
+let random_transform rng stmt =
+  let depth = Stmt.depth stmt in
+  let selected =
+    (* random 3-combination *)
+    let all = Array.init depth Fun.id in
+    for i = depth - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = all.(i) in
+      all.(i) <- all.(j);
+      all.(j) <- t
+    done;
+    Array.sub all 0 3
+  in
+  Array.sort compare selected;
+  let rec matrix () =
+    let m =
+      List.init 3 (fun _ -> List.init 3 (fun _ -> Random.State.int rng 3 - 1))
+    in
+    if Tl_linalg.Rat.is_zero (Tl_linalg.Mat.det (Tl_linalg.Mat.of_int_rows m))
+    then matrix ()
+    else m
+  in
+  Transform.v stmt ~selected ~matrix:(matrix ())
+
+let () =
+  let iterations =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2024
+  in
+  let rng = Random.State.make [| seed |] in
+  let checked = ref 0 and skipped = ref 0 and failed = ref 0 in
+  for i = 1 to iterations do
+    let stmt = random_stmt rng in
+    let t = random_transform rng stmt in
+    let d = Design.analyze t in
+    if Design.netlist_supported d then begin
+      let env = Exec.alloc_inputs ~seed:i stmt in
+      match Accel.generate ~rows:12 ~cols:12 d env with
+      | exception Accel.Unsupported _ -> incr skipped
+      | acc ->
+        incr checked;
+        let golden = Exec.run stmt env in
+        if not (Dense.equal golden (Accel.execute acc)) then begin
+          incr failed;
+          Format.printf "FAIL at iteration %d:@.%a@." i Design.pp_report d
+        end
+    end
+    else incr skipped
+  done;
+  Printf.printf "fuzz: %d checked, %d skipped, %d failed (seed %d)\n" !checked
+    !skipped !failed seed;
+  if !failed > 0 then exit 1

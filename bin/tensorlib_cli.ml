@@ -1,0 +1,271 @@
+(* TensorLib command-line interface.
+
+   tensorlib analyze  -w gemm -d MNK-SST          dataflow analysis report
+   tensorlib generate -w gemm -d MNK-SST -o f.v   emit Verilog
+   tensorlib simulate -w gemm -d MNK-SST          netlist sim vs golden
+   tensorlib perf     -w conv2d -d KCX-SST        Fig.5-style cycle model
+   tensorlib explore  -w gemm                     design-space sweep + cost
+   tensorlib list     -w mttkrp                   letter-distinct dataflows *)
+
+open Tensorlib
+
+let workload_of_string = function
+  | "gemm" -> Workloads.gemm ~m:64 ~n:64 ~k:64
+  | "gemm-small" -> Workloads.gemm ~m:4 ~n:4 ~k:4
+  | "batched-gemv" -> Workloads.batched_gemv ~m:16 ~n:64 ~k:64
+  | "conv2d" -> Workloads.conv2d ~k:16 ~c:16 ~y:14 ~x:14 ~p:3 ~q:3
+  | "conv2d-small" -> Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3
+  | "conv2d-strided" ->
+    Workloads.conv2d_strided ~stride:2 ~k:8 ~c:8 ~y:7 ~x:7 ~p:3 ~q:3
+  | "pointwise" -> Workloads.pointwise_conv ~k:16 ~c:16 ~y:14 ~x:14
+  | "resnet-l2" -> Workloads.resnet_layer2
+  | "resnet-l5" -> Workloads.resnet_layer5
+  | "depthwise" -> Workloads.depthwise_conv ~k:32 ~y:14 ~x:14 ~p:3 ~q:3
+  | "depthwise-small" -> Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3
+  | "mttkrp" -> Workloads.mttkrp ~i:32 ~j:16 ~k:16 ~l:16
+  | "mttkrp-small" -> Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4
+  | "ttmc" -> Workloads.ttmc ~i:16 ~j:8 ~k:8 ~l:16 ~m:16
+  | "ttmc-small" -> Workloads.ttmc ~i:4 ~j:4 ~k:3 ~l:4 ~m:4
+  | s -> failwith ("unknown workload: " ^ s)
+
+open Cmdliner
+
+let workload_arg =
+  let doc =
+    "Workload: gemm, batched-gemv, conv2d, resnet-l2, resnet-l5, depthwise, \
+     mttkrp, ttmc (append -small for netlist-sized instances)."
+  in
+  Arg.(value & opt string "gemm" & info [ "w"; "workload" ] ~doc)
+
+let dataflow_arg =
+  let doc = "Dataflow name, e.g. MNK-SST or KCX-STS." in
+  Arg.(value & opt string "MNK-SST" & info [ "d"; "dataflow" ] ~doc)
+
+let rows_arg =
+  Arg.(value & opt int 8 & info [ "rows" ] ~doc:"PE array rows.")
+
+let cols_arg =
+  Arg.(value & opt int 8 & info [ "cols" ] ~doc:"PE array columns.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~doc:"Output file (default stdout).")
+
+let expr_arg =
+  Arg.(value & opt (some string) None
+       & info [ "e"; "expr" ]
+           ~doc:"Custom einsum formula, e.g. \"C[m,n] += A[m,k] * B[n,k]\" \
+                 (requires --extents).")
+
+let extents_arg =
+  Arg.(value & opt (some string) None
+       & info [ "extents" ]
+           ~doc:"Iterator extents for --expr as m=64,n=64,k=64 (nest order).")
+
+let workload_of expr extents w =
+  match expr with
+  | None -> workload_of_string w
+  | Some formula ->
+    let extents =
+      match extents with
+      | None -> failwith "--expr requires --extents"
+      | Some s ->
+        List.map
+          (fun kv ->
+            match String.split_on_char '=' kv with
+            | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
+            | _ -> failwith ("bad extent binding: " ^ kv))
+          (String.split_on_char ',' s)
+    in
+    Parse.stmt formula ~extents
+
+let select_arg =
+  Arg.(value & opt (some string) None
+       & info [ "select" ]
+           ~doc:"Explicit loop selection (comma-separated iterator names) \
+                 used with --matrix instead of a dataflow name.")
+
+let matrix_arg =
+  Arg.(value & opt (some string) None
+       & info [ "matrix" ]
+           ~doc:"Explicit STT matrix rows, e.g. \"1,0,0;0,1,0;1,1,1\".")
+
+let resolve ?expr ?extents ?select ?matrix w d =
+  let stmt = workload_of expr extents w in
+  match (select, matrix) with
+  | Some sel, Some m ->
+    let names = List.map String.trim (String.split_on_char ',' sel) in
+    let rows =
+      List.map
+        (fun row ->
+          List.map
+            (fun c -> int_of_string (String.trim c))
+            (String.split_on_char ',' row))
+        (String.split_on_char ';' m)
+    in
+    (stmt, Design.analyze (Transform.by_names stmt names ~matrix:rows))
+  | Some _, None | None, Some _ ->
+    failwith "--select and --matrix must be given together"
+  | None, None -> (
+    match Search.find_design stmt d with
+    | Some design -> (stmt, design)
+    | None ->
+      failwith (Printf.sprintf "dataflow %s not realisable for %s" d w))
+
+let analyze_cmd =
+  let run w d expr extents select matrix =
+    let _, design = resolve ?expr ?extents ?select ?matrix w d in
+    Format.printf "%a@." Design.pp_report design;
+    let inv = Inventory.of_design design in
+    Format.printf "inventory (16x16): %a@.@." Inventory.pp inv;
+    Format.printf "%a@." Topology.pp (Topology.describe design)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Dataflow analysis report for a design")
+    Term.(const run $ workload_arg $ dataflow_arg $ expr_arg $ extents_arg
+          $ select_arg $ matrix_arg)
+
+let testbench_arg =
+  Arg.(value & flag
+       & info [ "testbench" ]
+           ~doc:"Also emit a self-checking testbench (<output>_tb.v).")
+
+let generate_cmd =
+  let run w d rows cols out testbench expr extents =
+    let stmt, design = resolve ?expr ?extents w d in
+    let env = Exec.alloc_inputs stmt in
+    let acc = Accel.generate ~rows ~cols design env in
+    let v = Accel.verilog acc in
+    (match out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc v;
+       close_out oc;
+       Printf.printf "wrote %s (%d bytes, %d cycles schedule, %d banks)\n"
+         path (String.length v) acc.Accel.total_cycles
+         (List.length acc.Accel.banks);
+       if testbench then begin
+         let expected = Exec.run stmt env in
+         let tb_path =
+           (try Filename.chop_extension path with Invalid_argument _ -> path)
+           ^ "_tb.v"
+         in
+         let oc = open_out tb_path in
+         output_string oc (Accel.verilog_testbench acc ~expected);
+         close_out oc;
+         Printf.printf "wrote %s (self-checking testbench)\n" tb_path
+       end
+     | None ->
+       print_string v;
+       if testbench then begin
+         let expected = Exec.run stmt env in
+         print_string (Accel.verilog_testbench acc ~expected)
+       end)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate the accelerator and emit Verilog")
+    Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
+          $ out_arg $ testbench_arg $ expr_arg $ extents_arg)
+
+let vcd_arg =
+  Arg.(value & opt (some string) None
+       & info [ "vcd" ] ~doc:"Dump a VCD waveform of the run to this file.")
+
+let simulate_cmd =
+  let run w d rows cols vcd_out expr extents select matrix =
+    let stmt, design = resolve ?expr ?extents ?select ?matrix w d in
+    let env = Exec.alloc_inputs stmt in
+    let golden = Exec.run stmt env in
+    let acc = Accel.generate ~rows ~cols design env in
+    (match vcd_out with
+     | None -> ()
+     | Some path ->
+       let sim = Sim.create acc.Accel.circuit in
+       let vcd = Vcd.create sim acc.Accel.circuit in
+       Vcd.cycles vcd (acc.Accel.total_cycles + 1);
+       Vcd.write_file path vcd;
+       Format.printf "vcd       : %s@." path);
+    let got = Accel.execute acc in
+    let st = Circuit.stats acc.Accel.circuit in
+    Format.printf "design    : %s@." design.Design.name;
+    Format.printf "netlist   : %a@." Circuit.pp_stats st;
+    Format.printf "crit path : %d delay units@."
+      (Circuit.critical_path acc.Accel.circuit);
+    Format.printf "cycles    : %d@." acc.Accel.total_cycles;
+    Format.printf "result    : %s@."
+      (if Dense.equal golden got then "MATCHES golden model"
+       else "MISMATCH vs golden model");
+    if not (Dense.equal golden got) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Cycle-accurate simulation checked against the golden executor")
+    Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
+          $ vcd_arg $ expr_arg $ extents_arg $ select_arg $ matrix_arg)
+
+let perf_cmd =
+  let run w d expr extents =
+    let stmt = workload_of expr extents w in
+    match Perf.evaluate_name stmt d with
+    | Some r ->
+      Format.printf "%a@." Perf.pp_result r;
+      Format.printf "  pipelined: %.0f cycles (%.3f of peak)@."
+        r.Perf.pipelined_cycles r.Perf.pipelined_perf
+    | None -> failwith ("not realisable: " ^ d)
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Cycle model on the paper's 16x16 / 320MHz setup")
+    Term.(const run $ workload_arg $ dataflow_arg $ expr_arg $ extents_arg)
+
+let list_cmd =
+  let run w =
+    let stmt = workload_of_string w in
+    let all = Search.all_designs stmt in
+    Printf.printf "%d letter-distinct dataflows for %s:\n" (List.length all) w;
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Enumerate letter-distinct dataflow names")
+    Term.(const run $ workload_arg)
+
+let explore_cmd =
+  let run w =
+    let stmt = workload_of_string w in
+    let points = Enumerate.design_space stmt in
+    Printf.printf "%d distinct architectures\n" (List.length points);
+    Printf.printf "%-14s %10s %10s\n" "design" "area" "power(mW)";
+    let costed =
+      List.map
+        (fun p ->
+          let r = Asic.evaluate p.Enumerate.design in
+          (p, r))
+        points
+    in
+    let front =
+      Enumerate.pareto_min
+        (fun (_, r) -> (r.Asic.area, r.Asic.power_mw))
+        costed
+    in
+    List.iter
+      (fun ((p : Enumerate.point), (r : Asic.report)) ->
+        Printf.printf "%-14s %10.1f %10.1f%s\n" p.Enumerate.design.Design.name
+          r.Asic.area r.Asic.power_mw
+          (if List.exists (fun (q, _) -> q == p) front then "  *pareto*"
+           else ""))
+      (List.filteri (fun i _ -> i < 40) costed);
+    if List.length costed > 40 then
+      Printf.printf "... (%d more)\n" (List.length costed - 40)
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Design-space exploration with the ASIC model")
+    Term.(const run $ workload_arg)
+
+let () =
+  let info =
+    Cmd.info "tensorlib" ~version:Tensorlib.version
+      ~doc:"Spatial accelerator generation for tensor algebra (DAC'21)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
+            explore_cmd ]))

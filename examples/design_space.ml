@@ -1,0 +1,68 @@
+(* Fig. 6-style design-space exploration: area/power scatter for GEMM and
+   Depthwise-Conv2D on a 16x16 INT16 array at 320 MHz, with the Pareto
+   frontier and the paper's headline spreads.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+open Tensorlib
+
+let summarize name points =
+  let costed =
+    List.map (fun p -> (p, Asic.evaluate p.Enumerate.design)) points
+  in
+  let powers = List.map (fun (_, r) -> r.Asic.power_mw) costed in
+  let areas = List.map (fun (_, r) -> r.Asic.area) costed in
+  let mn l = List.fold_left min (List.hd l) l in
+  let mx l = List.fold_left max (List.hd l) l in
+  Format.printf "@.=== %s: %d design points ===@." name (List.length points);
+  Format.printf "power: %.1f .. %.1f mW (%.2fx spread)@." (mn powers)
+    (mx powers)
+    (mx powers /. mn powers);
+  Format.printf "area : %.0f .. %.0f (%.2fx spread)@." (mn areas) (mx areas)
+    (mx areas /. mn areas);
+  let front =
+    Enumerate.pareto_min (fun (_, r) -> (r.Asic.area, r.Asic.power_mw)) costed
+  in
+  (* several architectures can share a name and cost; show each once *)
+  let seen = Hashtbl.create 16 in
+  let distinct =
+    List.filter
+      (fun ((p : Enumerate.point), (r : Asic.report)) ->
+        let key = (p.Enumerate.design.Design.name, r.Asic.area, r.Asic.power_mw) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      front
+  in
+  Format.printf "pareto frontier (%d points, %d distinct):@."
+    (List.length front) (List.length distinct);
+  List.iter
+    (fun ((p : Enumerate.point), (r : Asic.report)) ->
+      Format.printf "  %-12s area=%6.1f power=%5.1f mW@."
+        p.Enumerate.design.Design.name r.Asic.area r.Asic.power_mw)
+    (List.sort
+       (fun (_, (a : Asic.report)) (_, b) -> compare a.Asic.area b.Asic.area)
+       distinct);
+  (* the paper's qualitative claims *)
+  let hottest =
+    List.fold_left
+      (fun acc (_, r) ->
+        match acc with
+        | None -> Some r
+        | Some b -> if r.Asic.power_mw > b.Asic.power_mw then Some r else acc)
+      None costed
+  in
+  (match hottest with
+   | Some r ->
+     Format.printf "energy-hungriest design: %s (%.1f mW) -- %s@."
+       r.Asic.design_name r.Asic.power_mw
+       "double-multicast inputs, as the paper reports"
+   | None -> ())
+
+let () =
+  let gemm = Workloads.gemm ~m:256 ~n:256 ~k:256 in
+  summarize "GEMM" (Enumerate.design_space gemm);
+  let dw = Workloads.depthwise_conv ~k:256 ~y:28 ~x:28 ~p:3 ~q:3 in
+  summarize "Depthwise-Conv2D" (Enumerate.design_space ~exclude_unicast:true dw)

@@ -1,0 +1,47 @@
+(* Verilog tour: emit one accelerator per dataflow family and print module
+   statistics, showing how the generator composes different PE-internal
+   modules and interconnects from the same templates.
+
+   Run with:  dune exec examples/verilog_tour.exe *)
+
+open Tensorlib
+
+let emit stmt label name =
+  match Search.find_design stmt name with
+  | None -> Format.printf "%-28s not realisable@." label
+  | Some design ->
+    let env = Exec.alloc_inputs stmt in
+    (match Accel.generate ~rows:4 ~cols:4 design env with
+     | exception Accel.Unsupported msg ->
+       Format.printf "%-28s unsupported: %s@." label msg
+     | acc ->
+       let v = Accel.verilog acc in
+       let file =
+         Printf.sprintf "tour_%s.v"
+           (String.lowercase_ascii
+              (String.map (fun c -> if c = '-' then '_' else c)
+                 design.Design.name))
+       in
+       let oc = open_out file in
+       output_string oc v;
+       close_out oc;
+       let st = Circuit.stats acc.Accel.circuit in
+       Format.printf "%-28s -> %-22s %a@." label file Circuit.pp_stats st)
+
+let () =
+  Format.printf "Each line is a complete generated accelerator (4x4 array).@.";
+  let gemm = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  emit gemm "GEMM output-stationary" "MNK-SST";
+  emit gemm "GEMM weight-stationary" "MNK-STS";
+  emit gemm "GEMM multicast + tree" "MNK-MTM";
+  emit gemm "GEMM all-systolic (wavefront)" "MNK-SSS";
+  let conv = Workloads.conv2d ~k:3 ~c:3 ~y:3 ~x:3 ~p:2 ~q:2 in
+  emit conv "Conv2D KCX (GEMM-like)" "KCX-SST";
+  emit conv "Conv2D ShiDianNao-style" "XYP-MST";
+  let mt = Workloads.mttkrp ~i:3 ~j:3 ~k:3 ~l:3 in
+  emit mt "MTTKRP unicast" "IKL-UBBB";
+  let bg = Workloads.batched_gemv ~m:3 ~n:3 ~k:3 in
+  emit bg "Batched-GEMV" "MNK-UTM";
+  Format.printf
+    "@.Note how multicast designs trade registers for wires+trees, and@.";
+  Format.printf "stationary designs carry double-buffer registers.@."

@@ -1,0 +1,91 @@
+type t = {
+  name : string;
+  device : Tl_cost.Fpga.device;
+  supports : Tl_stt.Design.t -> bool;
+  published : workload:string -> Tl_cost.Fpga.report option;
+}
+
+let systolic_only (design : Tl_stt.Design.t) =
+  List.for_all
+    (fun (ti : Tl_stt.Design.tensor_info) ->
+      match ti.Tl_stt.Design.dataflow with
+      | Tl_stt.Dataflow.Systolic _ | Tl_stt.Dataflow.Stationary _ -> true
+      | Tl_stt.Dataflow.Unicast | Tl_stt.Dataflow.Multicast _
+      | Tl_stt.Dataflow.Reuse2d _ | Tl_stt.Dataflow.Reuse_full -> false)
+    design.Tl_stt.Design.tensors
+
+let row ~generator ~device ~workload ~macs ~lut ~dsp ~bram ~mhz ~gops =
+  { Tl_cost.Fpga.generator; device; workload; macs; lut_pct = lut;
+    dsp_pct = dsp; bram_pct = bram; mhz; gops }
+
+let polysa =
+  { name = "PolySA";
+    device = Tl_cost.Fpga.vu9p;
+    supports = systolic_only;
+    published =
+      (fun ~workload ->
+        match workload with
+        | "MM" ->
+          Some
+            (row ~generator:"PolySA" ~device:"VU9P" ~workload:"MM"
+               ~macs:1522 ~lut:49. ~dsp:89. ~bram:89. ~mhz:229. ~gops:555.)
+        | "Conv" ->
+          Some
+            (row ~generator:"PolySA" ~device:"VU9P" ~workload:"Conv"
+               ~macs:1522 ~lut:49. ~dsp:89. ~bram:71. ~mhz:229. ~gops:548.)
+        | _ -> None) }
+
+let susy =
+  { name = "Susy";
+    device = Tl_cost.Fpga.arria10;
+    supports = systolic_only;
+    published =
+      (fun ~workload ->
+        match workload with
+        | "MM" ->
+          Some
+            (row ~generator:"Susy" ~device:"Arria-10" ~workload:"MM"
+               ~macs:1412 ~lut:40. ~dsp:93. ~bram:32. ~mhz:202. ~gops:547.)
+        | "Conv" ->
+          Some
+            (row ~generator:"Susy" ~device:"Arria-10" ~workload:"Conv"
+               ~macs:1275 ~lut:35. ~dsp:84. ~bram:30. ~mhz:220. ~gops:551.)
+        | _ -> None) }
+
+let all = [ susy; polysa ]
+
+let best_supported_design stmt baseline =
+  let candidates =
+    List.concat_map
+      (fun selected ->
+        List.filter_map
+          (fun m ->
+            let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
+            let d = Tl_stt.Design.analyze t in
+            if baseline.supports d then Some d else None)
+          (Tl_stt.Search.candidate_matrices ~n:3))
+      (Tl_stt.Search.selections stmt ~n:3)
+  in
+  (* distinct names only: evaluating every matrix would repeat work *)
+  let seen = Hashtbl.create 32 in
+  let distinct =
+    List.filter
+      (fun d ->
+        let name = d.Tl_stt.Design.name in
+        if Hashtbl.mem seen name then false
+        else begin
+          Hashtbl.add seen name ();
+          true
+        end)
+      candidates
+  in
+  List.fold_left
+    (fun best d ->
+      let r = Tl_perf.Perf_model.evaluate d in
+      match best with
+      | None -> Some (d, r)
+      | Some (_, rb) ->
+        if r.Tl_perf.Perf_model.cycles < rb.Tl_perf.Perf_model.cycles then
+          Some (d, r)
+        else best)
+    None distinct

@@ -1,0 +1,71 @@
+(** TensorLib public facade.
+
+    One-stop API over the framework's layers; see the per-module docs for
+    details.  The typical flow is:
+
+    {[
+      let stmt   = Tensorlib.Workloads.gemm ~m:64 ~n:64 ~k:64 in
+      let design = Tensorlib.design_of_name stmt "MNK-SST" in
+      let env    = Tensorlib.Exec.alloc_inputs stmt in
+      let acc    = Tensorlib.generate ~rows:8 ~cols:8 design env in
+      let out    = Tensorlib.Accel.execute acc in
+      print_string (Tensorlib.Accel.verilog acc)
+    ]} *)
+
+(* Linear algebra substrate *)
+module Rat = Tl_linalg.Rat
+module Vec = Tl_linalg.Vec
+module Mat = Tl_linalg.Mat
+
+(* Tensor-algebra IR *)
+module Iter = Tl_ir.Iter
+module Tiling = Tl_ir.Tiling
+module Access = Tl_ir.Access
+module Stmt = Tl_ir.Stmt
+module Dense = Tl_ir.Dense
+module Exec = Tl_ir.Exec
+module Workloads = Tl_ir.Workloads
+module Parse = Tl_ir.Parse
+
+(* Space-time transformation and dataflow analysis *)
+module Dataflow = Tl_stt.Dataflow
+module Transform = Tl_stt.Transform
+module Reuse = Tl_stt.Reuse
+module Design = Tl_stt.Design
+module Search = Tl_stt.Search
+
+(* Hardware DSL *)
+module Signal = Tl_hw.Signal
+module Circuit = Tl_hw.Circuit
+module Verilog = Tl_hw.Verilog
+module Sim = Tl_hw.Sim
+module Vcd = Tl_hw.Vcd
+module Rewrite = Tl_hw.Rewrite
+
+(* Hardware templates and generation *)
+module Pe_modules = Tl_templates.Pe_modules
+module Reduce_tree = Tl_templates.Reduce_tree
+module Schedule = Tl_templates.Schedule
+module Topology = Tl_templates.Topology
+module Accel = Tl_templates.Accel
+
+(* Models and exploration *)
+module Perf = Tl_perf.Perf_model
+module Metrics = Tl_perf.Metrics
+module Inventory = Tl_cost.Inventory
+module Asic = Tl_cost.Asic
+module Fpga = Tl_cost.Fpga
+module Enumerate = Tl_dse.Enumerate
+module Explore = Tl_dse.Explore
+module Baselines = Tl_baselines.Baselines
+
+let design_of_name = Search.find_design_exn
+let analyze stmt ~select ~matrix =
+  Design.analyze (Transform.by_names stmt select ~matrix)
+
+let generate = Accel.generate
+let simulate = Accel.execute
+let evaluate_performance = Perf.evaluate
+let evaluate_asic = Asic.evaluate
+
+let version = "1.0.0"

@@ -1,0 +1,51 @@
+(** ASIC area/power model (Fig. 6).
+
+    Charges each design exactly the modules its dataflows instantiate
+    ({!Inventory}), with per-module area/energy coefficients calibrated to
+    the paper's 55 nm synthesis ranges (GEMM 16×16 INT16 at 320 MHz:
+    ~35–63 mW, ~1.8× energy spread, ~1.16× area spread).  Absolute numbers
+    are a calibrated model, not a synthesis run (see DESIGN.md); the
+    *relative* structure — which dataflows cost more and why — comes
+    entirely from the module inventory. *)
+
+type params = {
+  p_mult : float;        (** mW per 16-bit multiplier at full activity *)
+  p_mac_adder : float;
+  p_tree_adder : float;
+  p_reg_bit : float;
+  p_mux_bit : float;
+  p_wire_unit : float;
+  p_bank : float;
+  p_bank_port : float;
+  p_stationary_ctrl : float;  (** stage control per stationary tensor *)
+  p_base : float;             (** controller + clock tree *)
+  a_mult : float;        (** area units (≈ kGE/10) per module *)
+  a_adder : float;
+  a_reg_bit : float;
+  a_mux_bit : float;
+  a_wire_unit : float;
+  a_bank : float;
+  a_stationary_ctrl : float;
+  a_base : float;
+}
+
+val default_params : params
+
+type report = {
+  design_name : string;
+  area : float;        (** arbitrary units; see {!params} *)
+  power_mw : float;
+  breakdown : (string * float) list;  (** power by category *)
+}
+
+val evaluate : ?params:params -> ?rows:int -> ?cols:int -> ?data_width:int ->
+  ?acc_width:int -> Tl_stt.Design.t -> report
+
+val evaluate_netlist : ?params:params -> Tl_hw.Circuit.t -> report
+(** Cost an {i elaborated} circuit from its actual cell counts (registers,
+    adders, multipliers, muxes, memory bits) with the same coefficients —
+    a cross-check of the analytic {!Inventory}-based model against the
+    generated netlist (interconnect length is not recoverable from a flat
+    netlist and is priced at zero here). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,113 @@
+type point = {
+  design : Tl_stt.Design.t;
+  signature : string;
+}
+
+(* Two designs whose interconnects differ only by a rotation/reflection of
+   the square array are the same hardware; canonicalise signatures under
+   the dihedral group D4 acting on all direction vectors at once. *)
+let d4 =
+  [ (fun (r, c) -> (r, c));
+    (fun (r, c) -> (c, r));
+    (fun (r, c) -> (-r, c));
+    (fun (r, c) -> (r, -c));
+    (fun (r, c) -> (-r, -c));
+    (fun (r, c) -> (-c, r));
+    (fun (r, c) -> (c, -r));
+    (fun (r, c) -> (-c, -r)) ]
+
+let map_vec g v =
+  let r, c = g (v.(0), v.(1)) in
+  [| r; c |]
+
+let map_dataflow g (df : Tl_stt.Dataflow.t) : Tl_stt.Dataflow.t =
+  match df with
+  | Tl_stt.Dataflow.Unicast | Tl_stt.Dataflow.Stationary _
+  | Tl_stt.Dataflow.Reuse_full
+  | Tl_stt.Dataflow.Reuse2d Tl_stt.Dataflow.Broadcast -> df
+  | Tl_stt.Dataflow.Systolic { dp; dt } ->
+    Tl_stt.Dataflow.Systolic { dp = map_vec g dp; dt }
+  | Tl_stt.Dataflow.Multicast { dp } ->
+    Tl_stt.Dataflow.Multicast { dp = map_vec g dp }
+  | Tl_stt.Dataflow.Reuse2d (Tl_stt.Dataflow.Multicast_stationary { multicast })
+    ->
+    Tl_stt.Dataflow.Reuse2d
+      (Tl_stt.Dataflow.Multicast_stationary { multicast = map_vec g multicast })
+  | Tl_stt.Dataflow.Reuse2d
+      (Tl_stt.Dataflow.Systolic_multicast { multicast; systolic }) ->
+    Tl_stt.Dataflow.Reuse2d
+      (Tl_stt.Dataflow.Systolic_multicast
+         { multicast = map_vec g multicast;
+           systolic =
+             { systolic with Tl_stt.Dataflow.dp = map_vec g systolic.Tl_stt.Dataflow.dp } })
+
+let signature (d : Tl_stt.Design.t) =
+  let render g =
+    let tensor ti =
+      Printf.sprintf "%s:%s" ti.Tl_stt.Design.access.Tl_ir.Access.tensor
+        (Tl_stt.Dataflow.to_string (map_dataflow g ti.Tl_stt.Design.dataflow))
+    in
+    Tl_stt.Transform.selection_label d.Tl_stt.Design.transform
+    ^ "|"
+    ^ String.concat "|" (List.map tensor d.Tl_stt.Design.tensors)
+  in
+  List.fold_left
+    (fun best g ->
+      let s = render g in
+      if String.compare s best < 0 then s else best)
+    (render (List.hd d4))
+    (List.tl d4)
+
+let design_space ?max_unselected ?(exclude_unicast = false)
+    ?max_bank_ports stmt =
+  let depth = Tl_ir.Stmt.depth stmt in
+  let selections =
+    List.filter
+      (fun sel ->
+        match max_unselected with
+        | None -> true
+        | Some k -> depth - Array.length sel <= k)
+      (Tl_stt.Search.selections stmt ~n:3)
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let points = ref [] in
+  List.iter
+    (fun selected ->
+      List.iter
+        (fun m ->
+          let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
+          let d = Tl_stt.Design.analyze t in
+          let excluded =
+            List.exists
+              (fun ti ->
+                ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Reuse_full
+                || (exclude_unicast
+                    && ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Unicast))
+              d.Tl_stt.Design.tensors
+            ||
+            match max_bank_ports with
+            | None -> false
+            | Some limit ->
+              (Tl_cost.Inventory.of_design d).Tl_cost.Inventory.bank_ports
+              > limit
+          in
+          if not excluded then begin
+            let s = signature d in
+            if not (Hashtbl.mem seen s) then begin
+              Hashtbl.add seen s ();
+              points := { design = d; signature = s } :: !points
+            end
+          end)
+        (Tl_stt.Search.candidate_matrices ~n:3))
+    selections;
+  List.rev !points
+
+let pareto_min project items =
+  let dominated (x1, y1) (x2, y2) =
+    x2 <= x1 && y2 <= y1 && (x2 < x1 || y2 < y1)
+  in
+  List.filter
+    (fun a ->
+      let pa = project a in
+      not (List.exists (fun b -> b != a && dominated pa (project b)) items))
+    items

@@ -1,0 +1,28 @@
+(** Design-space enumeration (Fig. 6).
+
+    A design point is a distinct hardware architecture: the loop selection
+    plus every tensor's dataflow class {i including} its direction vectors
+    (two systolic designs with different flow directions are different
+    interconnects).  Enumeration sweeps all loop selections and all
+    candidate STT matrices, canonicalises each analysis into a signature,
+    and keeps one representative transformation per signature. *)
+
+type point = {
+  design : Tl_stt.Design.t;
+  signature : string;
+}
+
+val signature : Tl_stt.Design.t -> string
+(** Canonical textual form of the architecture (selection label + each
+    tensor's dataflow with direction vectors). *)
+
+val design_space : ?max_unselected:int -> ?exclude_unicast:bool ->
+  ?max_bank_ports:int -> Tl_ir.Stmt.t -> point list
+(** All distinct design points reachable with {-1,0,1} transformation
+    matrices over every 3-loop selection.  [max_unselected] (default: no
+    limit) can restrict how many loops are left sequential — the paper's
+    Fig. 6 spaces keep every selection.  Points with [Reuse_full] tensors
+    are excluded (no hardware mapping). *)
+
+val pareto_min : ('a -> float * float) -> 'a list -> 'a list
+(** Pareto frontier minimising both objectives. *)

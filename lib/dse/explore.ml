@@ -1,0 +1,52 @@
+type evaluated = {
+  design : Tl_stt.Design.t;
+  perf : Tl_perf.Perf_model.result;
+  asic : Tl_cost.Asic.report;
+  gops_per_watt : float;
+}
+
+let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64) stmt =
+  let names = Tl_stt.Search.all_designs stmt in
+  let capped = List.filteri (fun i _ -> i < limit) names in
+  List.filter_map
+    (fun (name, _) ->
+      match Tl_perf.Perf_model.evaluate_name ~config stmt name with
+      | None | (exception Invalid_argument _) -> None
+      | Some perf ->
+        (* re-resolve so the costed design matches the evaluated one *)
+        let design =
+          match Tl_stt.Search.find_design stmt name with
+          | Some d -> d
+          | None -> assert false (* evaluate_name just resolved it *)
+        in
+        let asic =
+          Tl_cost.Asic.evaluate ~rows:config.Tl_perf.Perf_model.rows
+            ~cols:config.Tl_perf.Perf_model.cols design
+        in
+        let gops_per_watt =
+          perf.Tl_perf.Perf_model.gops /. (asic.Tl_cost.Asic.power_mw /. 1000.)
+        in
+        Some { design; perf; asic; gops_per_watt })
+    capped
+
+let best_by f = function
+  | [] -> invalid_arg "Explore: empty evaluation list"
+  | first :: rest ->
+    List.fold_left (fun acc e -> if f e > f acc then e else acc) first rest
+
+let best_performance evaluated =
+  best_by (fun e -> -.e.perf.Tl_perf.Perf_model.cycles) evaluated
+
+let best_efficiency evaluated = best_by (fun e -> e.gops_per_watt) evaluated
+
+let pareto_perf_power evaluated =
+  Enumerate.pareto_min
+    (fun e -> (e.perf.Tl_perf.Perf_model.cycles, e.asic.Tl_cost.Asic.power_mw))
+    evaluated
+
+let pp_evaluated ppf e =
+  Format.fprintf ppf
+    "@[%-12s cycles=%-10.0f norm=%.3f power=%.1fmW area=%.0f %.1f Gop/s/W@]"
+    e.design.Tl_stt.Design.name e.perf.Tl_perf.Perf_model.cycles
+    e.perf.Tl_perf.Perf_model.normalized_perf e.asic.Tl_cost.Asic.power_mw
+    e.asic.Tl_cost.Asic.area e.gops_per_watt

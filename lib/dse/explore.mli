@@ -1,0 +1,31 @@
+(** Joint design-space exploration: performance × power × area.
+
+    Evaluates the cycle model and the ASIC cost model over the dataflow
+    space of a workload and exposes the tradeoffs the paper's abstract
+    promises ("a rich design space with tradeoffs in performance, area,
+    and power"): fastest design, most energy-efficient design
+    (throughput per watt), and the performance/power Pareto frontier. *)
+
+type evaluated = {
+  design : Tl_stt.Design.t;
+  perf : Tl_perf.Perf_model.result;
+  asic : Tl_cost.Asic.report;
+  gops_per_watt : float;
+}
+
+val explore : ?config:Tl_perf.Perf_model.config -> ?limit:int ->
+  Tl_ir.Stmt.t -> evaluated list
+(** Evaluate every letter-distinct dataflow of the workload (capped at
+    [limit], default 64, cheapest-estimate first).  Designs whose space
+    mapping cannot fit the array are skipped. *)
+
+val best_performance : evaluated list -> evaluated
+(** @raise Invalid_argument on an empty list. *)
+
+val best_efficiency : evaluated list -> evaluated
+(** Highest Gop/s per watt. *)
+
+val pareto_perf_power : evaluated list -> evaluated list
+(** Non-dominated set minimising (cycles, power). *)
+
+val pp_evaluated : Format.formatter -> evaluated -> unit

@@ -1,0 +1,254 @@
+(* The circuit is rebuilt by a memoised recursive walk.  Register feedback
+   loops are broken by pre-creating every register with wire placeholders
+   for its data/enable/clear, which are assigned after the walk.  Rams are
+   duplicated (same geometry and contents) so their write ports can point
+   at rewritten signals. *)
+
+let is_const (s : Signal.t) =
+  match s.Signal.node with Signal.Const c -> Some c | _ -> None
+
+let all_ones w = Signal.mask_to_width w (-1)
+
+let circuit_with_ram_map original =
+  let memo : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let reg_fixups : (Signal.t * Signal.reg) list ref = ref [] in
+  let ram_map : (int, Signal.ram) Hashtbl.t = Hashtbl.create 8 in
+  let ram_pairs = ref [] in
+  let new_ram (r : Signal.ram) =
+    match Hashtbl.find_opt ram_map r.Signal.ram_id with
+    | Some nr -> nr
+    | None ->
+      let nr =
+        Signal.ram ~name:r.Signal.ram_name ~size:r.Signal.size
+          ~width:r.Signal.ram_width ~init:r.Signal.init_data ()
+      in
+      Hashtbl.add ram_map r.Signal.ram_id nr;
+      ram_pairs := (r, nr) :: !ram_pairs;
+      nr
+  in
+  let keep_name (old : Signal.t) (fresh : Signal.t) =
+    (match (old.Signal.name, fresh.Signal.name) with
+     | Some n, None -> ignore (Signal.set_name fresh n)
+     | _ -> ());
+    fresh
+  in
+  let rec walk (s : Signal.t) =
+    match Hashtbl.find_opt memo s.Signal.id with
+    | Some s' -> s'
+    | None ->
+      let result =
+        match s.Signal.node with
+        | Signal.Input n -> Signal.input n s.Signal.width
+        | Signal.Const c -> Signal.const ~width:s.Signal.width c
+        | Signal.Wire _ -> walk (Signal.resolve s)
+        | Signal.Reg r ->
+          (* placeholder wires close the feedback loop *)
+          let dw = Signal.wire s.Signal.width in
+          let en = Option.map (fun _ -> Signal.wire 1) r.Signal.enable in
+          let cl = Option.map (fun _ -> Signal.wire 1) r.Signal.clear in
+          let fresh =
+            Signal.reg ?enable:en ?clear:cl ~clear_to:r.Signal.clear_to
+              ~init:r.Signal.init dw
+          in
+          Hashtbl.add memo s.Signal.id fresh;
+          reg_fixups := (fresh, r) :: !reg_fixups;
+          fresh
+        | Signal.Unop (Signal.Not, a) -> (
+          let a' = walk a in
+          match is_const a' with
+          | Some c ->
+            Signal.const ~width:s.Signal.width
+              (Signal.mask_to_width s.Signal.width (lnot c))
+          | None -> Signal.not_ a')
+        | Signal.Binop (op, a, b) -> rebuild_binop s op (walk a) (walk b)
+        | Signal.Mux (c, t, f) -> (
+          let c' = walk c in
+          match is_const c' with
+          | Some 0 -> walk f
+          | Some _ -> walk t
+          | None ->
+            let t' = walk t and f' = walk f in
+            if t' == f' then t' else Signal.mux2 c' t' f')
+        | Signal.Concat (hi, lo) -> (
+          let hi' = walk hi and lo' = walk lo in
+          match (is_const hi', is_const lo') with
+          | Some h, Some l ->
+            Signal.const ~width:s.Signal.width
+              ((h lsl lo'.Signal.width) lor l)
+          | _ -> Signal.concat [ hi'; lo' ])
+        | Signal.Repl (a, n) -> (
+          let a' = walk a in
+          match is_const a' with
+          | Some c ->
+            let acc = ref 0 in
+            for _ = 1 to n do
+              acc := (!acc lsl a'.Signal.width) lor c
+            done;
+            Signal.const ~width:s.Signal.width
+              (Signal.mask_to_width s.Signal.width !acc)
+          | None -> rebuild_repl a' n)
+        | Signal.Select (a, hi, lo) -> (
+          let a' = walk a in
+          match is_const a' with
+          | Some c ->
+            Signal.const ~width:s.Signal.width (c lsr lo)
+          | None -> Signal.select a' ~hi ~lo)
+        | Signal.Ram_read (r, addr) -> Signal.ram_read (new_ram r) (walk addr)
+      in
+      let result = keep_name s result in
+      Hashtbl.replace memo s.Signal.id result;
+      result
+  and rebuild_repl a n = Signal.repl a n
+  and rebuild_binop (s : Signal.t) op a b =
+    let w = s.Signal.width in
+    let open Signal in
+    let fold f =
+      match (is_const a, is_const b) with
+      | Some x, Some y -> Some (const ~width:w (mask_to_width w (f x y)))
+      | _ -> None
+    in
+    let redo () =
+      match op with
+      | Add -> a +: b
+      | Sub -> a -: b
+      | Mul -> a *: b
+      | And -> a &: b
+      | Or -> a |: b
+      | Xor -> a ^: b
+      | Eq -> eq a b
+      | Ult -> ult a b
+      | Slt -> slt a b
+      | Shl n -> shift_left a n
+      | Shr n -> shift_right_l a n
+      | Sra n -> shift_right_a a n
+    in
+    match op with
+    | Add -> (
+      match fold ( + ) with
+      | Some c -> c
+      | None ->
+        if is_const b = Some 0 then a
+        else if is_const a = Some 0 then b
+        else redo ())
+    | Sub -> (
+      match fold ( - ) with
+      | Some c -> c
+      | None -> if is_const b = Some 0 then a else redo ())
+    | Mul -> (
+      match fold ( * ) with
+      | Some c -> c
+      | None ->
+        if is_const b = Some 0 || is_const a = Some 0 then const ~width:w 0
+        else if is_const b = Some 1 then a
+        else if is_const a = Some 1 then b
+        else redo ())
+    | And -> (
+      match fold ( land ) with
+      | Some c -> c
+      | None ->
+        if is_const b = Some 0 || is_const a = Some 0 then const ~width:w 0
+        else if is_const b = Some (all_ones w) then a
+        else if is_const a = Some (all_ones w) then b
+        else redo ())
+    | Or -> (
+      match fold ( lor ) with
+      | Some c -> c
+      | None ->
+        if is_const b = Some 0 then a
+        else if is_const a = Some 0 then b
+        else redo ())
+    | Xor -> (
+      match fold ( lxor ) with
+      | Some c -> c
+      | None ->
+        if is_const b = Some 0 then a
+        else if is_const a = Some 0 then b
+        else redo ())
+    | Eq -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const ~width:1 (if x = y then 1 else 0)
+      | _ -> redo ())
+    | Ult -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const ~width:1 (if x < y then 1 else 0)
+      | _ -> redo ())
+    | Slt -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y ->
+        let aw = a.Signal.width in
+        const ~width:1
+          (if Signal.to_signed aw x < Signal.to_signed aw y then 1 else 0)
+      | _ -> redo ())
+    | Shl n -> (
+      match is_const a with
+      | Some x -> const ~width:w (x lsl n)
+      | None -> if n = 0 then a else redo ())
+    | Shr n -> (
+      match is_const a with
+      | Some x -> const ~width:w (x lsr n)
+      | None -> if n = 0 then a else redo ())
+    | Sra n -> (
+      match is_const a with
+      | Some x ->
+        const ~width:w (Signal.to_signed a.Signal.width x asr n)
+      | None -> if n = 0 then a else redo ())
+  in
+  let outputs =
+    List.map (fun (name, s) -> (name, walk s)) (Circuit.outputs original)
+  in
+  (* Close register loops and rebuild ram write ports.  Walking a
+     register's data cone can discover further registers and rams, so the
+     fixups are drained as worklists until none remain. *)
+  let done_rams : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let fix_reg ((fresh : Signal.t), (old_reg : Signal.reg)) =
+    match fresh.Signal.node with
+    | Signal.Reg nr ->
+      Signal.assign nr.Signal.d (walk old_reg.Signal.d);
+      (match (nr.Signal.enable, old_reg.Signal.enable) with
+       | Some w, Some e -> Signal.assign w (walk e)
+       | None, None -> ()
+       | _ -> assert false);
+      (match (nr.Signal.clear, old_reg.Signal.clear) with
+       | Some w, Some c -> Signal.assign w (walk c)
+       | None, None -> ()
+       | _ -> assert false)
+    | _ -> assert false
+  in
+  let fix_ram ((old_ram : Signal.ram), (nr : Signal.ram)) =
+    if not (Hashtbl.mem done_rams old_ram.Signal.ram_id) then begin
+      Hashtbl.add done_rams old_ram.Signal.ram_id ();
+      match old_ram.Signal.write_port with
+      | None -> ()
+      | Some wp ->
+        Signal.ram_write nr ~we:(walk wp.Signal.we)
+          ~addr:(walk wp.Signal.waddr) ~data:(walk wp.Signal.wdata)
+    end
+  in
+  let rec drain () =
+    match (!reg_fixups, !ram_pairs) with
+    | [], pending
+      when List.for_all
+             (fun ((r : Signal.ram), _) ->
+               Hashtbl.mem done_rams r.Signal.ram_id)
+             pending -> ()
+    | regs, rams ->
+      reg_fixups := [];
+      List.iter fix_reg regs;
+      List.iter fix_ram rams;
+      drain ()
+  in
+  drain ();
+  let optimized =
+    Circuit.create ~name:(Circuit.name original) ~outputs
+  in
+  (optimized, !ram_pairs)
+
+let circuit original = fst (circuit_with_ram_map original)
+
+(* wires are free aliases; compare actual cells *)
+let cells c =
+  let st = Circuit.stats c in
+  st.Circuit.adders + st.Circuit.multipliers + st.Circuit.muxes
+  + st.Circuit.logic_ops + st.Circuit.regs
+
+let count_removed ~before ~after = cells before - cells after

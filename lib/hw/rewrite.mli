@@ -1,0 +1,28 @@
+(** Netlist optimisation: constant folding and algebraic simplification.
+
+    Rebuilds a circuit bottom-up, applying local rewrites:
+
+    - operators over two constants fold to a constant;
+    - [x + 0], [x - 0], [x * 1], [x & ones], [x | 0], [x ^ 0] become [x],
+      and [x * 0], [x & 0] become [0];
+    - muxes with a constant select collapse to the taken branch; muxes with
+      identical branches collapse to the branch;
+    - selects/concats/replications of constants fold;
+    - wires are shorted to their drivers.
+
+    Registers, rams, and inputs are preserved (same semantics cycle by
+    cycle); user-assigned names survive on nodes that remain.  Typical
+    generated accelerators shrink noticeably because validity gating and
+    boundary muxes often see constant operands. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Optimised copy of the circuit (same outputs, same observable
+    behaviour). *)
+
+val circuit_with_ram_map : Circuit.t -> Circuit.t * (Signal.ram * Signal.ram) list
+(** Also returns the (old, new) pairs for the rams the optimised circuit
+    duplicates, so callers holding ram handles can remap them. *)
+
+val count_removed : before:Circuit.t -> after:Circuit.t -> int
+(** Cell-count reduction (adders, multipliers, muxes, logic, registers);
+    wires and constants are free. *)

@@ -1,0 +1,199 @@
+type t = { id : int; width : int; node : node; mutable name : string option }
+
+and node =
+  | Input of string
+  | Const of int
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Concat of t * t
+  | Repl of t * int
+  | Select of t * int * int
+  | Reg of reg
+  | Wire of t option ref
+  | Ram_read of ram * t
+
+and unop = Not
+
+and binop =
+  | Add | Sub | Mul | And | Or | Xor
+  | Eq | Ult | Slt
+  | Shl of int | Shr of int | Sra of int
+
+and reg = {
+  d : t;
+  enable : t option;
+  clear : t option;
+  clear_to : int;
+  init : int;
+}
+
+and ram = {
+  ram_id : int;
+  ram_name : string;
+  size : int;
+  ram_width : int;
+  init_data : int array;
+  mutable write_port : write_port option;
+}
+
+and write_port = { we : t; waddr : t; wdata : t }
+
+exception Width_mismatch of string
+
+let next_id = ref 0
+let next_ram_id = ref 0
+
+let fresh width node =
+  if width <= 0 || width > 62 then
+    invalid_arg (Printf.sprintf "Signal: unsupported width %d" width);
+  incr next_id;
+  { id = !next_id; width; node; name = None }
+
+let mask_to_width w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+
+let to_signed w v =
+  let m = mask_to_width w v in
+  if w >= 62 then m
+  else if m land (1 lsl (w - 1)) <> 0 then m - (1 lsl w)
+  else m
+
+let input name width = fresh width (Input name)
+let const ~width v = fresh width (Const (mask_to_width width v))
+let vdd = const ~width:1 1
+let gnd = const ~width:1 0
+let width s = s.width
+let wire w = fresh w (Wire (ref None))
+
+let assign w s =
+  match w.node with
+  | Wire r ->
+    if !r <> None then invalid_arg "Signal.assign: wire already assigned";
+    if w.width <> s.width then
+      raise
+        (Width_mismatch
+           (Printf.sprintf "assign: wire %d vs driver %d" w.width s.width));
+    r := Some s
+  | Input _ | Const _ | Unop _ | Binop _ | Mux _ | Concat _ | Repl _
+  | Select _ | Reg _ | Ram_read _ ->
+    invalid_arg "Signal.assign: not a wire"
+
+let reg ?enable ?clear ?(clear_to = 0) ?(init = 0) d =
+  (match enable with
+   | Some e when e.width <> 1 -> raise (Width_mismatch "reg enable")
+   | _ -> ());
+  (match clear with
+   | Some c when c.width <> 1 -> raise (Width_mismatch "reg clear")
+   | _ -> ());
+  fresh d.width
+    (Reg
+       { d; enable; clear;
+         clear_to = mask_to_width d.width clear_to;
+         init = mask_to_width d.width init })
+
+let binop name op a b =
+  if a.width <> b.width then
+    raise
+      (Width_mismatch (Printf.sprintf "%s: %d vs %d" name a.width b.width));
+  fresh a.width (Binop (op, a, b))
+
+let cmp name op a b =
+  if a.width <> b.width then
+    raise
+      (Width_mismatch (Printf.sprintf "%s: %d vs %d" name a.width b.width));
+  fresh 1 (Binop (op, a, b))
+
+let ( +: ) = binop "add" Add
+let ( -: ) = binop "sub" Sub
+let ( *: ) = binop "mul" Mul
+let ( &: ) = binop "and" And
+let ( |: ) = binop "or" Or
+let ( ^: ) = binop "xor" Xor
+let not_ a = fresh a.width (Unop (Not, a))
+let eq = cmp "eq" Eq
+let ult = cmp "ult" Ult
+let slt = cmp "slt" Slt
+let ne a b = not_ (eq a b)
+let ule a b = not_ (ult b a)
+let sle a b = not_ (slt b a)
+let shift_left a n = fresh a.width (Binop (Shl n, a, a))
+let shift_right_l a n = fresh a.width (Binop (Shr n, a, a))
+let shift_right_a a n = fresh a.width (Binop (Sra n, a, a))
+
+let mux2 sel on1 on0 =
+  if sel.width <> 1 then raise (Width_mismatch "mux2 select must be 1 bit");
+  if on1.width <> on0.width then raise (Width_mismatch "mux2 branches");
+  fresh on1.width (Mux (sel, on1, on0))
+
+let concat = function
+  | [] -> invalid_arg "Signal.concat: empty"
+  | first :: rest ->
+    List.fold_left
+      (fun hi lo -> fresh (hi.width + lo.width) (Concat (hi, lo)))
+      first rest
+
+let repl s n =
+  if n <= 0 then invalid_arg "Signal.repl: non-positive count";
+  if n = 1 then s else fresh (s.width * n) (Repl (s, n))
+
+let select s ~hi ~lo =
+  if lo < 0 || hi >= s.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Signal.select: [%d:%d] of width %d" hi lo s.width);
+  if lo = 0 && hi = s.width - 1 then s else fresh (hi - lo + 1) (Select (s, hi, lo))
+
+let bit s i = select s ~hi:i ~lo:i
+
+let uresize s w =
+  if w = s.width then s
+  else if w < s.width then select s ~hi:(w - 1) ~lo:0
+  else concat [ const ~width:(w - s.width) 0; s ]
+
+let sresize s w =
+  if w = s.width then s
+  else if w < s.width then select s ~hi:(w - 1) ~lo:0
+  else begin
+    let sign = bit s (s.width - 1) in
+    concat [ repl sign (w - s.width); s ]
+  end
+
+let ram ?name ~size ~width ~init () =
+  if Array.length init <> size then
+    invalid_arg "Signal.ram: init length must equal size";
+  if size <= 0 then invalid_arg "Signal.ram: empty ram";
+  incr next_ram_id;
+  let ram_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "ram%d" !next_ram_id
+  in
+  { ram_id = !next_ram_id; ram_name; size; ram_width = width;
+    init_data = Array.map (mask_to_width width) init;
+    write_port = None }
+
+let rom ?name ~width data =
+  ram ?name ~size:(Array.length data) ~width ~init:data ()
+
+let ram_read r addr = fresh r.ram_width (Ram_read (r, addr))
+
+let ram_write r ~we ~addr ~data =
+  if r.write_port <> None then
+    invalid_arg "Signal.ram_write: write port already attached";
+  if we.width <> 1 then raise (Width_mismatch "ram_write we");
+  if data.width <> r.ram_width then raise (Width_mismatch "ram_write data");
+  r.write_port <- Some { we; waddr = addr; wdata = data }
+
+let set_name s n =
+  s.name <- Some n;
+  s
+
+let ( -- ) = set_name
+let is_wire s = match s.node with Wire _ -> true | _ -> false
+
+let rec resolve s =
+  match s.node with
+  | Wire r -> (
+    match !r with
+    | Some driver -> resolve driver
+    | None -> invalid_arg "Signal.resolve: unassigned wire")
+  | _ -> s

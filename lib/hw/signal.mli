@@ -1,0 +1,150 @@
+(** Structural RTL signal DSL.
+
+    This plays the role Chisel plays in the paper: hardware templates are
+    OCaml functions that elaborate into a netlist of typed signals, which is
+    then emitted as Verilog ({!module:Verilog}) or simulated cycle-accurately
+    ({!module:Sim}).
+
+    Semantics match Verilog's two-valued subset: a signal is a bit-vector of
+    fixed [width]; arithmetic wraps modulo [2^width]; registers update on the
+    (implicit, single) clock edge.  Signed interpretation is two's
+    complement and only matters for [slt]/[sle]/[sresize]/[shift_right_a].
+
+    Feedback loops are built with {!wire} + {!assign}: create a placeholder,
+    use it, assign its driver later.  Every wire must be assigned exactly
+    once before the netlist is consumed. *)
+
+type t = private {
+  id : int;
+  width : int;
+  node : node;
+  mutable name : string option;
+}
+
+and node =
+  | Input of string
+  | Const of int
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t  (** select (1 bit), on-1, on-0 *)
+  | Concat of t * t  (** high bits, low bits *)
+  | Repl of t * int  (** bit-pattern replicated n times *)
+  | Select of t * int * int  (** source, hi, lo (inclusive) *)
+  | Reg of reg
+  | Wire of t option ref
+  | Ram_read of ram * t
+
+and unop = Not
+
+and binop =
+  | Add | Sub | Mul | And | Or | Xor
+  | Eq | Ult | Slt
+  | Shl of int | Shr of int | Sra of int
+
+and reg = {
+  d : t;
+  enable : t option;
+  clear : t option;  (** synchronous clear, priority over enable *)
+  clear_to : int;
+  init : int;
+}
+
+and ram = {
+  ram_id : int;
+  ram_name : string;
+  size : int;
+  ram_width : int;
+  init_data : int array;  (** initial contents, length [size] *)
+  mutable write_port : write_port option;
+}
+
+and write_port = { we : t; waddr : t; wdata : t }
+
+exception Width_mismatch of string
+
+val input : string -> int -> t
+val const : width:int -> int -> t
+(** Value is masked to [width] bits (negative values are two's complement).
+    @raise Invalid_argument if [width <= 0] or [width > 62]. *)
+
+val vdd : t
+(** 1-bit constant 1. *)
+
+val gnd : t
+(** 1-bit constant 0. *)
+
+val width : t -> int
+
+val wire : int -> t
+val assign : t -> t -> unit
+(** [assign w s] drives wire [w] with [s].
+    @raise Invalid_argument if [w] is not a wire, already assigned, or the
+    widths differ. *)
+
+val reg : ?enable:t -> ?clear:t -> ?clear_to:int -> ?init:int -> t -> t
+(** [reg d] is a register with input [d]; see {!type:reg} for semantics. *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+(** Same-width multiply keeping the low bits (sign-agnostic). *)
+
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val not_ : t -> t
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val shift_left : t -> int -> t
+val shift_right_l : t -> int -> t
+val shift_right_a : t -> int -> t
+
+val mux2 : t -> t -> t -> t
+(** [mux2 sel on1 on0]. @raise Width_mismatch unless [sel] is 1 bit wide and
+    the branches agree. *)
+
+val concat : t list -> t
+(** MSB-first. @raise Invalid_argument on empty list. *)
+
+val repl : t -> int -> t
+(** [repl s n] is [s] replicated [n] times (MSB-first). *)
+
+val select : t -> hi:int -> lo:int -> t
+val bit : t -> int -> t
+val uresize : t -> int -> t
+val sresize : t -> int -> t
+
+val ram : ?name:string -> size:int -> width:int -> init:int array -> unit -> ram
+(** @raise Invalid_argument if [init] length differs from [size]. *)
+
+val rom : ?name:string -> width:int -> int array -> ram
+(** Read-only ram initialised with the given contents. *)
+
+val ram_read : ram -> t -> t
+(** Asynchronous read port. *)
+
+val ram_write : ram -> we:t -> addr:t -> data:t -> unit
+(** Attach the single synchronous write port.
+    @raise Invalid_argument if already attached or widths disagree. *)
+
+val set_name : t -> string -> t
+(** Attach a human-readable name used in emitted Verilog / VCD. *)
+
+val ( -- ) : t -> string -> t
+(** Infix {!set_name}. *)
+
+val is_wire : t -> bool
+val resolve : t -> t
+(** Follow wire indirections to the driving signal.
+    @raise Invalid_argument on an unassigned wire. *)
+
+val mask_to_width : int -> int -> int
+(** [mask_to_width width v]: two's-complement truncation helper, exposed for
+    the simulator and tests. *)
+
+val to_signed : int -> int -> int
+(** [to_signed width v]: reinterpret a masked value as signed. *)

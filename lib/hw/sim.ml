@@ -1,0 +1,238 @@
+type t = {
+  circuit : Circuit.t;
+  index_of : (int, int) Hashtbl.t;  (** signal id → dense index *)
+  values : int array;
+  reg_state : (int * Signal.reg) array;  (** dense index, reg info *)
+  ram_state : (int, int array) Hashtbl.t;  (** ram id → contents *)
+  input_values : (string, int) Hashtbl.t;
+  input_widths : (string, int) Hashtbl.t;
+  mutable clock : int;
+  mutable program : (unit -> unit) array;
+      (** compiled combinational schedule: one closure per non-register
+          node, in topological order, reading/writing [values] through
+          captured dense indices — no hashing on the hot path *)
+}
+
+(* Compile each combinational node into a closure over dense indices so the
+   per-cycle loop performs no hashing or dispatch beyond one indirect call. *)
+let compile t =
+  let values = t.values in
+  let idx (s : Signal.t) = Hashtbl.find t.index_of s.Signal.id in
+  let steps =
+    Array.to_list (Circuit.nodes t.circuit)
+    |> List.filter_map (fun (s : Signal.t) ->
+        let i = idx s in
+        let w = s.Signal.width in
+        let m = Signal.mask_to_width w in
+        match s.Signal.node with
+        | Signal.Reg _ -> None (* state element *)
+        | Signal.Const c ->
+          values.(i) <- c;
+          None (* constants never change *)
+        | Signal.Input n ->
+          let tbl = t.input_values in
+          Some (fun () -> values.(i) <- Hashtbl.find tbl n)
+        | Signal.Unop (Signal.Not, a) ->
+          let a = idx a in
+          Some (fun () -> values.(i) <- m (lnot values.(a)))
+        | Signal.Binop (op, a, b) -> (
+          let aw = a.Signal.width in
+          let a = idx a and b = idx b in
+          match op with
+          | Signal.Add -> Some (fun () -> values.(i) <- m (values.(a) + values.(b)))
+          | Signal.Sub -> Some (fun () -> values.(i) <- m (values.(a) - values.(b)))
+          | Signal.Mul -> Some (fun () -> values.(i) <- m (values.(a) * values.(b)))
+          | Signal.And -> Some (fun () -> values.(i) <- values.(a) land values.(b))
+          | Signal.Or -> Some (fun () -> values.(i) <- values.(a) lor values.(b))
+          | Signal.Xor -> Some (fun () -> values.(i) <- values.(a) lxor values.(b))
+          | Signal.Eq ->
+            Some (fun () -> values.(i) <- (if values.(a) = values.(b) then 1 else 0))
+          | Signal.Ult ->
+            Some (fun () -> values.(i) <- (if values.(a) < values.(b) then 1 else 0))
+          | Signal.Slt ->
+            Some
+              (fun () ->
+                values.(i) <-
+                  (if Signal.to_signed aw values.(a) < Signal.to_signed aw values.(b)
+                   then 1
+                   else 0))
+          | Signal.Shl n -> Some (fun () -> values.(i) <- m (values.(a) lsl n))
+          | Signal.Shr n -> Some (fun () -> values.(i) <- values.(a) lsr n)
+          | Signal.Sra n ->
+            Some (fun () -> values.(i) <- m (Signal.to_signed aw values.(a) asr n)))
+        | Signal.Mux (c, x, y) ->
+          let c = idx c and x = idx x and y = idx y in
+          Some
+            (fun () ->
+              values.(i) <- (if values.(c) <> 0 then values.(x) else values.(y)))
+        | Signal.Concat (hi, lo) ->
+          let lw = lo.Signal.width in
+          let hi = idx hi and lo = idx lo in
+          Some (fun () -> values.(i) <- m ((values.(hi) lsl lw) lor values.(lo)))
+        | Signal.Repl (a, n) ->
+          let aw = a.Signal.width in
+          let a = idx a in
+          Some
+            (fun () ->
+              let v = values.(a) in
+              let acc = ref 0 in
+              for _ = 1 to n do
+                acc := (!acc lsl aw) lor v
+              done;
+              values.(i) <- m !acc)
+        | Signal.Select (a, _, lo) ->
+          let a = idx a in
+          Some (fun () -> values.(i) <- m (values.(a) lsr lo))
+        | Signal.Wire r -> (
+          match !r with
+          | Some d ->
+            let d = idx d in
+            Some (fun () -> values.(i) <- values.(d))
+          | None -> invalid_arg "Sim: unassigned wire")
+        | Signal.Ram_read (ram, addr) ->
+          let contents = Hashtbl.find t.ram_state ram.Signal.ram_id in
+          let size = ram.Signal.size in
+          let addr = idx addr in
+          Some
+            (fun () ->
+              let a = values.(addr) in
+              values.(i) <- (if a < size then contents.(a) else 0)))
+  in
+  Array.of_list steps
+
+let create circuit =
+  let nodes = Circuit.nodes circuit in
+  let index_of = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun i s -> Hashtbl.add index_of s.Signal.id i) nodes;
+  let regs = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s.Signal.node with
+      | Signal.Reg r -> regs := (i, r) :: !regs
+      | _ -> ())
+    nodes;
+  let values = Array.make (Array.length nodes) 0 in
+  List.iter (fun (i, r) -> values.(i) <- r.Signal.init) !regs;
+  let ram_state = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.add ram_state r.Signal.ram_id (Array.copy r.Signal.init_data))
+    (Circuit.rams circuit);
+  let input_values = Hashtbl.create 16 in
+  let input_widths = Hashtbl.create 16 in
+  List.iter
+    (fun (n, w) ->
+      Hashtbl.add input_values n 0;
+      Hashtbl.add input_widths n w)
+    (Circuit.inputs circuit);
+  let t =
+    { circuit; index_of; values;
+      reg_state = Array.of_list (List.rev !regs);
+      ram_state; input_values; input_widths; clock = 0; program = [||] }
+  in
+  t.program <- compile t;
+  t
+
+let reset t =
+  Array.iteri
+    (fun i (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Reg r -> t.values.(i) <- r.Signal.init
+      | Signal.Const c -> t.values.(i) <- c (* constants are set once *)
+      | _ -> t.values.(i) <- 0)
+    (Circuit.nodes t.circuit);
+  List.iter
+    (fun r ->
+      let c = Hashtbl.find t.ram_state r.Signal.ram_id in
+      Array.blit r.Signal.init_data 0 c 0 r.Signal.size)
+    (Circuit.rams t.circuit);
+  Hashtbl.iter
+    (fun k _ -> Hashtbl.replace t.input_values k 0)
+    (Hashtbl.copy t.input_values);
+  t.clock <- 0
+
+let set_input t name v =
+  match Hashtbl.find_opt t.input_widths name with
+  | None -> raise Not_found
+  | Some w -> Hashtbl.replace t.input_values name (Signal.mask_to_width w v)
+
+let value t (s : Signal.t) = t.values.(Hashtbl.find t.index_of s.Signal.id)
+
+let settle t =
+  let program = t.program in
+  for i = 0 to Array.length program - 1 do
+    (Array.unsafe_get program i) ()
+  done
+
+let latch t =
+  let v = value t in
+  (* compute all next values first, then commit (registers see old values) *)
+  let nexts =
+    Array.map
+      (fun (i, (r : Signal.reg)) ->
+        let q = t.values.(i) in
+        let next =
+          match r.Signal.clear with
+          | Some c when v c <> 0 -> r.Signal.clear_to
+          | Some _ | None -> (
+            match r.Signal.enable with
+            | Some e when v e = 0 -> q
+            | Some _ | None -> v r.Signal.d)
+        in
+        (i, next))
+      t.reg_state
+  in
+  List.iter
+    (fun (ram : Signal.ram) ->
+      match ram.Signal.write_port with
+      | None -> ()
+      | Some wp ->
+        if v wp.Signal.we <> 0 then begin
+          let a = v wp.Signal.waddr in
+          if a < ram.Signal.size then begin
+            let contents = Hashtbl.find t.ram_state ram.Signal.ram_id in
+            contents.(a) <- v wp.Signal.wdata
+          end
+        end)
+    (Circuit.rams t.circuit);
+  Array.iter (fun (i, next) -> t.values.(i) <- next) nexts;
+  t.clock <- t.clock + 1
+
+let cycle t =
+  settle t;
+  latch t
+
+let cycles t n =
+  for _ = 1 to n do
+    cycle t
+  done
+
+let find_output t name =
+  match List.assoc_opt name (Circuit.outputs t.circuit) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let peek t s =
+  match Hashtbl.find_opt t.index_of s.Signal.id with
+  | Some i -> t.values.(i)
+  | None -> raise Not_found
+
+let peek_signed t s = Signal.to_signed s.Signal.width (peek t s)
+let output t name = peek t (find_output t name)
+
+let output_signed t name =
+  let s = find_output t name in
+  Signal.to_signed s.Signal.width (peek t s)
+
+let ram_contents t (r : Signal.ram) =
+  Array.copy (Hashtbl.find t.ram_state r.Signal.ram_id)
+
+let load_ram t (r : Signal.ram) data =
+  if Array.length data <> r.Signal.size then
+    invalid_arg "Sim.load_ram: size mismatch";
+  let contents = Hashtbl.find t.ram_state r.Signal.ram_id in
+  Array.iteri
+    (fun i v -> contents.(i) <- Signal.mask_to_width r.Signal.ram_width v)
+    data
+
+let cycle_count t = t.clock

@@ -1,0 +1,49 @@
+(** Cycle-accurate netlist simulator.
+
+    Two-phase semantics per clock cycle: all combinational nodes are
+    evaluated in topological order ({i settle}), then registers and ram
+    write ports latch their next values ({i latch}).  This matches the
+    standard synchronous-RTL evaluation model used by Verilog simulators on
+    the single-clock subset the DSL generates. *)
+
+type t
+
+val create : Circuit.t -> t
+(** Registers start at their [init] value, rams at their [init_data]. *)
+
+val reset : t -> unit
+
+val set_input : t -> string -> int -> unit
+(** @raise Not_found on an unknown input.  The value is masked to the
+    input's width. *)
+
+val settle : t -> unit
+(** Recompute all combinational values from current inputs and state. *)
+
+val cycle : t -> unit
+(** {!settle} then latch: one full clock cycle. *)
+
+val cycles : t -> int -> unit
+
+val output : t -> string -> int
+(** Value of a named output after the last {!settle}/{!cycle}.
+    @raise Not_found on an unknown output. *)
+
+val output_signed : t -> string -> int
+
+val peek : t -> Signal.t -> int
+(** Value of any signal in the circuit (post-settle).
+    @raise Not_found if the signal is not part of the circuit. *)
+
+val peek_signed : t -> Signal.t -> int
+
+val ram_contents : t -> Signal.ram -> int array
+(** Snapshot of a ram's current contents. *)
+
+val load_ram : t -> Signal.ram -> int array -> unit
+(** Overwrite a ram's contents (testbench backdoor, e.g. re-loading the
+    input data memories of a generated accelerator).  Values are masked to
+    the ram width. @raise Invalid_argument on a size mismatch,
+    @raise Not_found if the ram is not part of the circuit. *)
+
+val cycle_count : t -> int

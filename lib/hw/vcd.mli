@@ -1,0 +1,22 @@
+(** VCD (Value Change Dump) waveform capture.
+
+    Wraps a {!Sim} run and records the named signals (inputs, outputs and
+    every signal given a {!Signal.set_name} label) into the standard IEEE
+    1364 VCD text format, viewable in GTKWave & co.  Useful when debugging
+    a generated accelerator's schedule. *)
+
+type t
+
+val create : ?signals:Signal.t list -> Sim.t -> Circuit.t -> t
+(** Trace the circuit's inputs, outputs, and named signals (or exactly
+    [signals] when given). *)
+
+val cycle : t -> unit
+(** Advance the simulator one clock cycle, recording changes. *)
+
+val cycles : t -> int -> unit
+
+val contents : t -> string
+(** The VCD document for everything recorded so far. *)
+
+val write_file : string -> t -> unit

@@ -1,0 +1,218 @@
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" then "_"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "_" ^ s
+    | _ -> s
+
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "wire"; "reg"; "assign";
+    "always"; "initial"; "begin"; "end"; "if"; "else"; "posedge"; "negedge";
+    "signed"; "integer"; "for"; "case"; "endcase"; "default" ]
+
+type namer = {
+  by_id : (int, string) Hashtbl.t;
+  used : (string, unit) Hashtbl.t;
+}
+
+let make_namer circuit =
+  let n = { by_id = Hashtbl.create 64; used = Hashtbl.create 64 } in
+  List.iter (fun k -> Hashtbl.add n.used k ()) keywords;
+  Hashtbl.add n.used "clock" ();
+  (* reserve declared input names and output names first *)
+  List.iter
+    (fun (name, _) -> Hashtbl.replace n.used (sanitize name) ())
+    (Circuit.inputs circuit);
+  List.iter
+    (fun (name, _) -> Hashtbl.replace n.used (sanitize name) ())
+    (Circuit.outputs circuit);
+  List.iter
+    (fun (ram : Signal.ram) ->
+      Hashtbl.replace n.used (sanitize ram.Signal.ram_name) ())
+    (Circuit.rams circuit);
+  n
+
+let unique n base =
+  if not (Hashtbl.mem n.used base) then begin
+    Hashtbl.add n.used base ();
+    base
+  end
+  else
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem n.used cand then go (i + 1)
+      else begin
+        Hashtbl.add n.used cand ();
+        cand
+      end
+    in
+    go 1
+
+let node_name n (s : Signal.t) =
+  match Hashtbl.find_opt n.by_id s.Signal.id with
+  | Some name -> name
+  | None ->
+    let name =
+      match s.Signal.node with
+      | Signal.Input i -> sanitize i
+      | _ -> (
+        match s.Signal.name with
+        | Some u -> unique n (sanitize u)
+        | None -> unique n (Printf.sprintf "s%d" s.Signal.id))
+    in
+    Hashtbl.replace n.by_id s.Signal.id name;
+    name
+
+let width_decl w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let const_lit w v = Printf.sprintf "%d'd%d" w v
+
+let expr n (s : Signal.t) =
+  let nm x = node_name n x in
+  match s.Signal.node with
+  | Signal.Input _ | Signal.Const _ | Signal.Reg _ -> assert false
+  | Signal.Unop (Signal.Not, a) -> Printf.sprintf "~%s" (nm a)
+  | Signal.Binop (op, a, b) -> (
+    let sa = nm a and sb = nm b in
+    match op with
+    | Signal.Add -> Printf.sprintf "%s + %s" sa sb
+    | Signal.Sub -> Printf.sprintf "%s - %s" sa sb
+    | Signal.Mul -> Printf.sprintf "%s * %s" sa sb
+    | Signal.And -> Printf.sprintf "%s & %s" sa sb
+    | Signal.Or -> Printf.sprintf "%s | %s" sa sb
+    | Signal.Xor -> Printf.sprintf "%s ^ %s" sa sb
+    | Signal.Eq -> Printf.sprintf "%s == %s" sa sb
+    | Signal.Ult -> Printf.sprintf "%s < %s" sa sb
+    | Signal.Slt -> Printf.sprintf "$signed(%s) < $signed(%s)" sa sb
+    | Signal.Shl k -> Printf.sprintf "%s << %d" sa k
+    | Signal.Shr k -> Printf.sprintf "%s >> %d" sa k
+    | Signal.Sra k -> Printf.sprintf "$signed(%s) >>> %d" sa k)
+  | Signal.Mux (c, a, b) ->
+    Printf.sprintf "%s ? %s : %s" (nm c) (nm a) (nm b)
+  | Signal.Concat (hi, lo) -> Printf.sprintf "{%s, %s}" (nm hi) (nm lo)
+  | Signal.Repl (a, n) -> Printf.sprintf "{%d{%s}}" n (nm a)
+  | Signal.Select (a, hi, lo) ->
+    if hi = lo then Printf.sprintf "%s[%d]" (nm a) hi
+    else Printf.sprintf "%s[%d:%d]" (nm a) hi lo
+  | Signal.Wire r -> (
+    match !r with
+    | Some d -> nm d
+    | None -> invalid_arg "Verilog: unassigned wire")
+  | Signal.Ram_read (ram, addr) ->
+    Printf.sprintf "%s[%s]" (sanitize ram.Signal.ram_name) (nm addr)
+
+let emit buf circuit =
+  let n = make_namer circuit in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let nodes = Circuit.nodes circuit in
+  (* pre-assign names for all nodes so forward refs are stable *)
+  Array.iter (fun s -> ignore (node_name n s)) nodes;
+  let out_ports = Circuit.outputs circuit in
+  add "module %s(\n  input clock" (sanitize (Circuit.name circuit));
+  List.iter
+    (fun (name, w) -> add ",\n  input %s%s" (width_decl w) (sanitize name))
+    (Circuit.inputs circuit);
+  List.iter
+    (fun (name, (s : Signal.t)) ->
+      add ",\n  output %s%s" (width_decl s.Signal.width) (sanitize name))
+    out_ports;
+  add "\n);\n\n";
+  (* ram declarations *)
+  List.iter
+    (fun (ram : Signal.ram) ->
+      let rname = sanitize ram.Signal.ram_name in
+      add "  reg %s%s [0:%d];\n"
+        (width_decl ram.Signal.ram_width)
+        rname (ram.Signal.size - 1);
+      add "  initial begin\n";
+      Array.iteri
+        (fun i v -> add "    %s[%d] = %s;\n" rname i
+            (const_lit ram.Signal.ram_width v))
+        ram.Signal.init_data;
+      add "  end\n")
+    (Circuit.rams circuit);
+  (* combinational nodes and registers *)
+  Array.iter
+    (fun (s : Signal.t) ->
+      let name = node_name n s in
+      match s.Signal.node with
+      | Signal.Input _ -> ()
+      | Signal.Const c ->
+        add "  wire %s%s = %s;\n" (width_decl s.Signal.width) name
+          (const_lit s.Signal.width c)
+      | Signal.Reg r ->
+        add "  reg %s%s = %s;\n" (width_decl s.Signal.width) name
+          (const_lit s.Signal.width r.Signal.init)
+      | _ ->
+        add "  wire %s%s = %s;\n" (width_decl s.Signal.width) name (expr n s))
+    nodes;
+  (* sequential block *)
+  let regs =
+    Array.to_list nodes
+    |> List.filter_map (fun (s : Signal.t) ->
+        match s.Signal.node with
+        | Signal.Reg r -> Some (s, r)
+        | _ -> None)
+  in
+  let ram_writes =
+    List.filter_map
+      (fun (ram : Signal.ram) ->
+        Option.map (fun wp -> (ram, wp)) ram.Signal.write_port)
+      (Circuit.rams circuit)
+  in
+  if regs <> [] || ram_writes <> [] then begin
+    add "\n  always @(posedge clock) begin\n";
+    List.iter
+      (fun ((s : Signal.t), (r : Signal.reg)) ->
+        let name = node_name n s in
+        let d = node_name n r.Signal.d in
+        let update =
+          match r.Signal.enable with
+          | None -> Printf.sprintf "%s <= %s;" name d
+          | Some e ->
+            Printf.sprintf "if (%s) %s <= %s;" (node_name n e) name d
+        in
+        match r.Signal.clear with
+        | None -> add "    %s\n" update
+        | Some c ->
+          add "    if (%s) %s <= %s; else %s\n" (node_name n c) name
+            (const_lit s.Signal.width r.Signal.clear_to)
+            update)
+      regs;
+    List.iter
+      (fun ((ram : Signal.ram), (wp : Signal.write_port)) ->
+        add "    if (%s) %s[%s] <= %s;\n"
+          (node_name n wp.Signal.we)
+          (sanitize ram.Signal.ram_name)
+          (node_name n wp.Signal.waddr)
+          (node_name n wp.Signal.wdata))
+      ram_writes;
+    add "  end\n"
+  end;
+  add "\n";
+  List.iter
+    (fun (name, s) ->
+      add "  assign %s = %s;\n" (sanitize name) (node_name n s))
+    out_ports;
+  add "endmodule\n"
+
+let to_string circuit =
+  let buf = Buffer.create 4096 in
+  emit buf circuit;
+  Buffer.contents buf
+
+let to_channel oc circuit = output_string oc (to_string circuit)
+
+let write_file path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel oc circuit)

@@ -1,0 +1,33 @@
+(** Dense integer tensors with row-major layout.
+
+    Used by the golden executor and as the data source/sink when driving
+    generated accelerators.  Values are native ints; the hardware datapath
+    width (e.g. INT16 inputs, INT32 accumulators) is enforced by the netlist
+    simulator, not here. *)
+
+type t
+
+val create : int array -> t
+(** Zero-filled tensor of the given shape. @raise Invalid_argument on an
+    empty shape or non-positive extent. *)
+
+val init : int array -> (int array -> int) -> t
+val shape : t -> int array
+val size : t -> int
+val get : t -> int array -> int
+val set : t -> int array -> int -> unit
+val flat_get : t -> int -> int
+val flat_set : t -> int -> int -> unit
+val offset : t -> int array -> int
+(** Row-major linear offset of a multi-index. @raise Invalid_argument when
+    out of bounds. *)
+
+val strides : t -> int array
+val fill : t -> int -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+val map : (int -> int) -> t -> t
+val iteri : (int array -> int -> unit) -> t -> unit
+(** The index array is reused across calls; copy it if retained. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type env = (string * Dense.t) list
+
+(* xorshift-style deterministic generator: keeps tests reproducible without
+   touching the global Random state. *)
+let small_values ~seed n =
+  let state = ref (seed lxor 0x9e3779b9) in
+  Array.init n (fun _ ->
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      state := x land max_int;
+      (x mod 17) - 8)
+
+let alloc_inputs ?(seed = 42) stmt =
+  List.mapi
+    (fun k (a : Access.t) ->
+      let t = Dense.create (Access.shape a stmt.Stmt.iters) in
+      let vals = small_values ~seed:(seed + (k * 7919)) (Dense.size t) in
+      Array.iteri (fun i v -> Dense.flat_set t i v) vals;
+      (a.Access.tensor, t))
+    stmt.Stmt.inputs
+
+let alloc_output stmt =
+  Dense.create (Access.shape stmt.Stmt.output stmt.Stmt.iters)
+
+let run_with stmt env out =
+  let inputs =
+    List.map
+      (fun (a : Access.t) -> (a, List.assoc a.Access.tensor env))
+      stmt.Stmt.inputs
+  in
+  let out_access = stmt.Stmt.output in
+  Stmt.iter_domain stmt (fun x ->
+      let product =
+        List.fold_left
+          (fun acc (a, t) -> acc * Dense.get t (Access.index a x))
+          1 inputs
+      in
+      let oi = Access.index out_access x in
+      Dense.set out oi (Dense.get out oi + product))
+
+let run stmt env =
+  let out = alloc_output stmt in
+  run_with stmt env out;
+  out

@@ -1,0 +1,22 @@
+(** Golden (reference) executor for tensor statements.
+
+    Runs the statement's full loop nest directly on dense tensors; every
+    generated accelerator is verified element-wise against this. *)
+
+type env = (string * Dense.t) list
+(** Tensor name → storage. *)
+
+val alloc_inputs : ?seed:int -> Stmt.t -> env
+(** Allocate every input tensor of the statement with deterministic
+    pseudo-random small values (range [-8, 8] so INT16 accumulation never
+    saturates in the test sizes). *)
+
+val alloc_output : Stmt.t -> Dense.t
+
+val run : Stmt.t -> env -> Dense.t
+(** Execute the statement: fresh zero output, accumulate the product of the
+    inputs over the whole iteration domain.
+    @raise Not_found if an input tensor is missing from the environment. *)
+
+val run_with : Stmt.t -> env -> Dense.t -> unit
+(** Same, accumulating into an existing output tensor. *)

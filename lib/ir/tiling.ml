@@ -1,0 +1,90 @@
+let split (stmt : Stmt.t) tiles =
+  let iters = stmt.Stmt.iters in
+  let existing = List.map (fun i -> i.Iter.name) iters in
+  List.iter
+    (fun (name, tile) ->
+      let it =
+        match List.find_opt (fun i -> String.equal i.Iter.name name) iters with
+        | Some it -> it
+        | None -> invalid_arg ("Tiling.split: unknown iterator " ^ name)
+      in
+      if tile <= 0 || it.Iter.extent mod tile <> 0 then
+        invalid_arg
+          (Printf.sprintf "Tiling.split: tile %d does not divide extent %d of %s"
+             tile it.Iter.extent name);
+      if List.mem (name ^ "o") existing then
+        invalid_arg ("Tiling.split: iterator name collision on " ^ name ^ "o"))
+    tiles;
+  let tile_of name = List.assoc_opt name tiles in
+  (* nest order: all outer iterators (in [tiles] order), then the original
+     iterators with tiled extents *)
+  let outer_iters =
+    List.map
+      (fun (name, tile) ->
+        let it = List.find (fun i -> String.equal i.Iter.name name) iters in
+        Iter.v (name ^ "o") (it.Iter.extent / tile))
+      tiles
+  in
+  let inner_iters =
+    List.map
+      (fun it ->
+        match tile_of it.Iter.name with
+        | Some tile -> Iter.v it.Iter.name tile
+        | None -> it)
+      iters
+  in
+  let new_iters = outer_iters @ inner_iters in
+  let n_outer = List.length outer_iters in
+  let old_pos name =
+    let rec go k = function
+      | [] -> assert false
+      | it :: rest ->
+        if String.equal it.Iter.name name then k else go (k + 1) rest
+    in
+    go 0 iters
+  in
+  let retarget (a : Access.t) =
+    let depth = List.length new_iters in
+    let matrix =
+      Array.map
+        (fun row ->
+          let new_row = Array.make depth 0 in
+          (* inner (original) columns keep their coefficients *)
+          Array.iteri (fun j c -> new_row.(n_outer + j) <- c) row;
+          (* outer columns get coefficient * tile *)
+          List.iteri
+            (fun k (name, tile) ->
+              new_row.(k) <- row.(old_pos name) * tile)
+            tiles;
+          new_row)
+        a.Access.matrix
+    in
+    Access.v a.Access.tensor matrix
+  in
+  Stmt.v stmt.Stmt.name ~iters:new_iters
+    ~output:(retarget stmt.Stmt.output)
+    ~inputs:(List.map retarget stmt.Stmt.inputs)
+
+let tile_to_fit (stmt : Stmt.t) ~names ~budget =
+  List.filter_map
+    (fun name ->
+      let it =
+        match
+          List.find_opt
+            (fun i -> String.equal i.Iter.name name)
+            stmt.Stmt.iters
+        with
+        | Some it -> it
+        | None -> invalid_arg ("Tiling.tile_to_fit: unknown iterator " ^ name)
+      in
+      if it.Iter.extent <= budget then None
+      else begin
+        (* largest divisor of the extent that fits the budget *)
+        let rec best d acc =
+          if d > budget then acc
+          else if it.Iter.extent mod d = 0 then best (d + 1) d
+          else best (d + 1) acc
+        in
+        Some (name, best 1 1)
+      end)
+    names

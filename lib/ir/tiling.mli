@@ -1,0 +1,24 @@
+(** Loop tiling (§IV: "when PE and memory sizes are determined, the loops
+    are performed tiling to fit the hardware resources").
+
+    [split stmt [("m", 4); ("n", 4)]] rewrites the statement's loop nest so
+    each named iterator [i] of extent [e] becomes an outer iterator [io]
+    (extent [e / tile]) followed, later in the nest, by [i] with extent
+    [tile]; every access coefficient [c] on [i] contributes [c * tile] on
+    [io] and [c] on [i].  Outer iterators come first in nest order, so a
+    subsequent STT selection of the original names maps the {i intra-tile}
+    loops onto the array while the outer loops run as sequential passes —
+    which is exactly how the accelerator generator executes them.
+
+    The computed function is unchanged: tensor shapes and the
+    iteration→element mapping are identical to the original statement. *)
+
+val split : Stmt.t -> (string * int) list -> Stmt.t
+(** @raise Invalid_argument if a name is unknown, a tile size does not
+    divide the extent, or an outer name ([<i>o]) collides with an existing
+    iterator. *)
+
+val tile_to_fit : Stmt.t -> names:string list -> budget:int ->
+  (string * int) list
+(** Convenience: pick power-of-two-ish tile sizes for the given iterators
+    so each is at most [budget], preferring exact divisors. *)

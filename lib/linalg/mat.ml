@@ -1,0 +1,213 @@
+type t = { m : Rat.t array array; rows : int; cols : int }
+
+let make ~rows ~cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.make: empty matrix";
+  { m = Array.init rows (fun i -> Array.init cols (fun j -> f i j));
+    rows; cols }
+
+let of_rows rs =
+  let rows = Array.length rs in
+  if rows = 0 then invalid_arg "Mat.of_rows: empty matrix";
+  let cols = Array.length rs.(0) in
+  if cols = 0 then invalid_arg "Mat.of_rows: empty row";
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged")
+    rs;
+  { m = Array.map Array.copy rs; rows; cols }
+
+let of_int_rows ls =
+  of_rows
+    (Array.of_list
+       (List.map (fun r -> Array.of_list (List.map Rat.of_int r)) ls))
+
+let rows a = a.rows
+let cols a = a.cols
+let get a i j = a.m.(i).(j)
+let row a i = Array.copy a.m.(i)
+let col a j = Array.init a.rows (fun i -> a.m.(i).(j))
+
+let to_int_rows a =
+  List.init a.rows (fun i ->
+      List.init a.cols (fun j -> Rat.to_int a.m.(i).(j)))
+
+let identity n =
+  make ~rows:n ~cols:n (fun i j -> if i = j then Rat.one else Rat.zero)
+
+let zero ~rows ~cols = make ~rows ~cols (fun _ _ -> Rat.zero)
+let transpose a = make ~rows:a.cols ~cols:a.rows (fun i j -> a.m.(j).(i))
+
+let lift2 name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg ("Mat." ^ name ^ ": shape mismatch");
+  make ~rows:a.rows ~cols:a.cols (fun i j -> f a.m.(i).(j) b.m.(i).(j))
+
+let add = lift2 "add" Rat.add
+let sub = lift2 "sub" Rat.sub
+let scale k a = make ~rows:a.rows ~cols:a.cols (fun i j -> Rat.mul k a.m.(i).(j))
+let map f a = make ~rows:a.rows ~cols:a.cols (fun i j -> f a.m.(i).(j))
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  make ~rows:a.rows ~cols:b.cols (fun i j ->
+      let acc = ref Rat.zero in
+      for k = 0 to a.cols - 1 do
+        acc := Rat.add !acc (Rat.mul a.m.(i).(k) b.m.(k).(j))
+      done;
+      !acc)
+
+let mul_vec a v =
+  if a.cols <> Vec.dim v then invalid_arg "Mat.mul_vec: shape mismatch";
+  Array.init a.rows (fun i -> Vec.dot a.m.(i) v)
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (Array.for_all2 Rat.equal) a.m b.m
+
+(* Gauss–Jordan elimination to reduced row-echelon form. *)
+let rref a =
+  let m = Array.map Array.copy a.m in
+  let pivots = ref [] in
+  let r = ref 0 in
+  for c = 0 to a.cols - 1 do
+    if !r < a.rows then begin
+      (* find a pivot row *)
+      let p = ref (-1) in
+      for i = !r to a.rows - 1 do
+        if !p < 0 && not (Rat.is_zero m.(i).(c)) then p := i
+      done;
+      if !p >= 0 then begin
+        let tmp = m.(!r) in
+        m.(!r) <- m.(!p);
+        m.(!p) <- tmp;
+        let inv = Rat.inv m.(!r).(c) in
+        m.(!r) <- Array.map (Rat.mul inv) m.(!r);
+        for i = 0 to a.rows - 1 do
+          if i <> !r && not (Rat.is_zero m.(i).(c)) then begin
+            let f = m.(i).(c) in
+            for j = 0 to a.cols - 1 do
+              m.(i).(j) <- Rat.sub m.(i).(j) (Rat.mul f m.(!r).(j))
+            done
+          end
+        done;
+        pivots := c :: !pivots;
+        incr r
+      end
+    end
+  done;
+  ({ a with m }, List.rev !pivots)
+
+let rank a =
+  let _, pivots = rref a in
+  List.length pivots
+
+let det a =
+  if a.rows <> a.cols then invalid_arg "Mat.det: non-square";
+  let m = Array.map Array.copy a.m in
+  let n = a.rows in
+  let d = ref Rat.one in
+  (try
+     for c = 0 to n - 1 do
+       let p = ref (-1) in
+       for i = c to n - 1 do
+         if !p < 0 && not (Rat.is_zero m.(i).(c)) then p := i
+       done;
+       if !p < 0 then begin
+         d := Rat.zero;
+         raise Exit
+       end;
+       if !p <> c then begin
+         let tmp = m.(c) in
+         m.(c) <- m.(!p);
+         m.(!p) <- tmp;
+         d := Rat.neg !d
+       end;
+       d := Rat.mul !d m.(c).(c);
+       let inv = Rat.inv m.(c).(c) in
+       for i = c + 1 to n - 1 do
+         if not (Rat.is_zero m.(i).(c)) then begin
+           let f = Rat.mul inv m.(i).(c) in
+           for j = c to n - 1 do
+             m.(i).(j) <- Rat.sub m.(i).(j) (Rat.mul f m.(c).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  !d
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
+  make ~rows:a.rows ~cols:(a.cols + b.cols) (fun i j ->
+      if j < a.cols then a.m.(i).(j) else b.m.(i).(j - a.cols))
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: col mismatch";
+  make ~rows:(a.rows + b.rows) ~cols:a.cols (fun i j ->
+      if i < a.rows then a.m.(i).(j) else b.m.(i - a.rows).(j))
+
+let inverse a =
+  if a.rows <> a.cols then invalid_arg "Mat.inverse: non-square";
+  let n = a.rows in
+  let aug, pivots = rref (hcat a (identity n)) in
+  if List.length pivots <> n || List.exists (fun c -> c >= n) pivots then None
+  else Some (make ~rows:n ~cols:n (fun i j -> get aug i (j + n)))
+
+let null_space a =
+  let r, pivots = rref a in
+  let is_pivot = Array.make a.cols false in
+  List.iter (fun c -> is_pivot.(c) <- true) pivots;
+  let pivot_row = Array.make a.cols (-1) in
+  List.iteri (fun i c -> pivot_row.(c) <- i) pivots;
+  let free = ref [] in
+  for c = a.cols - 1 downto 0 do
+    if not is_pivot.(c) then free := c :: !free
+  done;
+  let basis_for f =
+    Array.init a.cols (fun j ->
+        if j = f then Rat.one
+        else if is_pivot.(j) then Rat.neg (get r pivot_row.(j) f)
+        else Rat.zero)
+  in
+  List.map basis_for !free
+
+let solve a b =
+  if a.rows <> Vec.dim b then invalid_arg "Mat.solve: shape mismatch";
+  let bm = make ~rows:a.rows ~cols:1 (fun i _ -> b.(i)) in
+  let aug, pivots = rref (hcat a bm) in
+  if List.exists (fun c -> c = a.cols) pivots then None
+  else begin
+    let x = Array.make a.cols Rat.zero in
+    List.iteri (fun i c -> x.(c) <- get aug i a.cols) pivots;
+    Some x
+  end
+
+(* Full-rank decomposition: A = C F where C stacks the pivot columns of A
+   and F is the nonzero rows of rref A. *)
+let pseudo_inverse a =
+  let r, pivots = rref a in
+  match pivots with
+  | [] -> zero ~rows:a.cols ~cols:a.rows
+  | _ ->
+    let k = List.length pivots in
+    let pivot_cols = Array.of_list pivots in
+    let c = make ~rows:a.rows ~cols:k (fun i j -> a.m.(i).(pivot_cols.(j))) in
+    let f = make ~rows:k ~cols:a.cols (fun i j -> get r i j) in
+    let ct = transpose c and ft = transpose f in
+    let inv_exn m =
+      match inverse m with
+      | Some x -> x
+      | None -> assert false (* C, F have full rank by construction *)
+    in
+    mul ft (mul (inv_exn (mul f ft)) (mul (inv_exn (mul ct c)) ct))
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf ppf "[@[%a@]]"
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Rat.pp)
+      a.m.(i);
+    if i < a.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

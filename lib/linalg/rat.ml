@@ -1,0 +1,74 @@
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Detect overflow of [a * b] without Int64: check the division back. *)
+let mul_check a b =
+  let p = a * b in
+  if a <> 0 && (p / a <> b || (a = -1 && b = min_int)) then raise Overflow;
+  p
+
+let add_check a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow;
+  s
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = num * s and den = den * s in
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let add a b =
+  make (add_check (mul_check a.num b.den) (mul_check b.num a.den))
+    (mul_check a.den b.den)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = make (mul_check a.num b.num) (mul_check a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+let equal a b = a.num = b.num && a.den = b.den
+
+let compare a b =
+  Stdlib.compare (mul_check a.num b.den) (mul_check b.num a.den)
+
+let sign a = Stdlib.compare a.num 0
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let to_int a =
+  if a.den <> 1 then invalid_arg "Rat.to_int: not an integer";
+  a.num
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+
+let pp ppf a =
+  if Stdlib.( = ) a.den 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,65 @@
+type tensor_metrics = {
+  tensor : string;
+  role : Tl_stt.Design.role;
+  footprint : int;
+  accesses : int;
+  fetches : float;
+  reuse_factor : float;
+}
+
+type t = {
+  design_name : string;
+  macs : int;
+  tensors : tensor_metrics list;
+  total_traffic_words : float;
+  arithmetic_intensity : float;
+}
+
+let of_design ?(rows = 16) ?(cols = 16) (design : Tl_stt.Design.t) =
+  let config = { Perf_model.default_config with rows; cols } in
+  let result = Perf_model.evaluate ~config design in
+  let stmt = design.Tl_stt.Design.transform.Tl_stt.Transform.stmt in
+  let accesses = Tl_ir.Stmt.domain_size stmt in
+  let tensors =
+    List.map
+      (fun (ti : Tl_stt.Design.tensor_info) ->
+        let name = ti.Tl_stt.Design.access.Tl_ir.Access.tensor in
+        let shape =
+          Tl_ir.Access.shape ti.Tl_stt.Design.access stmt.Tl_ir.Stmt.iters
+        in
+        let footprint = Array.fold_left ( * ) 1 shape in
+        let fetches =
+          match List.assoc_opt name result.Perf_model.traffic_words with
+          | Some w -> w
+          | None -> float_of_int accesses
+        in
+        { tensor = name;
+          role = ti.Tl_stt.Design.role;
+          footprint;
+          accesses;
+          fetches;
+          reuse_factor = float_of_int accesses /. Float.max 1. fetches })
+      design.Tl_stt.Design.tensors
+  in
+  let total =
+    List.fold_left (fun acc tm -> acc +. tm.fetches) 0. tensors
+  in
+  { design_name = design.Tl_stt.Design.name;
+    macs = accesses;
+    tensors;
+    total_traffic_words = total;
+    arithmetic_intensity = float_of_int accesses /. Float.max 1. total }
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>metrics for %s:@," m.design_name;
+  List.iter
+    (fun tm ->
+      Format.fprintf ppf
+        "  %s %-3s: footprint=%d accesses=%d fetches=%.0f reuse=%.1fx@,"
+        (match tm.role with
+         | Tl_stt.Design.Input -> "in "
+         | Tl_stt.Design.Output -> "out")
+        tm.tensor tm.footprint tm.accesses tm.fetches tm.reuse_factor)
+    m.tensors;
+  Format.fprintf ppf "  traffic=%.0f words, intensity=%.1f MACs/word@]"
+    m.total_traffic_words m.arithmetic_intensity

@@ -1,0 +1,31 @@
+(** Dataflow metrics: reuse factors, data traffic, arithmetic intensity.
+
+    The quantities TENET-style analyses derive from a space-time mapping,
+    computed here exactly from the reuse classification: how many times an
+    average element of each tensor is used per fetch, the total words moved
+    between scratchpad and array, and MACs per word (arithmetic
+    intensity).  These explain the Fig. 5 bandwidth effects analytically:
+    unicast ⇒ reuse 1 ⇒ intensity ≈ 1 ⇒ bandwidth-bound. *)
+
+type tensor_metrics = {
+  tensor : string;
+  role : Tl_stt.Design.role;
+  footprint : int;     (** distinct elements over the whole computation *)
+  accesses : int;      (** loop-nest touches of the tensor *)
+  fetches : float;     (** scratchpad↔array word transfers after reuse *)
+  reuse_factor : float;  (** accesses / fetches *)
+}
+
+type t = {
+  design_name : string;
+  macs : int;
+  tensors : tensor_metrics list;
+  total_traffic_words : float;
+  arithmetic_intensity : float;  (** macs / total traffic *)
+}
+
+val of_design : ?rows:int -> ?cols:int -> Tl_stt.Design.t -> t
+(** Exact analysis on the design's own workload sizes (tiled to the array
+    with the performance model's tiler, amortised over all passes). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,470 @@
+module Schedule = Tl_templates.Schedule
+module Geometry = Tl_templates.Geometry
+
+type config = {
+  rows : int;
+  cols : int;
+  freq_mhz : float;
+  bandwidth_gbps : float;
+  elem_bytes : int;
+  scratchpad_kbytes : float;
+}
+
+let default_config =
+  { rows = 16; cols = 16; freq_mhz = 320.; bandwidth_gbps = 32.;
+    elem_bytes = 2; scratchpad_kbytes = 256. }
+
+type result = {
+  design_name : string;
+  tile : int array;
+  selected_passes : int;
+  total_passes : int;
+  span : int;
+  tail : int;
+  cycles : float;
+  macs : int;
+  utilization : float;
+  normalized_perf : float;
+  bw_stall_factor : float;
+  words_per_cycle : float;
+  runtime_us : float;
+  gops : float;
+  pipelined_cycles : float;
+  pipelined_perf : float;
+  traffic_words : (string * float) list;
+      (* scratchpad<->array words over the whole run, per tensor *)
+}
+
+(* ---------------------------------------------------------------- *)
+(* Tile statement: selected loops shrunk to the tile, unselected = 1 *)
+
+let tile_stmt stmt selected tile =
+  let iters =
+    List.mapi
+      (fun i (it : Tl_ir.Iter.t) ->
+        let ext =
+          match Array.to_list selected |> List.mapi (fun k s -> (k, s))
+                |> List.find_opt (fun (_, s) -> s = i)
+          with
+          | Some (k, _) -> tile.(k)
+          | None -> 1
+        in
+        Tl_ir.Iter.v it.Tl_ir.Iter.name ext)
+      stmt.Tl_ir.Stmt.iters
+  in
+  Tl_ir.Stmt.v stmt.Tl_ir.Stmt.name ~iters ~output:stmt.Tl_ir.Stmt.output
+    ~inputs:stmt.Tl_ir.Stmt.inputs
+
+(* bounding-box feasibility and analytic span from the matrix rows *)
+let row_extent matrix row tile =
+  let n = Array.length tile in
+  let acc = ref 1 in
+  for j = 0 to n - 1 do
+    let c = abs (Tl_linalg.Rat.to_int (Tl_linalg.Mat.get matrix row j)) in
+    acc := !acc + (c * (tile.(j) - 1))
+  done;
+  !acc
+
+let candidate_sizes extent limit =
+  let base =
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 10; 12; 14; 16; 24; 32; 48; 64; 96; 128;
+      192; 256; 384; 512 ]
+  in
+  List.sort_uniq compare
+    (List.filter (fun s -> s <= extent && s <= limit) (min extent limit :: base))
+
+(* working-set estimate of a tile: sum of per-tensor bounding boxes *)
+let tile_working_set (design : Tl_stt.Design.t) selected tile =
+  List.fold_left
+    (fun acc (ti : Tl_stt.Design.tensor_info) ->
+      let a = Tl_ir.Access.to_mat ti.Tl_stt.Design.access in
+      let dims = Tl_linalg.Mat.rows a in
+      let per_dim = ref 1 in
+      for i = 0 to dims - 1 do
+        let e = ref 1 in
+        Array.iteri
+          (fun k s ->
+            let c = abs (Tl_linalg.Rat.to_int (Tl_linalg.Mat.get a i s)) in
+            e := !e + (c * (tile.(k) - 1)))
+          selected;
+        per_dim := !per_dim * !e
+      done;
+      acc + !per_dim)
+    0 design.Tl_stt.Design.tensors
+
+(* ---------------------------------------------------------------- *)
+(* Exact per-tile statistics via the elaboration schedule.           *)
+
+type tile_stats = {
+  t_span : int;
+  active_pes : int;
+  active_pe_cycles : int;
+  busiest_pe : int;  (* events at the most-loaded PE: steady-state bound *)
+  demand : float array;  (* memory words demanded per schedule cycle *)
+  per_tensor : (string * float) list;  (* words per pass, by tensor *)
+}
+
+(* dense integer keys keep the per-tile statistics fast: tensor indices,
+   PE positions and cycles are packed into single ints *)
+let index_code idx =
+  Array.fold_left (fun acc v -> (acc * 1024) + v + 1) 7 idx
+
+let pos_cycle_code (r, c) cycle = (((cycle * 64) + r) * 64) + c
+
+let entry_count_per_cycle sched access ~dp ~dt span offset count_into ~group =
+  (* count reuse-chain entries per cycle, optionally grouped into lines *)
+  let module S = Schedule in
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let rows = sched.S.rows and cols = sched.S.cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      List.iter
+        (fun ev ->
+          Hashtbl.replace tbl
+            (pos_cycle_code (r, c) ev.S.cycle)
+            (index_code (S.tensor_index sched access ev)))
+        sched.S.by_pe.(r).(c)
+    done
+  done;
+  let groups : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      List.iter
+        (fun ev ->
+          let idx = index_code (S.tensor_index sched access ev) in
+          let pr, pc = (r - dp.(0), c - dp.(1)) in
+          let is_entry =
+            pr < 0 || pr >= rows || pc < 0 || pc >= cols
+            ||
+            match Hashtbl.find_opt tbl (pos_cycle_code (pr, pc) (ev.S.cycle - dt)) with
+            | Some idx' -> idx' <> idx
+            | None -> true
+          in
+          if is_entry then begin
+            let t = ev.S.cycle - offset in
+            if t >= 0 && t < span then
+              match group with
+              | None -> count_into.(t) <- count_into.(t) +. 1.
+              | Some dir ->
+                let rr, rc = Geometry.line_rep ~rows ~cols ~dir (r, c) in
+                let key = pos_cycle_code (rr, rc) t in
+                if not (Hashtbl.mem groups key) then begin
+                  Hashtbl.add groups key ();
+                  count_into.(t) <- count_into.(t) +. 1.
+                end
+          end)
+        sched.S.by_pe.(r).(c)
+    done
+  done
+
+let tile_statistics (design : Tl_stt.Design.t) sched =
+  let module S = Schedule in
+  let rows = sched.S.rows and cols = sched.S.cols in
+  let span = sched.S.span in
+  let offset = sched.S.preload in
+  let demand = Array.make span 0. in
+  let active = Array.make span 0 in
+  let active_pes = ref 0 in
+  let active_pe_cycles = ref 0 in
+  let busiest = ref 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let evs = sched.S.by_pe.(r).(c) in
+      if evs <> [] then incr active_pes;
+      busiest := max !busiest (List.length evs);
+      List.iter
+        (fun ev ->
+          let t = ev.S.cycle - offset in
+          if t >= 0 && t < span then begin
+            active.(t) <- active.(t) + 1;
+            incr active_pe_cycles
+          end)
+        evs
+    done
+  done;
+  let per_cycle_distinct access ~group =
+    (* distinct elements (or line-groups) touched per cycle *)
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let counts = Array.make span 0. in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        List.iter
+          (fun ev ->
+            let t = ev.S.cycle - offset in
+            if t >= 0 && t < span then begin
+              let key =
+                match group with
+                | None -> (index_code (S.tensor_index sched access ev) * 2048) + t
+                | Some dir ->
+                  let rr, rc = Geometry.line_rep ~rows ~cols ~dir (r, c) in
+                  pos_cycle_code (rr, rc) t
+              in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                counts.(t) <- counts.(t) +. 1.
+              end
+            end)
+          sched.S.by_pe.(r).(c)
+      done
+    done;
+    counts
+  in
+  let per_tensor = ref [] in
+  let current_tensor = ref "" in
+  let credit total =
+    per_tensor := (!current_tensor, total) :: !per_tensor
+  in
+  let add arr =
+    credit (Array.fold_left ( +. ) 0. arr);
+    Array.iteri (fun i v -> demand.(i) <- demand.(i) +. v) arr
+  in
+  let add_amortized total =
+    credit total;
+    let per = total /. float_of_int span in
+    Array.iteri (fun i v -> demand.(i) <- v +. per) demand
+  in
+  let line_count dir =
+    let reps = Hashtbl.create 16 in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if sched.S.by_pe.(r).(c) <> [] then
+          Hashtbl.replace reps (Geometry.line_rep ~rows ~cols ~dir (r, c)) ()
+      done
+    done;
+    Hashtbl.length reps
+  in
+  List.iter
+    (fun (ti : Tl_stt.Design.tensor_info) ->
+      let access = ti.Tl_stt.Design.access in
+      current_tensor := access.Tl_ir.Access.tensor;
+      match ti.Tl_stt.Design.dataflow with
+      | Tl_stt.Dataflow.Unicast ->
+        add (per_cycle_distinct access ~group:None)
+      | Tl_stt.Dataflow.Stationary _ -> add_amortized (float_of_int !active_pes)
+      | Tl_stt.Dataflow.Systolic { dp; dt } ->
+        let counts = Array.make span 0. in
+        entry_count_per_cycle sched access ~dp ~dt span offset counts
+          ~group:None;
+        add counts
+      | Tl_stt.Dataflow.Multicast { dp } ->
+        add (per_cycle_distinct access ~group:(Some dp))
+      | Tl_stt.Dataflow.Reuse2d Tl_stt.Dataflow.Broadcast ->
+        add
+          (Array.map (fun a -> if a > 0 then 1. else 0.) active)
+      | Tl_stt.Dataflow.Reuse2d
+          (Tl_stt.Dataflow.Multicast_stationary { multicast }) ->
+        add_amortized (float_of_int (line_count multicast))
+      | Tl_stt.Dataflow.Reuse2d
+          (Tl_stt.Dataflow.Systolic_multicast { multicast; systolic }) ->
+        let counts = Array.make span 0. in
+        entry_count_per_cycle sched access ~dp:systolic.Tl_stt.Dataflow.dp
+          ~dt:systolic.Tl_stt.Dataflow.dt span offset counts
+          ~group:(Some multicast);
+        add counts
+      | Tl_stt.Dataflow.Reuse_full -> credit 1.)
+    design.Tl_stt.Design.tensors;
+  { t_span = span;
+    active_pes = !active_pes;
+    active_pe_cycles = !active_pe_cycles;
+    busiest_pe = !busiest;
+    demand;
+    per_tensor = List.rev !per_tensor }
+
+(* ---------------------------------------------------------------- *)
+
+let evaluate ?(config = default_config) (design : Tl_stt.Design.t) =
+  let transform = design.Tl_stt.Design.transform in
+  if Tl_stt.Transform.space_dims transform <> 2 then
+    invalid_arg "Perf_model.evaluate: only 2-D arrays";
+  let stmt = transform.Tl_stt.Transform.stmt in
+  let selected = transform.Tl_stt.Transform.selected in
+  let matrix = transform.Tl_stt.Transform.matrix in
+  let sel_ext = Tl_stt.Transform.selected_extents transform in
+  let n = Array.length selected in
+  let unsel_product =
+    List.fold_left ( * ) 1
+      (List.map
+         (fun (it : Tl_ir.Iter.t) -> it.Tl_ir.Iter.extent)
+         (Tl_stt.Transform.unselected_iters transform))
+  in
+  (* candidate tiles: bbox + scratchpad feasibility, ranked by analytic
+     cycle estimate *)
+  let limit = 512 in
+  let spad_words =
+    int_of_float (config.scratchpad_kbytes *. 1024.)
+    / config.elem_bytes
+  in
+  let cand = Array.init n (fun j -> candidate_sizes sel_ext.(j) limit) in
+  let feasible = ref [] in
+  let rec enum j tile =
+    if j = n then begin
+      let t = Array.of_list (List.rev tile) in
+      if
+        row_extent matrix 0 t <= config.rows
+        && row_extent matrix 1 t <= config.cols
+        && tile_working_set design selected t <= spad_words
+      then begin
+        let span = row_extent matrix 2 t in
+        let sel_passes =
+          Array.to_list (Array.mapi (fun j tj -> (sel_ext.(j) + tj - 1) / tj) t)
+          |> List.fold_left ( * ) 1
+        in
+        let est = float_of_int (sel_passes * span) in
+        feasible := (est, t, sel_passes, span) :: !feasible
+      end
+    end
+    else List.iter (fun s -> enum (j + 1) (s :: tile)) cand.(j)
+  in
+  enum 0 [];
+  (match !feasible with
+   | [] -> invalid_arg "Perf_model.evaluate: no feasible tile (array too small)"
+   | _ -> ());
+  let ranked =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) !feasible
+  in
+  let top = List.filteri (fun i _ -> i < 3) ranked in
+  let capacity =
+    config.bandwidth_gbps *. 1e9
+    /. (config.freq_mhz *. 1e6)
+    /. float_of_int config.elem_bytes
+  in
+  let evaluate_tile (_, tile, sel_passes, _) =
+    let ts = tile_stmt stmt selected tile in
+    let tt = Tl_stt.Transform.v ts ~selected ~matrix:(Tl_linalg.Mat.to_int_rows matrix) in
+    let td = Tl_stt.Design.analyze tt in
+    let sched = Schedule.build td ~rows:config.rows ~cols:config.cols in
+    let stats = tile_statistics td sched in
+    let eff_span =
+      Array.fold_left
+        (fun acc d -> acc +. Stdlib.max 1. (d /. capacity))
+        0. stats.demand
+    in
+    let total_passes = sel_passes * unsel_product in
+    let tail = config.rows in
+    let cycles = (float_of_int total_passes *. eff_span) +. float_of_int tail in
+    (tile, sel_passes, total_passes, stats, eff_span, cycles)
+  in
+  let results = List.map evaluate_tile top in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some (_, _, _, _, _, c) ->
+          let _, _, _, _, _, c' = r in
+          if c' < c then Some r else acc)
+      None results
+  in
+  let tile, sel_passes, total_passes, stats, eff_span, cycles =
+    match best with Some r -> r | None -> assert false
+  in
+  (* steady-state throughput when consecutive passes pipeline through the
+     array: the per-pass skew is paid once, each pass then costs the
+     busiest PE's occupancy (plus any bandwidth stall) *)
+  let busy = float_of_int stats.busiest_pe in
+  let busy_eff = busy +. Stdlib.max 0. (eff_span -. float_of_int stats.t_span) in
+  let pipelined_cycles =
+    (float_of_int total_passes *. busy_eff)
+    +. (float_of_int stats.t_span -. busy)
+    +. float_of_int config.rows
+  in
+  let macs = Tl_ir.Stmt.domain_size stmt in
+  let array_size = float_of_int (config.rows * config.cols) in
+  let utilization =
+    float_of_int stats.active_pe_cycles
+    /. (array_size *. float_of_int stats.t_span)
+  in
+  let normalized_perf = float_of_int macs /. (array_size *. cycles) in
+  let bw_stall_factor = eff_span /. float_of_int stats.t_span in
+  let words_per_cycle =
+    Array.fold_left ( +. ) 0. stats.demand /. float_of_int stats.t_span
+  in
+  let runtime_us = cycles /. config.freq_mhz in
+  let ops_per_mac =
+    float_of_int (List.length stmt.Tl_ir.Stmt.inputs + 1)
+  in
+  let gops = ops_per_mac *. float_of_int macs /. runtime_us /. 1e3 in
+  { design_name = design.Tl_stt.Design.name;
+    tile;
+    selected_passes = sel_passes;
+    total_passes;
+    span = stats.t_span;
+    tail = config.rows;
+    cycles;
+    macs;
+    utilization;
+    normalized_perf;
+    bw_stall_factor;
+    words_per_cycle;
+    runtime_us;
+    gops;
+    pipelined_cycles;
+    pipelined_perf = float_of_int macs /. (array_size *. pipelined_cycles);
+    traffic_words =
+      List.map
+        (fun (t, per_pass) -> (t, per_pass *. float_of_int total_passes))
+        stats.per_tensor }
+
+(* Several transformation matrices can realise the same dataflow name; the
+   best choice (e.g. a [0,1,1] space row that packs y+p Conv2D loops into
+   one array dimension) can differ from the simplest.  Rank the matches by
+   a cheap analytic estimate, exactly evaluate the front-runners. *)
+let quick_estimate config (design : Tl_stt.Design.t) =
+  let transform = design.Tl_stt.Design.transform in
+  let matrix = transform.Tl_stt.Transform.matrix in
+  let sel_ext = Tl_stt.Transform.selected_extents transform in
+  let n = Array.length sel_ext in
+  let tile = Array.make n 1 in
+  (* greedy growth, two sweeps *)
+  for _ = 1 to 2 do
+    for j = 0 to n - 1 do
+      List.iter
+        (fun s ->
+          let old = tile.(j) in
+          tile.(j) <- s;
+          if
+            not
+              (row_extent matrix 0 tile <= config.rows
+               && row_extent matrix 1 tile <= config.cols)
+          then tile.(j) <- old)
+        (candidate_sizes sel_ext.(j) 512)
+    done
+  done;
+  let span = row_extent matrix 2 tile in
+  (* a one-to-one schedule always satisfies span >= macs / PEs, so the pass
+     cost is bounded below by both quantities *)
+  let per_pe =
+    (Array.fold_left ( * ) 1 tile + (config.rows * config.cols) - 1)
+    / (config.rows * config.cols)
+  in
+  let sel_passes = ref 1 in
+  Array.iteri
+    (fun j tj -> sel_passes := !sel_passes * ((sel_ext.(j) + tj - 1) / tj))
+    tile;
+  float_of_int (!sel_passes * max span per_pe)
+
+let evaluate_name ?(config = default_config) stmt name =
+  match Tl_stt.Search.matching_designs stmt name with
+  | [] -> None
+  | candidates ->
+    let ranked =
+      List.stable_sort compare
+        (List.map (fun d -> (quick_estimate config d, d)) candidates)
+    in
+    let top = List.filteri (fun i _ -> i < 6) ranked in
+    let results = List.map (fun (_, d) -> evaluate ~config d) top in
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some best -> if r.cycles < best.cycles then Some r else acc)
+      None results
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[%-12s tile=%s span=%d passes=%d cycles=%.0f util=%.2f bw=%.2fx \
+     norm=%.3f@]"
+    r.design_name
+    (String.concat "x" (Array.to_list (Array.map string_of_int r.tile)))
+    r.span r.total_passes r.cycles r.utilization r.bw_stall_factor
+    r.normalized_perf

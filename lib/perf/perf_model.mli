@@ -1,0 +1,64 @@
+(** Cycle-level performance model (Fig. 5).
+
+    Estimates execution cycles of a design on a fixed PE array under a
+    bandwidth budget, reproducing the §VI-A observations:
+
+    - the per-tile latency is the exact time span of the tile's space-time
+      image (computed from the schedule), which charges systolic fill/drain
+      automatically and explains why multicast dataflows beat systolic ones
+      on raw cycles;
+    - PE under-utilisation from small loop bounds (Conv2D p=3 → 15/16 rows)
+      appears because the footprint of the best legal tile covers only part
+      of the array;
+    - unicast dataflows are throttled cycle-by-cycle when their memory
+      traffic exceeds the array's bandwidth (the MTTKRP/TTMc effect);
+    - stationary tensors add a drain/fill tail per pass.
+
+    Tiling: selected loops are tiled so the footprint fits the array; the
+    model searches candidate tile shapes (bounding-box feasibility, then
+    exact evaluation of the best few) and reports the best. *)
+
+type config = {
+  rows : int;
+  cols : int;
+  freq_mhz : float;
+  bandwidth_gbps : float;  (** array ↔ scratchpad *)
+  elem_bytes : int;
+  scratchpad_kbytes : float;  (** bounds the tile working set *)
+}
+
+val default_config : config
+(** 16×16, 320 MHz, 32 GB/s, INT16 — the paper's Fig. 5 setup. *)
+
+type result = {
+  design_name : string;
+  tile : int array;          (** chosen tile of the selected loops *)
+  selected_passes : int;     (** number of tiles over the selected loops *)
+  total_passes : int;        (** including unselected sequential loops *)
+  span : int;                (** cycles of one pass (fill/drain included) *)
+  tail : int;                (** end-of-run drain cycles *)
+  cycles : float;            (** bandwidth-throttled total *)
+  macs : int;                (** total multiply-accumulates *)
+  utilization : float;       (** active PE-cycles / (array × compute cycles) *)
+  normalized_perf : float;   (** macs / (rows*cols*cycles): 1.0 = peak *)
+  bw_stall_factor : float;   (** cycles inflation due to bandwidth, ≥ 1 *)
+  words_per_cycle : float;   (** average memory words demanded per cycle *)
+  runtime_us : float;
+  gops : float;              (** 2·macs / runtime *)
+  pipelined_cycles : float;
+      (** steady-state cycles when consecutive passes overlap in the array
+          (per-pass skew paid once); the sustained-throughput figure used
+          for Table III *)
+  pipelined_perf : float;
+  traffic_words : (string * float) list;
+      (** scratchpad ↔ array word transfers over the whole run, per tensor
+          (reuse already exploited by the interconnect) *)
+}
+
+val evaluate : ?config:config -> Tl_stt.Design.t -> result
+(** @raise Invalid_argument for non-2-D space transformations. *)
+
+val evaluate_name : ?config:config -> Tl_ir.Stmt.t -> string -> result option
+(** Resolve a paper-style dataflow name then evaluate. *)
+
+val pp_result : Format.formatter -> result -> unit

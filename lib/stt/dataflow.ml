@@ -1,0 +1,50 @@
+type vector = { dp : int array; dt : int }
+
+type shape2d =
+  | Broadcast
+  | Multicast_stationary of { multicast : int array }
+  | Systolic_multicast of { multicast : int array; systolic : vector }
+
+type t =
+  | Unicast
+  | Stationary of { dt : int }
+  | Systolic of vector
+  | Multicast of { dp : int array }
+  | Reuse2d of shape2d
+  | Reuse_full
+
+let letter = function
+  | Unicast -> 'U'
+  | Stationary _ -> 'T'
+  | Systolic _ -> 'S'
+  | Multicast _ -> 'M'
+  | Reuse2d _ | Reuse_full -> 'B'
+
+let subspace_dim = function
+  | Unicast -> 0
+  | Stationary _ | Systolic _ | Multicast _ -> 1
+  | Reuse2d _ -> 2
+  | Reuse_full -> 3
+
+let equal (a : t) (b : t) = a = b
+
+let pp_ints ppf a =
+  Format.fprintf ppf "(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int a)))
+
+let pp_vector ppf v = Format.fprintf ppf "dp=%a dt=%d" pp_ints v.dp v.dt
+
+let pp ppf = function
+  | Unicast -> Format.fprintf ppf "unicast"
+  | Stationary { dt } -> Format.fprintf ppf "stationary(dt=%d)" dt
+  | Systolic v -> Format.fprintf ppf "systolic(%a)" pp_vector v
+  | Multicast { dp } -> Format.fprintf ppf "multicast(dp=%a)" pp_ints dp
+  | Reuse2d Broadcast -> Format.fprintf ppf "2d-broadcast"
+  | Reuse2d (Multicast_stationary { multicast }) ->
+    Format.fprintf ppf "2d-multicast+stationary(m=%a)" pp_ints multicast
+  | Reuse2d (Systolic_multicast { multicast; systolic }) ->
+    Format.fprintf ppf "2d-systolic+multicast(m=%a, s=%a)" pp_ints multicast
+      pp_vector systolic
+  | Reuse_full -> Format.fprintf ppf "full-reuse"
+
+let to_string d = Format.asprintf "%a" pp d

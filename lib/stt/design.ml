@@ -1,0 +1,68 @@
+type role = Input | Output
+
+type tensor_info = {
+  access : Tl_ir.Access.t;
+  role : role;
+  dataflow : Dataflow.t;
+}
+
+type t = {
+  transform : Transform.t;
+  tensors : tensor_info list;
+  name : string;
+}
+
+let analyze transform =
+  let stmt = transform.Transform.stmt in
+  let info role access =
+    { access; role; dataflow = Reuse.classify transform access }
+  in
+  let tensors =
+    List.map (info Input) stmt.Tl_ir.Stmt.inputs
+    @ [ info Output stmt.Tl_ir.Stmt.output ]
+  in
+  let letters =
+    String.init (List.length tensors) (fun i ->
+        Dataflow.letter (List.nth tensors i).dataflow)
+  in
+  let name = Transform.selection_label transform ^ "-" ^ letters in
+  { transform; tensors; name }
+
+let letters d =
+  String.init (List.length d.tensors) (fun i ->
+      Dataflow.letter (List.nth d.tensors i).dataflow)
+
+let output_info d =
+  match List.rev d.tensors with
+  | out :: _ -> out
+  | [] -> assert false (* Stmt.v guarantees at least two tensors *)
+
+let input_infos d =
+  List.filter (fun ti -> ti.role = Input) d.tensors
+
+let find_tensor d name =
+  List.find (fun ti -> String.equal ti.access.Tl_ir.Access.tensor name)
+    d.tensors
+
+let netlist_supported d =
+  List.for_all
+    (fun ti ->
+      match (ti.role, ti.dataflow) with
+      | _, Dataflow.Reuse_full -> false
+      | Output, Dataflow.Reuse2d (Dataflow.Systolic_multicast _) -> false
+      | Output, Dataflow.Reuse2d Dataflow.Broadcast -> false
+      | _, _ -> true)
+    d.tensors
+
+let pp ppf d = Format.fprintf ppf "%s" d.name
+
+let pp_report ppf d =
+  Format.fprintf ppf "@[<v>design %s on %s@,%a@," d.name
+    d.transform.Transform.stmt.Tl_ir.Stmt.name Transform.pp d.transform;
+  List.iter
+    (fun ti ->
+      Format.fprintf ppf "  %s %-3s: %a@,"
+        (match ti.role with Input -> "in " | Output -> "out")
+        ti.access.Tl_ir.Access.tensor Dataflow.pp ti.dataflow)
+    d.tensors;
+  Format.fprintf ppf "@]"

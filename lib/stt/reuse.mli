@@ -1,0 +1,24 @@
+(** Reuse-subspace analysis (§IV, Eq. 2–3, Table I).
+
+    Two selected iteration points access the same element of tensor [A] iff
+    their difference lies in [null(A_sel)]; in space-time coordinates the
+    reuse subspace is therefore [T · null(A_sel)].  Its dimension and
+    orientation w.r.t. the time axis determine the tensor's dataflow. *)
+
+val reuse_basis : Transform.t -> Tl_ir.Access.t -> Tl_linalg.Vec.t list
+(** Basis of the reuse subspace in space-time coordinates (possibly empty). *)
+
+val projector : Transform.t -> Tl_ir.Access.t -> Tl_linalg.Mat.t
+(** The literal Eq. 3 operator [E − (A·T⁻¹)⁺(A·T⁻¹)]: the orthogonal-style
+    projector whose image is the reuse subspace.  Provided for fidelity with
+    the paper; {!reuse_basis} computes the same space directly. *)
+
+val classify : Transform.t -> Tl_ir.Access.t -> Dataflow.t
+(** Table-I classification of the tensor's movement.  Only 2-D PE arrays
+    (three selected iterators) support the 2-D reuse-shape sub-cases.
+    Direction vectors are primitive and oriented with [dt >= 0]. *)
+
+val reuses_same_element : Transform.t -> Tl_ir.Access.t ->
+  int array -> int array -> bool
+(** Brute-force oracle: do two selected iteration points access the same
+    tensor element?  Used by property tests to validate {!classify}. *)

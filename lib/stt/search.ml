@@ -1,0 +1,162 @@
+(* Enumerate full-rank {-1,0,1} matrices once per dimension. *)
+let cache : (int, int list list list) Hashtbl.t = Hashtbl.create 4
+
+(* Search order: light matrices first, then fewest negative entries, then
+   lexicographically largest (puts identity-like matrices ahead). *)
+let weight m =
+  let sum f =
+    List.fold_left
+      (fun acc row -> List.fold_left (fun a x -> a + f x) acc row)
+      0 m
+  in
+  (sum abs, sum (fun x -> if x < 0 then 1 else 0), List.map (List.map (fun x -> -x)) m)
+
+let full_rank m =
+  let mat = Tl_linalg.Mat.of_int_rows m in
+  not (Tl_linalg.Rat.is_zero (Tl_linalg.Mat.det mat))
+
+let candidate_matrices ~n =
+  match Hashtbl.find_opt cache n with
+  | Some ms -> ms
+  | None ->
+    let cells = n * n in
+    let all = ref [] in
+    (* count in base 3 over the cells; entries are digit - 1 *)
+    let digits = Array.make cells 0 in
+    let total = int_of_float (3. ** float_of_int cells) in
+    for code = 0 to total - 1 do
+      let c = ref code in
+      for i = 0 to cells - 1 do
+        digits.(i) <- (!c mod 3) - 1;
+        c := !c / 3
+      done;
+      let m =
+        List.init n (fun i -> List.init n (fun j -> digits.((i * n) + j)))
+      in
+      if full_rank m then all := m :: !all
+    done;
+    let ms =
+      List.stable_sort (fun a b -> compare (weight a) (weight b)) (List.rev !all)
+    in
+    Hashtbl.add cache n ms;
+    ms
+
+let selections stmt ~n =
+  let depth = Tl_ir.Stmt.depth stmt in
+  let rec choose start k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun i ->
+          List.map (fun rest -> i :: rest) (choose (i + 1) (k - 1)))
+        (List.init (depth - start) (fun d -> start + d))
+  in
+  List.map Array.of_list (choose 0 n)
+
+let selection_of_label stmt label =
+  let iters = Array.of_list stmt.Tl_ir.Stmt.iters in
+  let find_initial ch =
+    let matches = ref [] in
+    Array.iteri
+      (fun i it ->
+        if Char.uppercase_ascii it.Tl_ir.Iter.name.[0] = ch then
+          matches := i :: !matches)
+      iters;
+    match !matches with
+    | [ i ] -> i
+    | [] -> raise Not_found
+    | several -> (
+      (* tiled nests contain both "m" and "mo": prefer the exact
+         single-letter iterator *)
+      let exact =
+        List.filter
+          (fun i ->
+            String.lowercase_ascii iters.(i).Tl_ir.Iter.name
+            = String.make 1 (Char.lowercase_ascii ch))
+          several
+      in
+      match exact with
+      | [ i ] -> i
+      | [] | _ :: _ ->
+        invalid_arg "Search.selection_of_label: ambiguous initial")
+  in
+  Array.init (String.length label) (fun k ->
+      find_initial (Char.uppercase_ascii label.[k]))
+
+let split_name name =
+  match String.index_opt name '-' with
+  | None -> invalid_arg "Search: dataflow name must be <SEL>-<LETTERS>"
+  | Some i ->
+    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+(* The paper sometimes labels a 2-D-reuse tensor with the letter of its
+   dominant 1-D component (e.g. Conv2D "XYP-MST" where the weight's reuse is
+   2-D systolic+multicast but written S).  Loose matching accepts those. *)
+let letter_matches ~loose (df : Dataflow.t) target =
+  Dataflow.letter df = target
+  || (loose
+      &&
+      match df with
+      | Dataflow.Reuse2d Dataflow.Broadcast -> target = 'M'
+      | Dataflow.Reuse2d (Dataflow.Multicast_stationary _) ->
+        target = 'M' || target = 'T'
+      | Dataflow.Reuse2d (Dataflow.Systolic_multicast _) ->
+        target = 'S' || target = 'M'
+      | Dataflow.Unicast | Dataflow.Stationary _ | Dataflow.Systolic _
+      | Dataflow.Multicast _ | Dataflow.Reuse_full -> false)
+
+let design_matches ~loose d target_letters =
+  let dfs =
+    List.map (fun ti -> ti.Design.dataflow) d.Design.tensors
+  in
+  List.length dfs = String.length target_letters
+  && List.for_all2
+       (fun df ch -> letter_matches ~loose df ch)
+       dfs
+       (List.init (String.length target_letters) (String.get target_letters))
+
+let matching_designs stmt name =
+  let label, target_letters = split_name name in
+  match selection_of_label stmt label with
+  | exception Not_found -> []
+  | selected ->
+    let n = Array.length selected in
+    let collect ~loose =
+      List.filter_map
+        (fun m ->
+          let t = Transform.v stmt ~selected ~matrix:m in
+          let d = Design.analyze t in
+          if design_matches ~loose d target_letters then Some d else None)
+        (candidate_matrices ~n)
+    in
+    (match collect ~loose:false with
+     | [] -> collect ~loose:true
+     | strict -> strict)
+
+let find_design stmt name =
+  match matching_designs stmt name with
+  | [] -> None
+  | d :: _ -> Some d
+
+let find_design_exn stmt name =
+  match find_design stmt name with
+  | Some d -> d
+  | None -> raise Not_found
+
+let all_designs ?selection stmt =
+  let sels =
+    match selection with Some s -> [ s ] | None -> selections stmt ~n:3
+  in
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun selected ->
+      List.iter
+        (fun m ->
+          let t = Transform.v stmt ~selected ~matrix:m in
+          let d = Design.analyze t in
+          if not (Hashtbl.mem table d.Design.name) then
+            Hashtbl.add table d.Design.name d)
+        (candidate_matrices ~n:(Array.length selected)))
+    sels;
+  let names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) names

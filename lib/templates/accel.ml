@@ -1,0 +1,919 @@
+open Tl_hw
+
+exception Unsupported of string
+
+type t = {
+  design : Tl_stt.Design.t;
+  rows : int;
+  cols : int;
+  data_width : int;
+  acc_width : int;
+  schedule : Schedule.t;
+  circuit : Circuit.t;
+  total_cycles : int;
+  out_locs : (int list, Signal.ram * int) Hashtbl.t;
+  banks : (string * Signal.ram) list;
+  input_rams : (string * Signal.ram) list;
+      (** per-tensor linear data memories; rewrite them to re-run the same
+          accelerator on fresh data *)
+}
+
+let bits_for n =
+  let rec go b = if 1 lsl b > n then b else go (b + 1) in
+  max 1 (go 1)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration context shared by the per-tensor builders.              *)
+
+type ctx = {
+  sched : Schedule.t;
+  dw : int;
+  aw : int;
+  total : int;
+  cw : int;  (* cycle counter width *)
+  cycle : Signal.t;
+  tick : Signal.t;        (* last cycle of each pass *)
+  stage_start : Signal.t; (* first cycle of passes 1.. *)
+  stage_load : Signal.t;  (* preload tick or pass tick: stationary load *)
+  stage_load_addr : Signal.t;
+  drain_shift : Signal.t;
+  pass_sig : Signal.t;
+  env : Tl_ir.Exec.env;
+  data_rams : (string, Signal.ram) Hashtbl.t;
+  out_locs : (int list, Signal.ram * int) Hashtbl.t;
+  mutable bank_list : (string * Signal.ram) list;
+  mutable probe_outputs : (string * Signal.t) list;
+  probe_addr : Signal.t;
+}
+
+let grid_iter rows cols f =
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      f (r, c)
+    done
+  done
+
+let active_pes ctx =
+  let acc = ref [] in
+  grid_iter ctx.sched.Schedule.rows ctx.sched.Schedule.cols (fun p ->
+      if Schedule.pe_active ctx.sched p then acc := p :: !acc);
+  List.rev !acc
+
+let events_of ctx (r, c) = ctx.sched.Schedule.by_pe.(r).(c)
+
+(* Input data lives in one linear (row-major) memory per tensor, as a DMA
+   engine would deposit it; feeders address it through schedule-table ROMs
+   (cycle -> address).  This factors data from schedule: the same generated
+   accelerator re-runs on fresh data by rewriting the data memories only
+   (see [execute_with]). *)
+let data_ram ctx (access : Tl_ir.Access.t) =
+  let name = access.Tl_ir.Access.tensor in
+  match Hashtbl.find_opt ctx.data_rams name with
+  | Some r -> r
+  | None ->
+    let dense = List.assoc name ctx.env in
+    let size = Tl_ir.Dense.size dense in
+    let init = Array.init size (Tl_ir.Dense.flat_get dense) in
+    let r = Signal.ram ~name:(name ^ "_mem") ~size ~width:ctx.dw ~init () in
+    Hashtbl.add ctx.data_rams name r;
+    r
+
+let tensor_offset ctx access ev =
+  let idx = Schedule.tensor_index ctx.sched access ev in
+  let dense = List.assoc access.Tl_ir.Access.tensor ctx.env in
+  Tl_ir.Dense.offset dense idx
+
+(* feed port: data_mem[addr_rom[cycle]] *)
+let value_rom ctx access name pairs =
+  let mem = data_ram ctx access in
+  let abits = bits_for mem.Signal.size in
+  let data = Array.make ctx.total 0 in
+  List.iter (fun (cycle, off) -> data.(cycle) <- off) pairs;
+  let rom = Signal.rom ~name:(name ^ "_addr") ~width:abits data in
+  Signal.ram_read mem (Signal.ram_read rom ctx.cycle)
+
+let bitmap_rom ctx name cycles =
+  let data = Array.make ctx.total 0 in
+  List.iter (fun cycle -> data.(cycle) <- 1) cycles;
+  let rom = Signal.rom ~name ~width:1 data in
+  Signal.ram_read rom ctx.cycle
+
+(* stationary feed: one address per pass (+ trailing zero entry) *)
+let stage_rom ctx access name per_pass =
+  let mem = data_ram ctx access in
+  let abits = bits_for mem.Signal.size in
+  let data = Array.make (ctx.sched.Schedule.passes + 1) 0 in
+  List.iter (fun (pass, off) -> data.(pass) <- off) per_pass;
+  let rom = Signal.rom ~name:(name ^ "_saddr") ~width:abits data in
+  Signal.ram_read mem (Signal.ram_read rom ctx.stage_load_addr)
+
+let pos_name prefix (r, c) = Printf.sprintf "%s_%d_%d" prefix r c
+
+(* ------------------------------------------------------------------ *)
+(* Collector banks: accumulate-in-place output memories.               *)
+
+type collector = {
+  bank : Signal.ram;
+  alloc : int list -> int;  (* element index → bank address *)
+  mutable writes : (int * int list) list;  (* (cycle, element) *)
+}
+
+let make_collector ctx ~name ~capacity =
+  let bank =
+    Signal.ram ~name ~size:(max 1 capacity) ~width:ctx.aw
+      ~init:(Array.make (max 1 capacity) 0) ()
+  in
+  let table : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let alloc idx =
+    match Hashtbl.find_opt table idx with
+    | Some a -> a
+    | None ->
+      let a = !next in
+      if a >= max 1 capacity then
+        raise (Unsupported ("collector bank overflow: " ^ name));
+      incr next;
+      Hashtbl.add table idx a;
+      Hashtbl.replace ctx.out_locs idx (bank, a);
+      a
+  in
+  ctx.bank_list <- (name, bank) :: ctx.bank_list;
+  { bank; alloc; writes = [] }
+
+(* wire the collector: ROM-scheduled read-modify-write accumulation *)
+let finalize_collector ctx name col value =
+  let open Signal in
+  let aw_bits = bits_for (col.bank.Signal.size - 1 + 1) in
+  let we_data = Array.make ctx.total 0 in
+  let addr_data = Array.make ctx.total 0 in
+  List.iter
+    (fun (cycle, idx) ->
+      if we_data.(cycle) <> 0 then
+        raise (Unsupported ("collector write conflict: " ^ name));
+      we_data.(cycle) <- 1;
+      addr_data.(cycle) <- col.alloc idx)
+    col.writes;
+  let we_rom = Signal.rom ~name:(name ^ "_we") ~width:1 we_data in
+  let addr_rom =
+    Signal.rom ~name:(name ^ "_addr") ~width:aw_bits addr_data
+  in
+  let we = ram_read we_rom ctx.cycle in
+  let addr = ram_read addr_rom ctx.cycle in
+  let old = ram_read col.bank addr in
+  Signal.ram_write col.bank ~we ~addr ~data:(old +: value);
+  (* probe port so the bank is observable (and reachable) *)
+  let pbits = min (width ctx.probe_addr) aw_bits in
+  let paddr = uresize (select ctx.probe_addr ~hi:(pbits - 1) ~lo:0) aw_bits in
+  ctx.probe_outputs <-
+    (name ^ "_probe", ram_read col.bank paddr) :: ctx.probe_outputs
+
+(* ------------------------------------------------------------------ *)
+(* Input-tensor hardware.  Returns the per-PE operand ("use") signals. *)
+
+let zero_uses rows cols = Array.init rows (fun _ -> Array.make cols None)
+
+let set_use uses (r, c) s = uses.(r).(c) <- Some s
+
+(* element accessed by each (pe, cycle) for a tensor: entry detection *)
+let index_table ctx access =
+  let tbl : (int * int * int, int array) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (r, c) ->
+      List.iter
+        (fun ev ->
+          Hashtbl.replace tbl (r, c, ev.Schedule.cycle)
+            (Schedule.tensor_index ctx.sched access ev))
+        (events_of ctx (r, c)))
+    (active_pes ctx);
+  tbl
+
+let has_peer tbl ((r, c) : Geometry.pos) cycle idx =
+  match Hashtbl.find_opt tbl (r, c, cycle) with
+  | Some idx' -> idx' = idx
+  | None -> false
+
+let build_unicast_input ctx access uses =
+  List.iter
+    (fun p ->
+      let pairs =
+        List.map
+          (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
+          (events_of ctx p)
+      in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_uni") p in
+      set_use uses p (value_rom ctx access name pairs))
+    (active_pes ctx)
+
+let build_stationary_input ctx access uses =
+  List.iter
+    (fun p ->
+      let per_pass =
+        List.map
+          (fun ev -> (ev.Schedule.pass, tensor_offset ctx access ev))
+          (events_of ctx p)
+      in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_st") p in
+      let next = stage_rom ctx access name per_pass in
+      set_use uses p
+        (Pe_modules.stationary_input ~load:ctx.stage_load ~next))
+    (active_pes ctx)
+
+(* Multicast and broadcast: one bus per line (or one global bus). *)
+let group_by_line ctx ~dir pes =
+  let rows = ctx.sched.Schedule.rows and cols = ctx.sched.Schedule.cols in
+  let groups : (Geometry.pos, Geometry.pos list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun p ->
+      let rep = Geometry.line_rep ~rows ~cols ~dir p in
+      match Hashtbl.find_opt groups rep with
+      | Some l -> l := p :: !l
+      | None -> Hashtbl.add groups rep (ref [ p ]))
+    pes;
+  Hashtbl.fold (fun rep l acc -> (rep, List.rev !l) :: acc) groups []
+  |> List.sort compare
+
+let build_multicast_input ctx access ~dp uses =
+  List.iter
+    (fun (rep, members) ->
+      let pairs =
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
+              (events_of ctx p))
+          members
+      in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_mc") rep in
+      let bus = value_rom ctx access name pairs in
+      List.iter (fun p -> set_use uses p (Pe_modules.direct_input ~bus))
+        members)
+    (group_by_line ctx ~dir:dp (active_pes ctx))
+
+let build_broadcast_input ctx access uses =
+  let pairs =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
+          (events_of ctx p))
+      (active_pes ctx)
+  in
+  let bus = value_rom ctx access (access.Tl_ir.Access.tensor ^ "_bc") pairs in
+  List.iter (fun p -> set_use uses p (Pe_modules.direct_input ~bus))
+    (active_pes ctx)
+
+let build_multicast_stationary_input ctx access ~multicast uses =
+  List.iter
+    (fun (rep, members) ->
+      let per_pass =
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun ev -> (ev.Schedule.pass, tensor_offset ctx access ev))
+              (events_of ctx p))
+          members
+      in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_mcst") rep in
+      let next = stage_rom ctx access name per_pass in
+      let held = Pe_modules.stationary_input ~load:ctx.stage_load ~next in
+      List.iter (fun p -> set_use uses p held) members)
+    (group_by_line ctx ~dir:multicast (active_pes ctx))
+
+(* Systolic chains, optionally fed from multicast entry buses (2-D reuse).
+   [entry_bus p] gives the injection value signal for an entry at PE [p]. *)
+let build_systolic_chains ctx access ~dp ~dt ~entry_bus uses =
+  let rows = ctx.sched.Schedule.rows and cols = ctx.sched.Schedule.cols in
+  let tbl = index_table ctx access in
+  let pes = active_pes ctx in
+  let wires = Array.init rows (fun _ -> Array.make cols None) in
+  List.iter
+    (fun (r, c) -> wires.(r).(c) <- Some (Signal.wire ctx.dw))
+    pes;
+  List.iter
+    (fun p ->
+      let r, c = p in
+      let entries =
+        List.filter
+          (fun ev ->
+            let idx = Schedule.tensor_index ctx.sched access ev in
+            not (has_peer tbl (Geometry.back p dp) (ev.Schedule.cycle - dt) idx))
+          (events_of ctx p)
+      in
+      let neighbor =
+        let pr, pc = Geometry.back p dp in
+        if Geometry.in_grid ~rows ~cols (pr, pc) then
+          match wires.(pr).(pc) with
+          | Some w -> w
+          | None -> Signal.const ~width:ctx.dw 0
+        else Signal.const ~width:ctx.dw 0
+      in
+      let din =
+        if entries = [] then neighbor
+        else begin
+          let inject =
+            bitmap_rom ctx
+              (pos_name (access.Tl_ir.Access.tensor ^ "_inj") p)
+              (List.map (fun ev -> ev.Schedule.cycle) entries)
+          in
+          let feed = entry_bus p entries in
+          Signal.mux2 inject feed neighbor
+        end
+      in
+      let use, dout = Pe_modules.systolic_input ~dt ~din in
+      (match wires.(r).(c) with
+       | Some w -> Signal.assign w dout
+       | None -> assert false);
+      set_use uses p use)
+    pes
+
+let build_systolic_input ctx access ~dp ~dt uses =
+  let entry_bus p entries =
+    let pairs =
+      List.map
+        (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
+        entries
+    in
+    value_rom ctx access
+      (pos_name (access.Tl_ir.Access.tensor ^ "_feed") p)
+      pairs
+  in
+  build_systolic_chains ctx access ~dp ~dt ~entry_bus uses
+
+(* 2-D systolic+multicast: entries on the same line (along the multicast
+   direction) share one feed bus per line. *)
+let build_systolic_multicast_input ctx access ~multicast ~dp ~dt uses =
+  let rows = ctx.sched.Schedule.rows and cols = ctx.sched.Schedule.cols in
+  let line_bus : (Geometry.pos, Signal.t) Hashtbl.t = Hashtbl.create 8 in
+  let line_pairs : (Geometry.pos, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* first sweep: collect entry values per line (needs the same entry
+     detection as the chain builder, so run it in the entry_bus callback
+     and create per-line buses lazily backed by wires) *)
+  let entry_bus p entries =
+    let rep = Geometry.line_rep ~rows ~cols ~dir:multicast p in
+    let pairs =
+      List.map
+        (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
+        entries
+    in
+    (match Hashtbl.find_opt line_pairs rep with
+     | Some l -> l := pairs @ !l
+     | None -> Hashtbl.add line_pairs rep (ref pairs));
+    match Hashtbl.find_opt line_bus rep with
+    | Some bus -> bus
+    | None ->
+      let bus = Signal.wire ctx.dw in
+      Hashtbl.add line_bus rep bus;
+      bus
+  in
+  build_systolic_chains ctx access ~dp ~dt ~entry_bus uses;
+  Hashtbl.iter
+    (fun rep bus ->
+      let pairs =
+        match Hashtbl.find_opt line_pairs rep with
+        | Some l -> !l
+        | None -> []
+      in
+      let v =
+        value_rom ctx access
+          (pos_name (access.Tl_ir.Access.tensor ^ "_lfeed") rep)
+          pairs
+      in
+      Signal.assign bus v)
+    line_bus
+
+(* ------------------------------------------------------------------ *)
+
+let build_input ctx (ti : Tl_stt.Design.tensor_info) uses =
+  let access = ti.Tl_stt.Design.access in
+  match ti.Tl_stt.Design.dataflow with
+  | Tl_stt.Dataflow.Unicast -> build_unicast_input ctx access uses
+  | Tl_stt.Dataflow.Stationary _ -> build_stationary_input ctx access uses
+  | Tl_stt.Dataflow.Systolic { dp; dt } ->
+    build_systolic_input ctx access ~dp ~dt uses
+  | Tl_stt.Dataflow.Multicast { dp } ->
+    build_multicast_input ctx access ~dp uses
+  | Tl_stt.Dataflow.Reuse2d Tl_stt.Dataflow.Broadcast ->
+    build_broadcast_input ctx access uses
+  | Tl_stt.Dataflow.Reuse2d (Tl_stt.Dataflow.Multicast_stationary { multicast })
+    ->
+    build_multicast_stationary_input ctx access ~multicast uses
+  | Tl_stt.Dataflow.Reuse2d
+      (Tl_stt.Dataflow.Systolic_multicast { multicast; systolic }) ->
+    build_systolic_multicast_input ctx access ~multicast
+      ~dp:systolic.Tl_stt.Dataflow.dp ~dt:systolic.Tl_stt.Dataflow.dt uses
+  | Tl_stt.Dataflow.Reuse_full ->
+    raise (Unsupported "full-reuse input tensors are not implemented")
+
+(* ------------------------------------------------------------------ *)
+(* Output-tensor hardware.                                             *)
+
+let out_elem ctx access ev =
+  Array.to_list (Schedule.tensor_index ctx.sched access ev)
+
+let build_stationary_output ctx access ~prods ~valids =
+  let cols = ctx.sched.Schedule.cols in
+  let sched = ctx.sched in
+  (* the drain chain only spans the active footprint rows *)
+  let fp_rows =
+    1 + List.fold_left (fun acc (r, _) -> max acc r) 0 (active_pes ctx)
+  in
+  if sched.Schedule.span < fp_rows then
+    raise
+      (Unsupported
+         (Printf.sprintf
+            "stationary output: stage span %d shorter than drain chain %d"
+            sched.Schedule.span fp_rows));
+  (* columns containing at least one active PE *)
+  let col_active = Array.make cols false in
+  List.iter (fun (_, c) -> col_active.(c) <- true) (active_pes ctx);
+  for c = 0 to cols - 1 do
+    if col_active.(c) then begin
+      let collector =
+        make_collector ctx
+          ~name:(Printf.sprintf "obank_col%d" c)
+          ~capacity:(fp_rows * (sched.Schedule.passes + 1))
+      in
+      let shadow_above = ref (Signal.const ~width:ctx.aw 0) in
+      for r = 0 to fp_rows - 1 do
+        let prod =
+          match prods.(r).(c) with
+          | Some p -> p
+          | None -> Signal.const ~width:ctx.aw 0
+        in
+        let valid =
+          match valids.(r).(c) with Some v -> v | None -> Signal.gnd
+        in
+        let m =
+          Pe_modules.stationary_output ~valid ~stage_start:ctx.stage_start
+            ~capture:ctx.tick ~drain_shift:ctx.drain_shift
+            ~contribution:prod ~shadow_in:!shadow_above
+        in
+        shadow_above := m.Pe_modules.shadow;
+        (* schedule the drain writes for this PE *)
+        let seen_pass = Hashtbl.create 8 in
+        List.iter
+          (fun ev ->
+            if not (Hashtbl.mem seen_pass ev.Schedule.pass) then begin
+              Hashtbl.add seen_pass ev.Schedule.pass ();
+              let tick_cycle =
+                sched.Schedule.preload
+                + ((ev.Schedule.pass + 1) * sched.Schedule.span)
+                - 1
+              in
+              let write_cycle = tick_cycle + (fp_rows - r) in
+              collector.writes <-
+                (write_cycle, out_elem ctx access ev) :: collector.writes
+            end)
+          (events_of ctx (r, c))
+      done;
+      finalize_collector ctx
+        (Printf.sprintf "obank_col%d" c)
+        collector !shadow_above
+    end
+  done
+
+let build_systolic_output ctx access ~dp ~dt ~prods ~valids =
+  let rows = ctx.sched.Schedule.rows and cols = ctx.sched.Schedule.cols in
+  let tbl = index_table ctx access in
+  let pes = active_pes ctx in
+  let wires = Array.init rows (fun _ -> Array.make cols None) in
+  List.iter (fun (r, c) -> wires.(r).(c) <- Some (Signal.wire ctx.aw)) pes;
+  let exits : (Geometry.pos * Schedule.event list) list =
+    List.filter_map
+      (fun p ->
+        let exits =
+          List.filter
+            (fun ev ->
+              let idx = Schedule.tensor_index ctx.sched access ev in
+              not (has_peer tbl (Geometry.step p dp) (ev.Schedule.cycle + dt) idx))
+            (events_of ctx p)
+        in
+        if exits = [] then None else Some (p, exits))
+      pes
+  in
+  List.iter
+    (fun p ->
+      let r, c = p in
+      let entries =
+        List.filter
+          (fun ev ->
+            let idx = Schedule.tensor_index ctx.sched access ev in
+            not (has_peer tbl (Geometry.back p dp) (ev.Schedule.cycle - dt) idx))
+          (events_of ctx p)
+      in
+      let neighbor =
+        let pr, pc = Geometry.back p dp in
+        if Geometry.in_grid ~rows ~cols (pr, pc) then
+          match wires.(pr).(pc) with
+          | Some w -> w
+          | None -> Signal.const ~width:ctx.aw 0
+        else Signal.const ~width:ctx.aw 0
+      in
+      let psum_in =
+        if List.length entries = List.length (events_of ctx p) then
+          (* every event starts a fresh chain here *)
+          Signal.const ~width:ctx.aw 0
+        else if entries = [] then neighbor
+        else begin
+          let inject =
+            bitmap_rom ctx
+              (pos_name (access.Tl_ir.Access.tensor ^ "_oinj") p)
+              (List.map (fun ev -> ev.Schedule.cycle) entries)
+          in
+          Signal.mux2 inject (Signal.const ~width:ctx.aw 0) neighbor
+        end
+      in
+      let prod =
+        match prods.(r).(c) with
+        | Some s -> s
+        | None -> Signal.const ~width:ctx.aw 0
+      in
+      let valid =
+        match valids.(r).(c) with Some v -> v | None -> Signal.gnd
+      in
+      let contribution = Pe_modules.tree_contribution ~valid ~contribution:prod in
+      let out = Pe_modules.systolic_output ~dt ~psum_in ~contribution in
+      match wires.(r).(c) with
+      | Some w -> Signal.assign w out
+      | None -> assert false)
+    pes;
+  List.iter
+    (fun (p, exit_events) ->
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_obank") p in
+      let collector =
+        make_collector ctx ~name ~capacity:(List.length exit_events)
+      in
+      List.iter
+        (fun ev ->
+          collector.writes <-
+            (ev.Schedule.cycle + dt, out_elem ctx access ev)
+            :: collector.writes)
+        exit_events;
+      let r, c = p in
+      let value =
+        match wires.(r).(c) with Some w -> w | None -> assert false
+      in
+      finalize_collector ctx name collector value)
+    exits
+
+let gated_tree ctx members ~prods ~valids =
+  let leaves =
+    List.map
+      (fun (r, c) ->
+        let prod =
+          match prods.(r).(c) with
+          | Some s -> s
+          | None -> Signal.const ~width:ctx.aw 0
+        in
+        let valid =
+          match valids.(r).(c) with Some v -> v | None -> Signal.gnd
+        in
+        Pe_modules.tree_contribution ~valid ~contribution:prod)
+      members
+  in
+  Reduce_tree.build leaves
+
+let build_multicast_output ctx access ~dp ~prods ~valids =
+  List.iter
+    (fun (rep, members) ->
+      let root = gated_tree ctx members ~prods ~valids in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_tbank") rep in
+      let events =
+        List.concat_map (fun p -> events_of ctx p) members
+      in
+      (* one write per (cycle, element); all members at a cycle share one *)
+      let writes = Hashtbl.create 64 in
+      List.iter
+        (fun ev ->
+          Hashtbl.replace writes ev.Schedule.cycle (out_elem ctx access ev))
+        events;
+      let collector =
+        make_collector ctx ~name ~capacity:(Hashtbl.length writes)
+      in
+      Hashtbl.iter
+        (fun cycle elem ->
+          collector.writes <- (cycle, elem) :: collector.writes)
+        writes;
+      finalize_collector ctx name collector root)
+    (group_by_line ctx ~dir:dp (active_pes ctx))
+
+let build_multicast_stationary_output ctx access ~multicast ~prods ~valids =
+  let sched = ctx.sched in
+  List.iter
+    (fun (rep, members) ->
+      let open Signal in
+      let tree = gated_tree ctx members ~prods ~valids in
+      let accw = wire ctx.aw in
+      let acc_d = mux2 ctx.stage_start tree (accw +: tree) in
+      let acc = reg acc_d in
+      assign accw acc;
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_tsbank") rep in
+      let per_pass = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun ev ->
+              Hashtbl.replace per_pass ev.Schedule.pass
+                (out_elem ctx access ev))
+            (events_of ctx p))
+        members;
+      let collector =
+        make_collector ctx ~name ~capacity:(Hashtbl.length per_pass)
+      in
+      Hashtbl.iter
+        (fun pass elem ->
+          let tick_cycle =
+            sched.Schedule.preload + ((pass + 1) * sched.Schedule.span) - 1
+          in
+          collector.writes <- (tick_cycle, elem) :: collector.writes)
+        per_pass;
+      (* at the tick the full stage total is acc + tree (the reg input) *)
+      finalize_collector ctx name collector acc_d)
+    (group_by_line ctx ~dir:multicast (active_pes ctx))
+
+let build_unicast_output ctx access ~prods ~valids =
+  List.iter
+    (fun p ->
+      let r, c = p in
+      let prod =
+        match prods.(r).(c) with
+        | Some s -> s
+        | None -> Signal.const ~width:ctx.aw 0
+      in
+      let valid =
+        match valids.(r).(c) with Some v -> v | None -> Signal.gnd
+      in
+      let contribution = Pe_modules.tree_contribution ~valid ~contribution:prod in
+      let events = events_of ctx p in
+      let name = pos_name (access.Tl_ir.Access.tensor ^ "_ubank") p in
+      let collector =
+        make_collector ctx ~name ~capacity:(List.length events)
+      in
+      List.iter
+        (fun ev ->
+          collector.writes <-
+            (ev.Schedule.cycle, out_elem ctx access ev) :: collector.writes)
+        events;
+      finalize_collector ctx name collector contribution)
+    (active_pes ctx)
+
+let build_output ctx (ti : Tl_stt.Design.tensor_info) ~prods ~valids =
+  let access = ti.Tl_stt.Design.access in
+  match ti.Tl_stt.Design.dataflow with
+  | Tl_stt.Dataflow.Unicast -> build_unicast_output ctx access ~prods ~valids
+  | Tl_stt.Dataflow.Stationary _ ->
+    build_stationary_output ctx access ~prods ~valids
+  | Tl_stt.Dataflow.Systolic { dp; dt } ->
+    build_systolic_output ctx access ~dp ~dt ~prods ~valids
+  | Tl_stt.Dataflow.Multicast { dp } ->
+    build_multicast_output ctx access ~dp ~prods ~valids
+  | Tl_stt.Dataflow.Reuse2d (Tl_stt.Dataflow.Multicast_stationary { multicast })
+    ->
+    build_multicast_stationary_output ctx access ~multicast ~prods ~valids
+  | Tl_stt.Dataflow.Reuse2d Tl_stt.Dataflow.Broadcast
+  | Tl_stt.Dataflow.Reuse2d (Tl_stt.Dataflow.Systolic_multicast _)
+  | Tl_stt.Dataflow.Reuse_full ->
+    raise
+      (Unsupported
+         (Printf.sprintf "output dataflow %s has no netlist template"
+            (Tl_stt.Dataflow.to_string ti.Tl_stt.Design.dataflow)))
+
+(* ------------------------------------------------------------------ *)
+
+let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
+    design env =
+  let sched =
+    try Schedule.build design ~rows ~cols
+    with Schedule.Unsupported msg -> raise (Unsupported msg)
+  in
+  let max_dt =
+    List.fold_left
+      (fun acc (ti : Tl_stt.Design.tensor_info) ->
+        match ti.Tl_stt.Design.dataflow with
+        | Tl_stt.Dataflow.Systolic { dt; _ } -> max acc dt
+        | Tl_stt.Dataflow.Reuse2d
+            (Tl_stt.Dataflow.Systolic_multicast { systolic; _ }) ->
+          max acc systolic.Tl_stt.Dataflow.dt
+        | Tl_stt.Dataflow.Unicast | Tl_stt.Dataflow.Stationary _
+        | Tl_stt.Dataflow.Multicast _
+        | Tl_stt.Dataflow.Reuse2d
+            (Tl_stt.Dataflow.Broadcast | Tl_stt.Dataflow.Multicast_stationary _)
+        | Tl_stt.Dataflow.Reuse_full -> acc)
+      1 design.Tl_stt.Design.tensors
+  in
+  let total = sched.Schedule.compute_end + rows + max_dt + 4 in
+  let cw = bits_for total in
+  let open Signal in
+  (* controller *)
+  let cycle_w = wire cw in
+  let done_ = eq cycle_w (const ~width:cw (total - 1)) -- "done" in
+  let cycle =
+    reg (mux2 done_ cycle_w (cycle_w +: const ~width:cw 1)) -- "cycle_ctr"
+  in
+  assign cycle_w cycle;
+  let preload_c = const ~width:cw sched.Schedule.preload in
+  let compute_end_c = const ~width:cw sched.Schedule.compute_end in
+  let compute_active =
+    (ule preload_c cycle &: ult cycle compute_end_c) -- "compute_active"
+  in
+  let span = sched.Schedule.span in
+  let ipw = bits_for span in
+  let in_pass_w = wire ipw in
+  let tick =
+    (compute_active &: eq in_pass_w (const ~width:ipw (span - 1))) -- "tick"
+  in
+  let in_pass =
+    reg ~enable:compute_active
+      (mux2 tick (const ~width:ipw 0) (in_pass_w +: const ~width:ipw 1))
+    -- "in_pass"
+  in
+  assign in_pass_w in_pass;
+  let pw = bits_for (sched.Schedule.passes + 1) in
+  let pass_w = wire pw in
+  let pass_sig =
+    reg ~enable:tick (pass_w +: const ~width:pw 1) -- "pass_ctr"
+  in
+  assign pass_w pass_sig;
+  let stage_start = reg tick -- "stage_start" in
+  let preload_tick = eq cycle (const ~width:cw 0) -- "preload_tick" in
+  let stage_load = (preload_tick |: tick) -- "stage_load" in
+  let stage_load_addr =
+    mux2 preload_tick (const ~width:pw 0) (pass_w +: const ~width:pw 1)
+    -- "stage_load_addr"
+  in
+  let dcw = bits_for (rows + 1) in
+  let dc_w = wire dcw in
+  let dc_nonzero = ne dc_w (const ~width:dcw 0) in
+  let dc =
+    reg
+      (mux2 tick (const ~width:dcw rows)
+         (mux2 dc_nonzero (dc_w -: const ~width:dcw 1) (const ~width:dcw 0)))
+    -- "drain_ctr"
+  in
+  assign dc_w dc;
+  let drain_shift = dc_nonzero -- "drain_shift" in
+  let probe_addr = input "probe_addr" 16 in
+  let ctx =
+    { sched; dw = data_width; aw = acc_width; total; cw; cycle; tick;
+      stage_start; stage_load; stage_load_addr; drain_shift; pass_sig;
+      env; data_rams = Hashtbl.create 8; out_locs = Hashtbl.create 64;
+      bank_list = []; probe_outputs = []; probe_addr }
+  in
+  (* input tensors *)
+  let inputs = Tl_stt.Design.input_infos design in
+  let uses_per_tensor =
+    List.map
+      (fun ti ->
+        let uses = zero_uses rows cols in
+        build_input ctx ti uses;
+        uses)
+      inputs
+  in
+  (* validity + computation cell per active PE *)
+  let prods = Array.init rows (fun _ -> Array.make cols None) in
+  let valids = Array.init rows (fun _ -> Array.make cols None) in
+  List.iter
+    (fun p ->
+      let r, c = p in
+      let valid =
+        bitmap_rom ctx (pos_name "valid" p)
+          (List.map (fun ev -> ev.Schedule.cycle) (events_of ctx p))
+      in
+      let operand_signals =
+        List.map
+          (fun uses ->
+            match uses.(r).(c) with
+            | Some s -> s
+            | None -> assert false (* every builder covers active PEs *))
+          uses_per_tensor
+      in
+      let prod =
+        match operand_signals with
+        | [] -> assert false
+        | first :: rest ->
+          List.fold_left
+            (fun acc s -> acc *: sresize s acc_width)
+            (sresize first acc_width)
+            rest
+      in
+      prods.(r).(c) <- Some (prod -- pos_name "prod" p);
+      valids.(r).(c) <- Some valid)
+    (active_pes ctx);
+  (* output tensor *)
+  build_output ctx (Tl_stt.Design.output_info design) ~prods ~valids;
+  let outputs =
+    ("done", done_) :: ("cycle", cycle)
+    :: ("pass", pass_sig)
+    :: List.rev ctx.probe_outputs
+  in
+  let circuit =
+    Circuit.create ~name:("tensorlib_" ^ design.Tl_stt.Design.name) ~outputs
+  in
+  { design; rows; cols; data_width; acc_width; schedule = sched;
+    circuit; total_cycles = total; out_locs = ctx.out_locs;
+    banks = List.rev ctx.bank_list;
+    input_rams =
+      Hashtbl.fold (fun name r acc -> (name, r) :: acc) ctx.data_rams []
+      |> List.sort compare }
+
+let run_sim t sim =
+  Sim.cycles sim (t.total_cycles + 1);
+  let stmt = t.design.Tl_stt.Design.transform.Tl_stt.Transform.stmt in
+  let out = Tl_ir.Exec.alloc_output stmt in
+  let contents = Hashtbl.create 8 in
+  List.iter
+    (fun (_, bank) ->
+      Hashtbl.replace contents bank.Signal.ram_id (Sim.ram_contents sim bank))
+    t.banks;
+  Hashtbl.iter
+    (fun idx ((bank : Signal.ram), addr) ->
+      let data = Hashtbl.find contents bank.Signal.ram_id in
+      Tl_ir.Dense.set out (Array.of_list idx)
+        (Signal.to_signed t.acc_width data.(addr)))
+    t.out_locs;
+  out
+
+let execute t = run_sim t (Sim.create t.circuit)
+
+let execute_with t env =
+  let sim = Sim.create t.circuit in
+  List.iter
+    (fun (name, ram) ->
+      match List.assoc_opt name env with
+      | None -> invalid_arg ("Accel.execute_with: missing tensor " ^ name)
+      | Some dense ->
+        if Tl_ir.Dense.size dense <> ram.Signal.size then
+          invalid_arg ("Accel.execute_with: shape mismatch for " ^ name);
+        Sim.load_ram sim ram
+          (Array.init (Tl_ir.Dense.size dense) (Tl_ir.Dense.flat_get dense)))
+    t.input_rams;
+  run_sim t sim
+
+let verilog t = Verilog.to_string t.circuit
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let verilog_testbench t ~expected =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let module_name = sanitize (Circuit.name t.circuit) in
+  add "`timescale 1ns/1ps\n";
+  add "module %s_tb;\n" module_name;
+  add "  reg clock = 0;\n";
+  add "  reg [15:0] probe_addr = 0;\n";
+  List.iter
+    (fun (name, (s : Signal.t)) ->
+      if s.Signal.width = 1 then add "  wire %s;\n" (sanitize name)
+      else add "  wire [%d:0] %s;\n" (s.Signal.width - 1) (sanitize name))
+    (Circuit.outputs t.circuit);
+  add "  %s dut(.clock(clock), .probe_addr(probe_addr)" module_name;
+  List.iter
+    (fun (name, _) ->
+      let n = sanitize name in
+      add ", .%s(%s)" n n)
+    (Circuit.outputs t.circuit);
+  add ");\n";
+  add "  always #5 clock = ~clock;\n";
+  add "  integer errors = 0;\n";
+  add "  initial begin\n";
+  add "    repeat (%d) @(posedge clock);\n" (t.total_cycles + 2);
+  (* bank name lookup by ram id *)
+  let name_of_bank =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (name, (r : Signal.ram)) ->
+        Hashtbl.replace tbl r.Signal.ram_id name)
+      t.banks;
+    fun (r : Signal.ram) -> Hashtbl.find tbl r.Signal.ram_id
+  in
+  let checks =
+    Hashtbl.fold (fun idx (bank, addr) acc -> (idx, bank, addr) :: acc)
+      t.out_locs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (idx, bank, addr) ->
+      let probe = sanitize (name_of_bank bank ^ "_probe") in
+      let value = Tl_ir.Dense.get expected (Array.of_list idx) in
+      add "    probe_addr = %d; #1;\n" addr;
+      add
+        "    if ($signed(%s) !== %d) begin errors = errors + 1;          $display(\"MISMATCH %s[%d]: got %%0d, want %d\", $signed(%s));          end\n"
+        probe value probe addr value probe)
+    checks;
+  add "    if (errors == 0) $display(\"PASS: %d output elements match\");\n"
+    (List.length checks);
+  add "    else $display(\"FAIL: %%0d mismatches\", errors);\n";
+  add "    $finish;\n";
+  add "  end\n";
+  add "endmodule\n";
+  Buffer.contents b

@@ -1,0 +1,35 @@
+open Tl_hw
+
+let rec delay n s = if n <= 0 then s else delay (n - 1) (Signal.reg s)
+
+let systolic_input ~dt ~din = (din, delay dt din)
+
+let systolic_output ~dt ~psum_in ~contribution =
+  delay dt Signal.(psum_in +: contribution)
+
+let stationary_input ~load ~next = Signal.reg ~enable:load next
+
+type stationary_output = { acc : Signal.t; shadow : Signal.t }
+
+let stationary_output ~valid ~stage_start ~capture ~drain_shift ~contribution
+    ~shadow_in =
+  let open Signal in
+  let w = width contribution in
+  let accw = wire w in
+  let zero = const ~width:w 0 in
+  let fresh = mux2 valid contribution zero in
+  (* acc_d is the stage total *including* the current cycle's MAC, so the
+     shadow capture at the stage's last cycle doesn't lose the final
+     contribution. *)
+  let acc_d = mux2 stage_start fresh (accw +: fresh) in
+  let acc = reg acc_d in
+  assign accw acc;
+  let shadow_d = mux2 capture acc_d shadow_in in
+  let shadow = reg ~enable:(capture |: drain_shift) shadow_d in
+  { acc; shadow }
+
+let direct_input ~bus = bus
+
+let tree_contribution ~valid ~contribution =
+  let open Signal in
+  mux2 valid contribution (const ~width:(width contribution) 0)

@@ -1,0 +1,15 @@
+let rec build = function
+  | [] -> invalid_arg "Reduce_tree.build: empty"
+  | [ s ] -> s
+  | inputs ->
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | a :: b :: rest -> Tl_hw.Signal.(a +: b) :: pair rest
+    in
+    build (pair inputs)
+
+let depth n =
+  if n <= 0 then invalid_arg "Reduce_tree.depth";
+  let rec go n acc = if n <= 1 then acc else go ((n + 1) / 2) (acc + 1) in
+  go n 0

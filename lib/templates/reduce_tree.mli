@@ -1,0 +1,11 @@
+(** Balanced adder reduction trees (Fig. 4 (d)).
+
+    Used for multicast *output* dataflows where several PEs produce partial
+    results of the same tensor element in the same cycle. *)
+
+val build : Tl_hw.Signal.t list -> Tl_hw.Signal.t
+(** Balanced binary adder tree; depth [ceil(log2 n)].
+    @raise Invalid_argument on the empty list or mixed widths. *)
+
+val depth : int -> int
+(** Tree depth for [n] leaves. *)

@@ -1,0 +1,142 @@
+exception Unsupported of string
+
+type event = {
+  cycle : int;
+  pass : int;
+  pe : Geometry.pos;
+  x : int array;
+}
+
+type t = {
+  design : Tl_stt.Design.t;
+  rows : int;
+  cols : int;
+  offset : int array;
+  t_min : int;
+  span : int;
+  passes : int;
+  preload : int;
+  compute_end : int;
+  by_pe : event list array array;
+  event_count : int;
+}
+
+let build design ~rows ~cols =
+  let transform = design.Tl_stt.Design.transform in
+  let sd = Tl_stt.Transform.space_dims transform in
+  if sd <> 1 && sd <> 2 then
+    raise (Unsupported "Schedule.build: only 1-D and 2-D PE arrays");
+  if sd = 1 && cols <> 1 then
+    raise (Unsupported "Schedule.build: 1-D arrays use cols = 1");
+  let stmt = transform.Tl_stt.Transform.stmt in
+  let depth = Tl_ir.Stmt.depth stmt in
+  let selected = transform.Tl_stt.Transform.selected in
+  let sel_ext = Tl_stt.Transform.selected_extents transform in
+  let unselected =
+    List.filter (fun i -> not (Array.mem i selected)) (List.init depth Fun.id)
+  in
+  let unsel_ext =
+    let all = Tl_ir.Stmt.extents stmt in
+    List.map (fun i -> all.(i)) unselected
+  in
+  let passes = List.fold_left ( * ) 1 unsel_ext in
+  let t_min, t_max = Tl_stt.Transform.time_bounds transform in
+  let span = t_max - t_min + 1 in
+  let preload = 1 in
+  (* integer fast path for the (hot) space-time mapping *)
+  let tm = Tl_linalg.Mat.to_int_rows transform.Tl_stt.Transform.matrix in
+  let tm = Array.of_list (List.map Array.of_list tm) in
+  let n_sel = Array.length selected in
+  let apply_fast x_sel =
+    let dot row =
+      let acc = ref 0 in
+      for j = 0 to n_sel - 1 do
+        acc := !acc + (row.(j) * x_sel.(j))
+      done;
+      !acc
+    in
+    if sd = 1 then ([| dot tm.(0); 0 |], dot tm.(1))
+    else ([| dot tm.(0); dot tm.(1) |], dot tm.(2))
+  in
+  (* find the footprint offset: min raw space coordinates *)
+  let min_r = ref max_int and min_c = ref max_int in
+  let max_r = ref min_int and max_c = ref min_int in
+  let iter_selected f =
+    let n = Array.length selected in
+    let x_sel = Array.make n 0 in
+    let rec go d =
+      if d = n then f x_sel
+      else
+        for v = 0 to sel_ext.(d) - 1 do
+          x_sel.(d) <- v;
+          go (d + 1)
+        done
+    in
+    go 0
+  in
+  iter_selected (fun x_sel ->
+      let p, _ = apply_fast x_sel in
+      if p.(0) < !min_r then min_r := p.(0);
+      if p.(0) > !max_r then max_r := p.(0);
+      if p.(1) < !min_c then min_c := p.(1);
+      if p.(1) > !max_c then max_c := p.(1));
+  let offset = [| - !min_r; - !min_c |] in
+  if !max_r - !min_r + 1 > rows || !max_c - !min_c + 1 > cols then
+    raise
+      (Unsupported
+         (Printf.sprintf
+            "Schedule.build: footprint %dx%d exceeds %dx%d array"
+            (!max_r - !min_r + 1) (!max_c - !min_c + 1) rows cols));
+  (* enumerate passes (lexicographic over unselected iterators) *)
+  let by_pe = Array.init rows (fun _ -> Array.make cols []) in
+  let count = ref 0 in
+  let unsel = Array.of_list unselected in
+  let unsel_ext = Array.of_list unsel_ext in
+  let n_unsel = Array.length unsel in
+  let x = Array.make depth 0 in
+  let rec passes_loop d pass =
+    if d = n_unsel then begin
+      iter_selected (fun x_sel ->
+          Array.iteri (fun i si -> x.(si) <- x_sel.(i)) selected;
+          let p, tm = apply_fast x_sel in
+          let r = p.(0) + offset.(0) and c = p.(1) + offset.(1) in
+          let cycle = preload + (pass * span) + (tm - t_min) in
+          let ev = { cycle; pass; pe = (r, c); x = Array.copy x } in
+          by_pe.(r).(c) <- ev :: by_pe.(r).(c);
+          incr count);
+      pass + 1
+    end
+    else begin
+      let pass = ref pass in
+      for v = 0 to unsel_ext.(d) - 1 do
+        x.(unsel.(d)) <- v;
+        pass := passes_loop (d + 1) !pass
+      done;
+      !pass
+    end
+  in
+  let final_pass = passes_loop 0 0 in
+  assert (final_pass = passes);
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun c evs ->
+          row.(c) <-
+            List.sort (fun a b -> compare a.cycle b.cycle) (List.rev evs))
+        row)
+    by_pe;
+  { design; rows; cols; offset; t_min; span; passes; preload;
+    compute_end = preload + (passes * span); by_pe; event_count = !count }
+
+let tensor_index _t access ev = Tl_ir.Access.index access ev.x
+
+let events t =
+  let all = ref [] in
+  for r = t.rows - 1 downto 0 do
+    for c = t.cols - 1 downto 0 do
+      all := List.rev_append (List.rev t.by_pe.(r).(c)) !all
+    done
+  done;
+  List.stable_sort (fun a b -> compare (a.cycle, a.pe) (b.cycle, b.pe)) !all
+
+let pe_active t (r, c) = t.by_pe.(r).(c) <> []

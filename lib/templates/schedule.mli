@@ -1,0 +1,45 @@
+(** Elaboration-time execution schedule.
+
+    Maps every iteration of the full loop nest to a (PE, cycle) slot: the
+    selected iterators go through the STT, the unselected iterators are
+    serialised into passes of [span] cycles each.  Space coordinates are
+    translated so the footprint starts at (0,0); elaboration fails if the
+    footprint exceeds the array.
+
+    Cycle layout: [preload] cycles of stationary-data preload, then
+    [passes × span] compute cycles (pass [s] spans
+    [preload + s*span .. preload + (s+1)*span - 1]). *)
+
+exception Unsupported of string
+
+type event = {
+  cycle : int;
+  pass : int;
+  pe : Geometry.pos;
+  x : int array;  (** full iteration vector (copy, nest order) *)
+}
+
+type t = {
+  design : Tl_stt.Design.t;
+  rows : int;
+  cols : int;
+  offset : int array;  (** translation added to raw space coordinates *)
+  t_min : int;
+  span : int;   (** schedule length of one pass *)
+  passes : int; (** product of unselected extents *)
+  preload : int;
+  compute_end : int;  (** preload + passes * span *)
+  by_pe : event list array array;  (** [rows][cols], ascending cycle *)
+  event_count : int;
+}
+
+val build : Tl_stt.Design.t -> rows:int -> cols:int -> t
+(** @raise Unsupported when the space footprint does not fit the array. *)
+
+val tensor_index : t -> Tl_ir.Access.t -> event -> int array
+(** Tensor element accessed by an event. *)
+
+val events : t -> event list
+(** All events sorted by cycle (ties by PE). *)
+
+val pe_active : t -> Geometry.pos -> bool

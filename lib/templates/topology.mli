@@ -1,0 +1,46 @@
+(** Interconnection-topology summary (Fig. 3 (2) / Fig. 4).
+
+    Describes, per tensor, the concrete on-chip network the generator
+    builds on a given array: systolic chains with their direction and
+    register depth, multicast buses per line (horizontal / vertical /
+    diagonal), reduction trees with their depth, drain chains, unicast
+    bank ports, and the memory banks each group of PEs is assigned.
+    Purely analytic (no elaboration), so it also serves the CLI and the
+    documentation examples. *)
+
+type link_kind =
+  | Chain of { dp : int array; dt : int }
+      (** neighbour-to-neighbour forwarding, [dt] registers per hop *)
+  | Bus of { dp : int array }  (** same-cycle fan-out along a line *)
+  | Tree of { dp : int array; depth : int }  (** reduction tree per line *)
+  | Global_bus  (** array-wide broadcast *)
+  | Direct  (** per-PE bank port (unicast) *)
+  | Stage_load  (** stationary double-buffer load network *)
+  | Drain of { length : int }  (** stationary-output drain chain *)
+
+type tensor_topology = {
+  tensor : string;
+  role : Tl_stt.Design.role;
+  links : link_kind list;
+  lines : int;   (** independent chains / buses / trees *)
+  banks : int;   (** memory banks feeding or fed by this tensor *)
+}
+
+type t = {
+  design_name : string;
+  rows : int;
+  cols : int;
+  tensors : tensor_topology list;
+}
+
+val describe : ?rows:int -> ?cols:int -> Tl_stt.Design.t -> t
+val direction_name : int array -> string
+(** "horizontal", "vertical", "diagonal", or the raw vector. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_diagram : ?rows:int -> ?cols:int -> Format.formatter ->
+  Tl_stt.Design.t -> unit
+(** ASCII rendering of the per-tensor interconnect on a small array (the
+    Fig. 4 artefact): systolic arrows, multicast buses, reduction trees,
+    stationary boxes, unicast ports. *)

@@ -1,0 +1,359 @@
+(* Tiling, topology reports, data re-loading, VCD capture, and the
+   random-einsum end-to-end property. *)
+
+open Tensorlib
+
+(* ---------------- tiling ---------------- *)
+
+let test_tiling_preserves_semantics () =
+  let stmt = Workloads.gemm ~m:8 ~n:8 ~k:8 in
+  let tiled = Tiling.split stmt [ ("m", 4); ("n", 4) ] in
+  Alcotest.(check int) "depth grows by splits" 5 (Stmt.depth tiled);
+  Alcotest.(check int) "domain size unchanged" (Stmt.domain_size stmt)
+    (Stmt.domain_size tiled);
+  (* same tensor shapes *)
+  List.iter2
+    (fun (a : Access.t) (b : Access.t) ->
+      Alcotest.(check (array int)) a.Access.tensor
+        (Access.shape a stmt.Stmt.iters)
+        (Access.shape b tiled.Stmt.iters))
+    (Stmt.tensors stmt) (Stmt.tensors tiled);
+  (* same computed function *)
+  let env = Exec.alloc_inputs stmt in
+  Alcotest.(check bool) "same result" true
+    (Dense.equal (Exec.run stmt env) (Exec.run tiled env))
+
+let test_tiling_validation () =
+  let stmt = Workloads.gemm ~m:8 ~n:8 ~k:8 in
+  Alcotest.check_raises "non-dividing tile"
+    (Invalid_argument "Tiling.split: tile 3 does not divide extent 8 of m")
+    (fun () -> ignore (Tiling.split stmt [ ("m", 3) ]));
+  Alcotest.check_raises "unknown iterator"
+    (Invalid_argument "Tiling.split: unknown iterator z") (fun () ->
+      ignore (Tiling.split stmt [ ("z", 2) ]))
+
+let test_tiled_accelerator () =
+  (* 8x8x8 GEMM on a 4x4 array: tile m,n to 4 and run the tiles as passes *)
+  let stmt = Workloads.gemm ~m:8 ~n:8 ~k:8 in
+  let tiled = Tiling.split stmt [ ("m", 4); ("n", 4) ] in
+  let design = Search.find_design_exn tiled "MNK-SST" in
+  let env = Exec.alloc_inputs tiled in
+  let acc = Accel.generate ~rows:4 ~cols:4 design env in
+  Alcotest.(check int) "4 spatial tiles = 4 passes" 4
+    acc.Accel.schedule.Schedule.passes;
+  Alcotest.(check bool) "tiled hardware matches golden" true
+    (Dense.equal (Exec.run tiled env) (Accel.execute acc))
+
+let test_tiled_weight_stationary () =
+  (* stationary tensor changing across tiles exercises the double buffer *)
+  let stmt = Workloads.gemm ~m:8 ~n:4 ~k:8 in
+  let tiled = Tiling.split stmt [ ("m", 4); ("k", 4) ] in
+  let design = Search.find_design_exn tiled "MNK-STS" in
+  let env = Exec.alloc_inputs tiled in
+  let acc = Accel.generate ~rows:8 ~cols:8 design env in
+  Alcotest.(check bool) "multi-stage stationary hardware" true
+    (Dense.equal (Exec.run tiled env) (Accel.execute acc))
+
+let test_tile_to_fit () =
+  let stmt = Workloads.gemm ~m:12 ~n:7 ~k:64 in
+  let tiles = Tiling.tile_to_fit stmt ~names:[ "m"; "n"; "k" ] ~budget:8 in
+  Alcotest.(check (list (pair string int))) "divisor tiles"
+    [ ("m", 6); ("k", 8) ]
+    tiles
+
+(* ---------------- topology reports ---------------- *)
+
+let test_topology_output_stationary () =
+  let gemm = Workloads.gemm ~m:16 ~n:16 ~k:16 in
+  let d = Search.find_design_exn gemm "MNK-SST" in
+  let topo = Topology.describe ~rows:16 ~cols:16 d in
+  let a = List.find (fun t -> t.Topology.tensor = "A") topo.Topology.tensors in
+  (match a.Topology.links with
+   | [ Topology.Chain { dp; dt } ] ->
+     Alcotest.(check (array int)) "A chain horizontal" [| 0; 1 |] dp;
+     Alcotest.(check int) "1 reg per hop" 1 dt
+   | _ -> Alcotest.fail "A should be a single systolic chain");
+  Alcotest.(check int) "16 chains" 16 a.Topology.lines;
+  let c = List.find (fun t -> t.Topology.tensor = "C") topo.Topology.tensors in
+  Alcotest.(check bool) "C drains" true
+    (List.exists
+       (function Topology.Drain _ -> true | _ -> false)
+       c.Topology.links)
+
+let test_topology_reduction_tree () =
+  let gemm = Workloads.gemm ~m:16 ~n:16 ~k:16 in
+  let d = Search.find_design_exn gemm "MNK-MTM" in
+  let topo = Topology.describe ~rows:16 ~cols:16 d in
+  let c = List.find (fun t -> t.Topology.tensor = "C") topo.Topology.tensors in
+  (match c.Topology.links with
+   | [ Topology.Tree { depth; _ } ] ->
+     Alcotest.(check int) "tree depth log2 16" 4 depth
+   | _ -> Alcotest.fail "C should be a reduction tree")
+
+let test_topology_direction_names () =
+  Alcotest.(check string) "horizontal" "horizontal"
+    (Topology.direction_name [| 0; 1 |]);
+  Alcotest.(check string) "vertical" "vertical"
+    (Topology.direction_name [| 1; 0 |]);
+  Alcotest.(check string) "diagonal" "diagonal"
+    (Topology.direction_name [| 1; -1 |])
+
+let test_topology_renders () =
+  let gemm = Workloads.gemm ~m:16 ~n:16 ~k:16 in
+  let d = Search.find_design_exn gemm "MNK-MMT" in
+  let s = Format.asprintf "%a" Topology.pp (Topology.describe d) in
+  Alcotest.(check bool) "mentions multicast" true
+    (let has sub =
+       let n = String.length sub and h = String.length s in
+       let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     has "multicast bus")
+
+(* ---------------- data reloading ---------------- *)
+
+let test_execute_with_fresh_data () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env1 = Exec.alloc_inputs ~seed:1 stmt in
+  let env2 = Exec.alloc_inputs ~seed:2 stmt in
+  let acc = Accel.generate ~rows:4 ~cols:4 design env1 in
+  Alcotest.(check bool) "baked data" true
+    (Dense.equal (Exec.run stmt env1) (Accel.execute acc));
+  (* same netlist, new data *)
+  Alcotest.(check bool) "reloaded data" true
+    (Dense.equal (Exec.run stmt env2) (Accel.execute_with acc env2));
+  (* and the two results differ, so the reload really happened *)
+  Alcotest.(check bool) "results differ" false
+    (Dense.equal (Exec.run stmt env1) (Exec.run stmt env2))
+
+let test_execute_with_validation () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:4 ~cols:4 design env in
+  (try
+     ignore (Accel.execute_with acc [ ("A", List.assoc "A" env) ]);
+     Alcotest.fail "expected missing tensor"
+   with Invalid_argument _ -> ())
+
+(* ---------------- VCD ---------------- *)
+
+let test_vcd_capture () =
+  let open Signal in
+  let w = wire 4 in
+  let q = reg w -- "counter" in
+  assign w (q +: const ~width:4 1);
+  let c = Circuit.create ~name:"vcd" ~outputs:[ ("q", q) ] in
+  let sim = Sim.create c in
+  let vcd = Vcd.create sim c in
+  Vcd.cycles vcd 5;
+  let s = Vcd.contents vcd in
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (has "$enddefinitions");
+  Alcotest.(check bool) "var decl" true (has "$var wire 4");
+  Alcotest.(check bool) "counter named" true (has "counter");
+  Alcotest.(check bool) "time 3 recorded" true (has "#3");
+  Alcotest.(check bool) "binary value" true (has "b0011")
+
+let test_vcd_accelerator_trace () =
+  let stmt = Workloads.gemm ~m:2 ~n:2 ~k:2 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:2 ~cols:2 design env in
+  let sim = Sim.create acc.Accel.circuit in
+  let vcd = Vcd.create sim acc.Accel.circuit in
+  Vcd.cycles vcd acc.Accel.total_cycles;
+  Alcotest.(check bool) "nonempty trace" true
+    (String.length (Vcd.contents vcd) > 500)
+
+(* ---------------- random einsum end-to-end ---------------- *)
+
+(* Random 3-iterator einsum statements: each tensor accesses a random
+   full-row-rank subset of iterators, guaranteeing within-bounds indices.
+   This stresses classification + generation beyond the Table-II set. *)
+let gen_random_stmt =
+  QCheck.Gen.(
+    let iter_extent = int_range 2 4 in
+    let access_rows =
+      (* each row is a single iterator (coefficient 1): random selection *)
+      list_size (int_range 1 3) (int_range 0 2)
+    in
+    triple iter_extent iter_extent iter_extent >>= fun (e0, e1, e2) ->
+    pair access_rows (pair access_rows access_rows)
+    >|= fun (out_rows, (a_rows, b_rows)) ->
+    let dedup rows = List.sort_uniq compare rows in
+    let mk name rows =
+      Access.of_terms name ~depth:3 (List.map (fun j -> [ j ]) (dedup rows))
+    in
+    let iters = [ Iter.v "i" e0; Iter.v "j" e1; Iter.v "k" e2 ] in
+    Stmt.v "random" ~iters ~output:(mk "O" out_rows)
+      ~inputs:[ mk "A" a_rows; mk "B" b_rows ])
+
+let prop_random_einsum_end_to_end =
+  let arb =
+    QCheck.make
+      ~print:(fun stmt -> Format.asprintf "%a" Stmt.pp stmt)
+      gen_random_stmt
+  in
+  QCheck.Test.make ~name:"random einsum: generated hardware = golden"
+    ~count:25 arb (fun stmt ->
+      (* pick the first netlist-supported design over candidate matrices *)
+      let rec first = function
+        | [] -> None
+        | m :: rest ->
+          let t = Transform.v stmt ~selected:[| 0; 1; 2 |] ~matrix:m in
+          let d = Design.analyze t in
+          if Design.netlist_supported d then Some d else first rest
+      in
+      match first (Search.candidate_matrices ~n:3) with
+      | None -> true
+      | Some d ->
+        let env = Exec.alloc_inputs stmt in
+        (match Accel.generate ~rows:10 ~cols:10 d env with
+         | acc -> Dense.equal (Exec.run stmt env) (Accel.execute acc)
+         | exception Accel.Unsupported _ -> true))
+
+let suite =
+  [ Alcotest.test_case "tiling preserves semantics" `Quick
+      test_tiling_preserves_semantics;
+    Alcotest.test_case "tiling validation" `Quick test_tiling_validation;
+    Alcotest.test_case "tiled accelerator (spatial tiles)" `Quick
+      test_tiled_accelerator;
+    Alcotest.test_case "tiled weight-stationary stages" `Quick
+      test_tiled_weight_stationary;
+    Alcotest.test_case "tile_to_fit" `Quick test_tile_to_fit;
+    Alcotest.test_case "topology: output stationary" `Quick
+      test_topology_output_stationary;
+    Alcotest.test_case "topology: reduction tree" `Quick
+      test_topology_reduction_tree;
+    Alcotest.test_case "topology: direction names" `Quick
+      test_topology_direction_names;
+    Alcotest.test_case "topology: renders" `Quick test_topology_renders;
+    Alcotest.test_case "execute_with fresh data" `Quick
+      test_execute_with_fresh_data;
+    Alcotest.test_case "execute_with validation" `Quick
+      test_execute_with_validation;
+    Alcotest.test_case "vcd capture" `Quick test_vcd_capture;
+    Alcotest.test_case "vcd accelerator trace" `Quick
+      test_vcd_accelerator_trace ]
+  @ [ QCheck_alcotest.to_alcotest prop_random_einsum_end_to_end ]
+
+(* ---------------- 1-D (linear) arrays ---------------- *)
+
+let test_linear_array_classification () =
+  (* GEMV on a linear array: PEs along m, time m+k *)
+  let stmt = Workloads.gemv ~m:4 ~k:4 in
+  let t =
+    Transform.v stmt ~selected:[| 0; 1 |] ~matrix:[ [ 1; 0 ]; [ 1; 1 ] ]
+  in
+  let d = Design.analyze t in
+  (match (Design.find_tensor d "A").Design.dataflow with
+   | Dataflow.Unicast -> ()
+   | df -> Alcotest.failf "A: expected unicast, got %s" (Dataflow.to_string df));
+  (match (Design.find_tensor d "x").Design.dataflow with
+   | Dataflow.Systolic { dp; dt } ->
+     Alcotest.(check (array int)) "x flows along the line" [| 1; 0 |] dp;
+     Alcotest.(check int) "dt" 1 dt
+   | df -> Alcotest.failf "x: expected systolic, got %s" (Dataflow.to_string df));
+  match (Design.find_tensor d "y").Design.dataflow with
+  | Dataflow.Stationary _ -> ()
+  | df -> Alcotest.failf "y: expected stationary, got %s" (Dataflow.to_string df)
+
+let test_linear_array_netlist () =
+  let stmt = Workloads.gemv ~m:4 ~k:4 in
+  let t =
+    Transform.v stmt ~selected:[| 0; 1 |] ~matrix:[ [ 1; 0 ]; [ 1; 1 ] ]
+  in
+  let d = Design.analyze t in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:4 ~cols:1 d env in
+  Alcotest.(check bool) "linear array matches golden" true
+    (Dense.equal (Exec.run stmt env) (Accel.execute acc))
+
+let test_linear_array_reduction_tree () =
+  (* output multicast on a line: y produced by a reduction over the column *)
+  let stmt = Workloads.gemv ~m:4 ~k:4 in
+  let t =
+    Transform.v stmt ~selected:[| 0; 1 |] ~matrix:[ [ 0; 1 ]; [ 1; 0 ] ]
+  in
+  let d = Design.analyze t in
+  (match (Design.find_tensor d "y").Design.dataflow with
+   | Dataflow.Multicast { dp } ->
+     Alcotest.(check (array int)) "tree along the line" [| 1; 0 |] dp
+   | df -> Alcotest.failf "y: expected tree, got %s" (Dataflow.to_string df));
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:4 ~cols:1 d env in
+  Alcotest.(check bool) "linear tree matches golden" true
+    (Dense.equal (Exec.run stmt env) (Accel.execute acc))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "1-D array classification" `Quick
+        test_linear_array_classification;
+      Alcotest.test_case "1-D array netlist" `Quick test_linear_array_netlist;
+      Alcotest.test_case "1-D array reduction tree" `Quick
+        test_linear_array_reduction_tree ]
+
+(* ---------------- testbench + critical path ---------------- *)
+
+let test_verilog_testbench () =
+  let stmt = Workloads.gemm ~m:3 ~n:3 ~k:3 in
+  let d = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:3 ~cols:3 d env in
+  let expected = Exec.run stmt env in
+  let tb = Accel.verilog_testbench acc ~expected in
+  let has sub =
+    let n = String.length sub and h = String.length tb in
+    let rec go i = i + n <= h && (String.sub tb i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "instantiates dut" true (has "tensorlib_MNK_SST dut(");
+  Alcotest.(check bool) "clock generator" true (has "always #5 clock");
+  Alcotest.(check bool) "self-checks" true (has "MISMATCH");
+  Alcotest.(check bool) "finishes" true (has "$finish");
+  (* one check per output element *)
+  Alcotest.(check int) "9 comparisons" 9
+    (let count = ref 0 and i = ref 0 in
+     let sub = "!==" in
+     while !i + 3 <= String.length tb do
+       if String.sub tb !i 3 = sub then incr count;
+       incr i
+     done;
+     !count)
+
+let test_critical_path () =
+  let open Signal in
+  (* input -> mul -> add -> reg : path 4 + 2 = 6 *)
+  let a = input "cpa" 8 and b = input "cpb" 8 in
+  let q = reg ((a *: b) +: a) in
+  let c = Circuit.create ~name:"cp" ~outputs:[ ("o", q) ] in
+  Alcotest.(check int) "mul+add depth" 6 (Circuit.critical_path c);
+  (* registers cut paths: reg between mul and add halves the depth *)
+  let q2 = reg (reg (a *: b) +: a) in
+  let c2 = Circuit.create ~name:"cp2" ~outputs:[ ("o", q2) ] in
+  Alcotest.(check int) "pipelined depth" 4 (Circuit.critical_path c2)
+
+let test_critical_path_tree_deeper () =
+  (* reduction trees create deeper cones than systolic accumulators *)
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let env = Exec.alloc_inputs stmt in
+  let path name =
+    let d = Search.find_design_exn stmt name in
+    let acc = Accel.generate ~rows:4 ~cols:4 d env in
+    Circuit.critical_path acc.Accel.circuit
+  in
+  Alcotest.(check bool) "tree design >= systolic design" true
+    (path "MNK-MTM" >= path "MNK-SST")
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "verilog testbench" `Quick test_verilog_testbench;
+      Alcotest.test_case "critical path" `Quick test_critical_path;
+      Alcotest.test_case "critical path: trees deeper" `Quick
+        test_critical_path_tree_deeper ]

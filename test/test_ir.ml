@@ -1,0 +1,197 @@
+(* Tensor-algebra IR: accesses, shapes, dense tensors, golden executor. *)
+
+open Tensorlib
+
+let test_iter () =
+  let i = Iter.v "k" 4 in
+  Alcotest.(check string) "name" "k" i.Iter.name;
+  Alcotest.(check int) "extent" 4 i.Iter.extent;
+  Alcotest.check_raises "bad extent"
+    (Invalid_argument "Iter.v: extent must be positive") (fun () ->
+      ignore (Iter.v "x" 0));
+  let nest = [ Iter.v "a" 2; Iter.v "b" 3 ] in
+  Alcotest.(check int) "index_of" 1 (Iter.index_of nest "b");
+  Alcotest.check_raises "index_of missing" Not_found (fun () ->
+      ignore (Iter.index_of nest "z"))
+
+let test_access_index () =
+  (* Conv2D input A[c, y+p, x+q] over (k,c,y,x,p,q) *)
+  let a = Access.of_terms "A" ~depth:6 [ [ 1 ]; [ 2; 4 ]; [ 3; 5 ] ] in
+  Alcotest.(check int) "rank" 3 (Access.rank a);
+  Alcotest.(check (array int)) "index" [| 7; 5; 9 |]
+    (Access.index a [| 0; 7; 3; 4; 2; 5 |]);
+  Alcotest.check_raises "bad depth"
+    (Invalid_argument "Access.index: bad depth") (fun () ->
+      ignore (Access.index a [| 0 |]))
+
+let test_access_shape () =
+  let stmt = Workloads.conv2d ~k:4 ~c:3 ~y:5 ~x:6 ~p:3 ~q:3 in
+  let input = List.hd stmt.Stmt.inputs in
+  Alcotest.(check (array int)) "conv input shape (halo)" [| 3; 7; 8 |]
+    (Access.shape input stmt.Stmt.iters);
+  Alcotest.(check (array int)) "conv output shape" [| 4; 5; 6 |]
+    (Access.shape stmt.Stmt.output stmt.Stmt.iters)
+
+let test_stmt_table2 () =
+  (* all six Table II workloads build and render *)
+  let formulas =
+    List.map
+      (fun (name, stmt) -> (name, Format.asprintf "%a" Stmt.pp stmt))
+      [ ("GEMM", Workloads.gemm ~m:2 ~n:2 ~k:2);
+        ("BGEMV", Workloads.batched_gemv ~m:2 ~n:2 ~k:2);
+        ("Conv2D", Workloads.conv2d ~k:2 ~c:2 ~y:2 ~x:2 ~p:2 ~q:2);
+        ("DWConv", Workloads.depthwise_conv ~k:2 ~y:2 ~x:2 ~p:2 ~q:2);
+        ("MTTKRP", Workloads.mttkrp ~i:2 ~j:2 ~k:2 ~l:2);
+        ("TTMc", Workloads.ttmc ~i:2 ~j:2 ~k:2 ~l:2 ~m:2) ]
+  in
+  Alcotest.(check string) "gemm formula" "C[m, n] += A[m, k] * B[n, k]"
+    (List.assoc "GEMM" formulas);
+  Alcotest.(check string) "conv formula"
+    "C[k, y, x] += A[c, y+p, x+q] * B[k, c, p, q]"
+    (List.assoc "Conv2D" formulas);
+  Alcotest.(check string) "mttkrp formula"
+    "D[i, j] += A[i, k, l] * B[k, j] * C[l, j]"
+    (List.assoc "MTTKRP" formulas)
+
+let test_stmt_domain () =
+  let stmt = Workloads.gemm ~m:3 ~n:4 ~k:5 in
+  Alcotest.(check int) "domain size" 60 (Stmt.domain_size stmt);
+  let count = ref 0 in
+  Stmt.iter_domain stmt (fun _ -> incr count);
+  Alcotest.(check int) "iter_domain count" 60 !count;
+  (* lexicographic order: first point all zeros, last all max *)
+  let first = ref None and last = ref [||] in
+  Stmt.iter_domain stmt (fun x ->
+      if !first = None then first := Some (Array.copy x);
+      last := Array.copy x);
+  Alcotest.(check (array int)) "first" [| 0; 0; 0 |]
+    (Option.get !first);
+  Alcotest.(check (array int)) "last" [| 2; 3; 4 |] !last
+
+let test_dense () =
+  let t = Dense.create [| 2; 3 |] in
+  Dense.set t [| 1; 2 |] 42;
+  Alcotest.(check int) "get" 42 (Dense.get t [| 1; 2 |]);
+  Alcotest.(check int) "flat offset" 5 (Dense.offset t [| 1; 2 |]);
+  Alcotest.(check int) "size" 6 (Dense.size t);
+  Alcotest.(check (array int)) "strides" [| 3; 1 |] (Dense.strides t);
+  Alcotest.check_raises "oob"
+    (Invalid_argument
+       "Dense.offset: index 3 out of bounds [0,3) at dim 1") (fun () ->
+      ignore (Dense.get t [| 0; 3 |]));
+  let u = Dense.copy t in
+  Dense.set u [| 0; 0 |] 1;
+  Alcotest.(check int) "copy is deep" 0 (Dense.get t [| 0; 0 |]);
+  let m = Dense.map (fun v -> v * 2) t in
+  Alcotest.(check int) "map" 84 (Dense.get m [| 1; 2 |]);
+  let acc = ref 0 in
+  Dense.iteri (fun idx v -> acc := !acc + v + idx.(0)) t;
+  Alcotest.(check int) "iteri" (42 + 3) !acc
+
+let test_exec_gemm () =
+  (* 2x2x2 GEMM against hand computation; note B is indexed [n,k] *)
+  let stmt = Workloads.gemm ~m:2 ~n:2 ~k:2 in
+  let a = Dense.init [| 2; 2 |] (fun i -> (i.(0) * 2) + i.(1) + 1) in
+  (* A = [1 2; 3 4] *)
+  let b = Dense.init [| 2; 2 |] (fun i -> (i.(0) * 2) + i.(1) + 5) in
+  (* B[n,k] = [5 6; 7 8] *)
+  let out = Exec.run stmt [ ("A", a); ("B", b) ] in
+  (* C[m,n] = sum_k A[m,k] * B[n,k] *)
+  Alcotest.(check int) "C00" ((1 * 5) + (2 * 6)) (Dense.get out [| 0; 0 |]);
+  Alcotest.(check int) "C01" ((1 * 7) + (2 * 8)) (Dense.get out [| 0; 1 |]);
+  Alcotest.(check int) "C10" ((3 * 5) + (4 * 6)) (Dense.get out [| 1; 0 |]);
+  Alcotest.(check int) "C11" ((3 * 7) + (4 * 8)) (Dense.get out [| 1; 1 |])
+
+let test_exec_mttkrp () =
+  (* three-input product: D[i,j] += A[i,k,l] B[k,j] C[l,j] *)
+  let stmt = Workloads.mttkrp ~i:1 ~j:1 ~k:2 ~l:2 in
+  let a = Dense.init [| 1; 2; 2 |] (fun i -> i.(1) + i.(2) + 1) in
+  let b = Dense.init [| 2; 1 |] (fun i -> i.(0) + 1) in
+  let c = Dense.init [| 2; 1 |] (fun i -> i.(0) + 2) in
+  let out = Exec.run stmt [ ("A", a); ("B", b); ("C", c) ] in
+  (* sum over k,l of A[0,k,l]*B[k,0]*C[l,0]:
+     (k,l)=(0,0):1*1*2 (0,1):2*1*3 (1,0):2*2*2 (1,1):3*2*3 = 2+6+8+18=34 *)
+  Alcotest.(check int) "D00" 34 (Dense.get out [| 0; 0 |])
+
+let test_exec_deterministic () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let e1 = Exec.alloc_inputs ~seed:7 stmt in
+  let e2 = Exec.alloc_inputs ~seed:7 stmt in
+  Alcotest.(check bool) "same seed, same data" true
+    (Dense.equal (List.assoc "A" e1) (List.assoc "A" e2));
+  let e3 = Exec.alloc_inputs ~seed:8 stmt in
+  Alcotest.(check bool) "different seed differs" false
+    (Dense.equal (List.assoc "A" e1) (List.assoc "A" e3))
+
+let test_exec_accumulates () =
+  let stmt = Workloads.gemm ~m:2 ~n:2 ~k:2 in
+  let env = Exec.alloc_inputs stmt in
+  let out = Exec.alloc_output stmt in
+  Exec.run_with stmt env out;
+  let snapshot = Dense.copy out in
+  Exec.run_with stmt env out;
+  let doubled = Dense.map (fun v -> v * 2) snapshot in
+  Alcotest.(check bool) "second run accumulates" true
+    (Dense.equal out doubled)
+
+let test_resnet_shapes () =
+  let l2 = Workloads.resnet_layer2 in
+  Alcotest.(check int) "layer2 macs" (64 * 64 * 56 * 56 * 3 * 3)
+    (Stmt.domain_size l2);
+  let l5 = Workloads.resnet_layer5 in
+  let x = List.find (fun i -> i.Iter.name = "x") l5.Stmt.iters in
+  Alcotest.(check int) "layer5 x=7" 7 x.Iter.extent
+
+(* properties *)
+
+let prop_gemm_matches_naive =
+  QCheck.Test.make ~name:"executor matches naive triple loop" ~count:30
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_range 1 5))
+    (fun (m, n, k) ->
+      let stmt = Workloads.gemm ~m ~n ~k in
+      let env = Exec.alloc_inputs stmt in
+      let a = List.assoc "A" env and b = List.assoc "B" env in
+      let out = Exec.run stmt env in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let expect = ref 0 in
+          for kk = 0 to k - 1 do
+            expect := !expect + (Dense.get a [| i; kk |] * Dense.get b [| j; kk |])
+          done;
+          if Dense.get out [| i; j |] <> !expect then ok := false
+        done
+      done;
+      !ok)
+
+let prop_shape_bounds_indices =
+  QCheck.Test.make ~name:"every access stays within its shape" ~count:20
+    QCheck.(int_range 1 4)
+    (fun s ->
+      let stmt = Workloads.conv2d ~k:s ~c:s ~y:s ~x:s ~p:2 ~q:2 in
+      List.for_all
+        (fun access ->
+          let shape = Access.shape access stmt.Stmt.iters in
+          let ok = ref true in
+          Stmt.iter_domain stmt (fun x ->
+              let idx = Access.index access x in
+              Array.iteri
+                (fun d v -> if v < 0 || v >= shape.(d) then ok := false)
+                idx);
+          !ok)
+        (Stmt.tensors stmt))
+
+let suite =
+  [ Alcotest.test_case "iterators" `Quick test_iter;
+    Alcotest.test_case "access index" `Quick test_access_index;
+    Alcotest.test_case "access shape" `Quick test_access_shape;
+    Alcotest.test_case "table II formulas" `Quick test_stmt_table2;
+    Alcotest.test_case "statement domain" `Quick test_stmt_domain;
+    Alcotest.test_case "dense tensors" `Quick test_dense;
+    Alcotest.test_case "golden gemm" `Quick test_exec_gemm;
+    Alcotest.test_case "golden mttkrp" `Quick test_exec_mttkrp;
+    Alcotest.test_case "deterministic inputs" `Quick test_exec_deterministic;
+    Alcotest.test_case "run_with accumulates" `Quick test_exec_accumulates;
+    Alcotest.test_case "resnet shapes" `Quick test_resnet_shapes ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_gemm_matches_naive; prop_shape_bounds_indices ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "tensorlib"
+    [ ("linalg", Test_linalg.suite);
+      ("ir", Test_ir.suite);
+      ("stt", Test_stt.suite);
+      ("hw", Test_hw.suite);
+      ("templates", Test_templates.suite);
+      ("models", Test_models.suite);
+      ("features", Test_features.suite);
+      ("workloads-ext", Test_workloads_ext.suite);
+      ("metrics", Test_metrics.suite);
+      ("parse", Test_parse.suite);
+      ("misc", Test_misc.suite);
+      ("coverage", Test_coverage.suite) ]

@@ -1,0 +1,93 @@
+(* Reuse-metrics analysis: exact traffic and reuse factors. *)
+
+open Tensorlib
+
+let gemm = Workloads.gemm ~m:256 ~n:256 ~k:256
+
+let metrics_of name =
+  Metrics.of_design (Search.find_design_exn gemm name)
+
+let tensor m name =
+  List.find (fun tm -> tm.Metrics.tensor = name) m.Metrics.tensors
+
+let test_output_stationary_reuse () =
+  let m = metrics_of "MNK-SST" in
+  (* the stationary output is fetched once per element per k-tile; with the
+     full k mapped to time, that is exactly once per element *)
+  let c = tensor m "C" in
+  Alcotest.(check int) "C footprint" (256 * 256) c.Metrics.footprint;
+  Alcotest.(check (float 1.)) "C fetches = footprint"
+    (float_of_int c.Metrics.footprint)
+    c.Metrics.fetches;
+  (* systolic A is fetched once per chain: 256^3 / 16 chainlength *)
+  let a = tensor m "A" in
+  Alcotest.(check (float 0.01)) "A reuse = chain length 16" 16.
+    a.Metrics.reuse_factor
+
+let test_unicast_reuse_is_one () =
+  let bg = Workloads.batched_gemv ~m:64 ~n:256 ~k:256 in
+  let m = Metrics.of_design (Search.find_design_exn bg "MNK-UTS") in
+  let a = tensor m "A" in
+  Alcotest.(check (float 1e-6)) "unicast reuse 1.0" 1. a.Metrics.reuse_factor;
+  Alcotest.(check bool) "low intensity" true
+    (m.Metrics.arithmetic_intensity < 2.)
+
+let test_traffic_lower_bound () =
+  (* traffic can never be below the compulsory footprint of all tensors *)
+  List.iter
+    (fun name ->
+      let m = metrics_of name in
+      let compulsory =
+        List.fold_left
+          (fun acc tm -> acc + tm.Metrics.footprint)
+          0 m.Metrics.tensors
+      in
+      Alcotest.(check bool)
+        (name ^ " traffic >= compulsory")
+        true
+        (m.Metrics.total_traffic_words >= float_of_int compulsory -. 1.))
+    [ "MNK-SST"; "MNK-STS"; "MNK-MTM"; "MNK-MMT" ]
+
+let test_traffic_upper_bound () =
+  (* and never above one fetch per access *)
+  List.iter
+    (fun name ->
+      let m = metrics_of name in
+      List.iter
+        (fun tm ->
+          Alcotest.(check bool)
+            (name ^ "/" ^ tm.Metrics.tensor ^ " fetches <= accesses")
+            true
+            (tm.Metrics.fetches <= float_of_int tm.Metrics.accesses +. 1.))
+        m.Metrics.tensors)
+    [ "MNK-SST"; "MNK-MTM"; "MNK-SSM" ]
+
+let test_metrics_render () =
+  let m = metrics_of "MNK-SST" in
+  let s = Format.asprintf "%a" Metrics.pp m in
+  Alcotest.(check bool) "mentions intensity" true
+    (let sub = "MACs/word" in
+     let n = String.length sub and h = String.length s in
+     let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+     go 0)
+
+let prop_intensity_consistent =
+  QCheck.Test.make ~name:"intensity = macs / traffic" ~count:10
+    QCheck.(int_range 0 9)
+    (fun i ->
+      let all = Search.all_designs ~selection:[| 0; 1; 2 |] gemm in
+      let _, d = List.nth all (i mod List.length all) in
+      let m = Metrics.of_design d in
+      let expect =
+        float_of_int m.Metrics.macs /. m.Metrics.total_traffic_words
+      in
+      abs_float (m.Metrics.arithmetic_intensity -. expect) < 1e-6)
+
+let suite =
+  [ Alcotest.test_case "output-stationary reuse" `Quick
+      test_output_stationary_reuse;
+    Alcotest.test_case "unicast reuse is 1" `Quick test_unicast_reuse_is_one;
+    Alcotest.test_case "traffic lower bound" `Quick test_traffic_lower_bound;
+    Alcotest.test_case "traffic upper bound" `Quick test_traffic_upper_bound;
+    Alcotest.test_case "metrics render" `Quick test_metrics_render ]
+  @ [ QCheck_alcotest.to_alcotest prop_intensity_consistent ]

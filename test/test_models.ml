@@ -1,0 +1,273 @@
+(* Performance model (Fig. 5), cost models (Fig. 6 / Table III), DSE and
+   baseline restrictions. *)
+
+open Tensorlib
+
+let gemm = Workloads.gemm ~m:256 ~n:256 ~k:256
+
+let eval name =
+  match Perf.evaluate_name gemm name with
+  | Some r -> r
+  | None -> Alcotest.failf "%s not realisable" name
+
+let test_perf_peak_bound () =
+  List.iter
+    (fun name ->
+      let r = eval name in
+      Alcotest.(check bool)
+        (name ^ " normalized <= 1") true
+        (r.Perf.normalized_perf <= 1.0 +. 1e-9);
+      Alcotest.(check bool)
+        (name ^ " util <= 1") true (r.Perf.utilization <= 1.0 +. 1e-9);
+      Alcotest.(check bool)
+        (name ^ " bw factor >= 1") true (r.Perf.bw_stall_factor >= 1.0 -. 1e-9);
+      Alcotest.(check bool)
+        (name ^ " pipelined >= serialized") true
+        (r.Perf.pipelined_perf >= r.Perf.normalized_perf -. 1e-9))
+    [ "MNK-SST"; "MNK-STS"; "MNK-MTM"; "MNK-MMT" ]
+
+let test_perf_fig5_gemm_ordering () =
+  (* §VI-A: multicast (MTM) beats systolic (STS) on cycles *)
+  let mtm = eval "MNK-MTM" and sts = eval "MNK-STS" in
+  Alcotest.(check bool) "MTM > STS" true
+    (mtm.Perf.normalized_perf > sts.Perf.normalized_perf);
+  Alcotest.(check bool) "STS still close to peak" true
+    (sts.Perf.normalized_perf > 0.8)
+
+let test_perf_fig5_unicast_bandwidth () =
+  (* MTTKRP unicast is bandwidth-bound and far below reuse dataflows *)
+  let mt = Workloads.mttkrp ~i:128 ~j:64 ~k:64 ~l:64 in
+  let uni = Option.get (Perf.evaluate_name mt "IKL-UBBB") in
+  let reuse = Option.get (Perf.evaluate_name mt "IJK-MMBT") in
+  Alcotest.(check bool) "unicast bw-stalled" true
+    (uni.Perf.bw_stall_factor > 2.0);
+  Alcotest.(check bool) "reuse beats unicast 3x" true
+    (reuse.Perf.normalized_perf > 3.0 *. uni.Perf.normalized_perf)
+
+let test_perf_fig5_conv_small_bounds () =
+  (* small x=y=7 bounds (ResNet layer5) hurt XY-mapped dataflows *)
+  let l2 = Option.get (Perf.evaluate_name Workloads.resnet_layer2 "XYP-MMT") in
+  let l5 = Option.get (Perf.evaluate_name Workloads.resnet_layer5 "XYP-MMT") in
+  Alcotest.(check bool) "layer5 worse than layer2" true
+    (l5.Perf.normalized_perf < l2.Perf.normalized_perf);
+  (* KCX (GEMM-like) beats XYP on layer2, the paper's recommendation *)
+  let kcx = Option.get (Perf.evaluate_name Workloads.resnet_layer2 "KCX-SST") in
+  Alcotest.(check bool) "KCX beats XYP" true
+    (kcx.Perf.normalized_perf > l2.Perf.normalized_perf)
+
+let test_perf_batched_gemv_unicast_only () =
+  (* tensor A of batched GEMV can only be unicast (touched once) *)
+  let bg = Workloads.batched_gemv ~m:64 ~n:64 ~k:64 in
+  List.iter
+    (fun sel ->
+      List.iter
+        (fun m ->
+          let t = Transform.v bg ~selected:sel ~matrix:m in
+          let d = Design.analyze t in
+          Alcotest.(check bool) "A unicast" true
+            ((Design.find_tensor d "A").Design.dataflow = Dataflow.Unicast))
+        (List.filteri (fun i _ -> i < 50) (Search.candidate_matrices ~n:3)))
+    [ [| 0; 1; 2 |] ]
+
+let test_perf_tile_fits () =
+  let r = eval "MNK-SST" in
+  Alcotest.(check bool) "tile within extents" true
+    (Array.for_all (fun t -> t >= 1 && t <= 256) r.Perf.tile);
+  Alcotest.(check bool) "cycles positive" true (r.Perf.cycles > 0.)
+
+let test_asic_fig6_spread () =
+  let all = Search.all_designs ~selection:[| 0; 1; 2 |] gemm in
+  let reports = List.map (fun (_, d) -> Asic.evaluate d) all in
+  let powers = List.map (fun r -> r.Asic.power_mw) reports in
+  let areas = List.map (fun r -> r.Asic.area) reports in
+  let mn = List.fold_left min (List.hd powers) powers in
+  let mx = List.fold_left max (List.hd powers) powers in
+  Alcotest.(check bool) "power spread > 1.4x" true (mx /. mn > 1.4);
+  Alcotest.(check bool) "power in 30..70 mW" true (mn > 30. && mx < 70.);
+  let amn = List.fold_left min (List.hd areas) areas in
+  let amx = List.fold_left max (List.hd areas) areas in
+  Alcotest.(check bool) "area spread modest (<1.25x)" true
+    (amx /. amn < 1.25);
+  (* the paper: double-multicast-input designs are the energy-hungriest *)
+  let top =
+    List.sort (fun a b -> compare b.Asic.power_mw a.Asic.power_mw) reports
+  in
+  (match top with
+   | hot :: _ ->
+     Alcotest.(check bool) "hottest is MM*" true
+       (String.length hot.Asic.design_name >= 6
+        && String.sub hot.Asic.design_name 4 2 = "MM")
+   | [] -> Alcotest.fail "no designs")
+
+let test_asic_breakdown_sums () =
+  let d = Search.find_design_exn gemm "MNK-SST" in
+  let r = Asic.evaluate d in
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0. r.Asic.breakdown in
+  Alcotest.(check (float 1e-6)) "breakdown sums to power" r.Asic.power_mw
+    total
+
+let test_inventory_counts () =
+  let d = Search.find_design_exn gemm "MNK-SST" in
+  let inv = Inventory.of_design ~rows:16 ~cols:16 d in
+  Alcotest.(check int) "one multiplier per PE" 256 inv.Inventory.multipliers;
+  Alcotest.(check int) "mac adders for stationary out" 256
+    inv.Inventory.mac_adders;
+  Alcotest.(check int) "no tree" 0 inv.Inventory.tree_adders;
+  Alcotest.(check bool) "dw regs for 2 systolic tensors" true
+    (inv.Inventory.dw_reg_bits >= 2 * 256 * 16);
+  let dtree = Search.find_design_exn gemm "MNK-MTM" in
+  let invt = Inventory.of_design ~rows:16 ~cols:16 dtree in
+  Alcotest.(check int) "tree adders 16 lines x 15" 240
+    invt.Inventory.tree_adders
+
+let test_fpga_table3 () =
+  let mm = Workloads.gemm ~m:1024 ~n:1024 ~k:1024 in
+  let d = Search.find_design_exn mm "MNK-STS" in
+  let perf =
+    Perf.evaluate
+      ~config:{ Perf.default_config with rows = 10; cols = 16;
+                bandwidth_gbps = 64.; elem_bytes = 4 }
+      d
+  in
+  let r =
+    Fpga.evaluate ~device:Fpga.vu9p ~rows:10 ~cols:16 ~vec:8
+      ~datatype:Fpga.Fp32 ~efficiency:perf.Perf.pipelined_perf ~workload:"MM"
+      d
+  in
+  (* paper Table III: 68% LUT, 75% DSP, 51% BRAM, 263 MHz, 673 Gop/s *)
+  Alcotest.(check bool) "DSP 75%" true (abs_float (r.Fpga.dsp_pct -. 75.) < 2.);
+  Alcotest.(check bool) "MHz ~263" true (abs_float (r.Fpga.mhz -. 263.) < 8.);
+  Alcotest.(check bool) "Gop/s ~673" true (abs_float (r.Fpga.gops -. 673.) < 25.);
+  Alcotest.(check bool) "BRAM ~51%" true (abs_float (r.Fpga.bram_pct -. 51.) < 5.);
+  (* the 21% headline vs PolySA's 555 Gop/s *)
+  let polysa =
+    Option.get (Baselines.polysa.Baselines.published ~workload:"MM")
+  in
+  Alcotest.(check bool) "+15..25% vs PolySA" true
+    (r.Fpga.gops /. polysa.Fpga.gops > 1.15
+     && r.Fpga.gops /. polysa.Fpga.gops < 1.30);
+  (* floorplanning pushes frequency to ~328 MHz (§VI-C) *)
+  let rf =
+    Fpga.evaluate ~style:Fpga.rtl_floorplanned ~device:Fpga.vu9p ~rows:10
+      ~cols:16 ~vec:8 ~datatype:Fpga.Fp32
+      ~efficiency:perf.Perf.pipelined_perf ~workload:"MM" d
+  in
+  Alcotest.(check bool) "floorplanned ~328 MHz" true
+    (abs_float (rf.Fpga.mhz -. 328.) < 8.)
+
+let test_dse_gemm_space () =
+  let pts = Enumerate.design_space gemm in
+  Alcotest.(check bool) "hundreds of distinct GEMM architectures" true
+    (List.length pts > 100);
+  (* signatures unique *)
+  let sigs = List.map (fun p -> p.Enumerate.signature) pts in
+  Alcotest.(check int) "unique" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs));
+  (* every point re-validates: analysis of its transform = its signature *)
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "revalidates" p.Enumerate.signature
+        (Enumerate.signature
+           (Design.analyze p.Enumerate.design.Design.transform)))
+    (List.filteri (fun i _ -> i < 30) pts)
+
+let test_dse_d4_symmetry () =
+  (* transposed transforms produce the same signature *)
+  let t1 =
+    Transform.by_names gemm [ "m"; "n"; "k" ]
+      ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 1; 1 ] ]
+  in
+  let t2 =
+    Transform.by_names gemm [ "m"; "n"; "k" ]
+      ~matrix:[ [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 1; 1; 1 ] ]
+  in
+  Alcotest.(check string) "transpose-equivalent"
+    (Enumerate.signature (Design.analyze t1))
+    (Enumerate.signature (Design.analyze t2))
+
+let test_pareto () =
+  let pts = [ (1., 5.); (2., 2.); (3., 3.); (5., 1.); (4., 4.) ] in
+  let front = Enumerate.pareto_min (fun p -> p) pts in
+  Alcotest.(check int) "frontier size" 3 (List.length front);
+  Alcotest.(check bool) "dominated point excluded" false
+    (List.mem (3., 3.) front)
+
+let test_baseline_restriction () =
+  (* systolic-only space excludes multicast designs *)
+  let mtm = Search.find_design_exn gemm "MNK-MTM" in
+  Alcotest.(check bool) "MTM rejected" false (Baselines.systolic_only mtm);
+  let sst = Search.find_design_exn gemm "MNK-SST" in
+  Alcotest.(check bool) "SST accepted" true (Baselines.systolic_only sst)
+
+let test_baseline_depthwise_gap () =
+  (* baselines have no good systolic design for depthwise conv *)
+  let dw = Workloads.depthwise_conv ~k:64 ~y:14 ~x:14 ~p:3 ~q:3 in
+  match Baselines.best_supported_design dw Baselines.polysa with
+  | None -> () (* no design at all: fine *)
+  | Some (_, r) ->
+    Alcotest.(check bool) "poor systolic-only depthwise" true
+      (r.Perf.normalized_perf < 0.3)
+
+let test_baseline_published_rows () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun w ->
+          match b.Baselines.published ~workload:w with
+          | Some row ->
+            Alcotest.(check bool) "sane row" true
+              (row.Fpga.gops > 100. && row.Fpga.mhz > 100.)
+          | None -> Alcotest.failf "%s missing %s" b.Baselines.name w)
+        [ "MM"; "Conv" ])
+    Baselines.all
+
+(* properties *)
+
+let prop_perf_monotone_bandwidth =
+  QCheck.Test.make ~name:"more bandwidth never hurts" ~count:10
+    QCheck.(int_range 4 64)
+    (fun bw ->
+      let mt = Workloads.mttkrp ~i:32 ~j:32 ~k:32 ~l:32 in
+      let d = Search.find_design_exn mt "IKL-UBBB" in
+      let at gbps =
+        (Perf.evaluate
+           ~config:{ Perf.default_config with bandwidth_gbps = float_of_int gbps }
+           d).Perf.cycles
+      in
+      at bw >= at (bw * 2) -. 1e-6)
+
+let prop_asic_positive =
+  QCheck.Test.make ~name:"cost model positive and finite" ~count:40
+    QCheck.(int_range 0 18)
+    (fun i ->
+      let all = Search.all_designs ~selection:[| 0; 1; 2 |] gemm in
+      let _, d = List.nth all (i mod List.length all) in
+      let r = Asic.evaluate d in
+      r.Asic.power_mw > 0. && r.Asic.area > 0.
+      && Float.is_finite r.Asic.power_mw && Float.is_finite r.Asic.area)
+
+let suite =
+  [ Alcotest.test_case "perf bounds" `Quick test_perf_peak_bound;
+    Alcotest.test_case "fig5: gemm ordering" `Quick
+      test_perf_fig5_gemm_ordering;
+    Alcotest.test_case "fig5: unicast bandwidth" `Quick
+      test_perf_fig5_unicast_bandwidth;
+    Alcotest.test_case "fig5: conv small bounds" `Quick
+      test_perf_fig5_conv_small_bounds;
+    Alcotest.test_case "bgemv A unicast-only" `Quick
+      test_perf_batched_gemv_unicast_only;
+    Alcotest.test_case "perf tile sanity" `Quick test_perf_tile_fits;
+    Alcotest.test_case "fig6: asic spread" `Quick test_asic_fig6_spread;
+    Alcotest.test_case "asic breakdown" `Quick test_asic_breakdown_sums;
+    Alcotest.test_case "module inventory" `Quick test_inventory_counts;
+    Alcotest.test_case "table III" `Quick test_fpga_table3;
+    Alcotest.test_case "dse gemm space" `Quick test_dse_gemm_space;
+    Alcotest.test_case "dse D4 symmetry" `Quick test_dse_d4_symmetry;
+    Alcotest.test_case "pareto frontier" `Quick test_pareto;
+    Alcotest.test_case "baseline restriction" `Quick test_baseline_restriction;
+    Alcotest.test_case "baseline depthwise gap" `Quick
+      test_baseline_depthwise_gap;
+    Alcotest.test_case "baseline published rows" `Quick
+      test_baseline_published_rows ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_perf_monotone_bandwidth; prop_asic_positive ]

@@ -1,0 +1,347 @@
+(* Space-time transformation analysis: the paper's §II, §IV and Table I. *)
+
+open Tensorlib
+
+let gemm = Workloads.gemm ~m:4 ~n:4 ~k:4
+
+let fig1b =
+  (* Fig. 1(b): (i,j,k) -> (i, j, i+j+k) *)
+  Transform.by_names gemm [ "m"; "n"; "k" ]
+    ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 1; 1 ] ]
+
+let test_transform_validity () =
+  Alcotest.check_raises "singular matrix rejected"
+    (Invalid_argument "Transform.v: STT matrix must be full rank (one-to-one)")
+    (fun () ->
+      ignore
+        (Transform.by_names gemm [ "m"; "n"; "k" ]
+           ~matrix:[ [ 1; 0; 0 ]; [ 1; 0; 0 ]; [ 0; 0; 1 ] ]));
+  Alcotest.check_raises "duplicate selection"
+    (Invalid_argument "Transform.v: duplicate selected iterator") (fun () ->
+      ignore
+        (Transform.v gemm ~selected:[| 0; 0; 1 |]
+           ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 0; 0; 1 ] ]))
+
+let test_fig1b_mapping () =
+  (* paper: i=1, j=2, k=3 executes at PE (1,2) at cycle 6 *)
+  let p, t = Transform.apply fig1b [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "PE" [| 1; 2 |] p;
+  Alcotest.(check int) "time" 6 t;
+  (* inverse recovers the iteration *)
+  let x = Transform.inverse_apply fig1b [| 1; 2 |] 6 in
+  Alcotest.(check (array int)) "inverse" [| 1; 2; 3 |] (Vec.to_integer x |> fun _ ->
+    Array.map Rat.to_int x)
+
+let test_fig1b_dataflows () =
+  (* paper §IV: A[i,k] under Fig 1(b) is systolic with (dp,dt) = (0,1,1) *)
+  let d = Design.analyze fig1b in
+  (match (Design.find_tensor d "A").Design.dataflow with
+   | Dataflow.Systolic { dp; dt } ->
+     Alcotest.(check (array int)) "A dp" [| 0; 1 |] dp;
+     Alcotest.(check int) "A dt" 1 dt
+   | df -> Alcotest.failf "A: expected systolic, got %s" (Dataflow.to_string df));
+  (match (Design.find_tensor d "B").Design.dataflow with
+   | Dataflow.Systolic { dp; dt } ->
+     Alcotest.(check (array int)) "B dp" [| 1; 0 |] dp;
+     Alcotest.(check int) "B dt" 1 dt
+   | df -> Alcotest.failf "B: expected systolic, got %s" (Dataflow.to_string df));
+  (match (Design.find_tensor d "C").Design.dataflow with
+   | Dataflow.Stationary { dt } -> Alcotest.(check int) "C dt" 1 dt
+   | df ->
+     Alcotest.failf "C: expected stationary, got %s" (Dataflow.to_string df));
+  Alcotest.(check string) "name" "MNK-SST" d.Design.name
+
+let test_multicast_classification () =
+  (* space = (n,k), time = m: A[m,k] reuse dir n -> spatial => multicast *)
+  let t =
+    Transform.by_names gemm [ "m"; "n"; "k" ]
+      ~matrix:[ [ 0; 1; 0 ]; [ 0; 0; 1 ]; [ 1; 0; 0 ] ]
+  in
+  let d = Design.analyze t in
+  (match (Design.find_tensor d "A").Design.dataflow with
+   | Dataflow.Multicast { dp } ->
+     Alcotest.(check (array int)) "A multicast dir" [| 1; 0 |] dp
+   | df -> Alcotest.failf "A: expected multicast, got %s" (Dataflow.to_string df));
+  (* output C has reuse dir k which is spatial too: reduction tree *)
+  (match (Design.find_tensor d "C").Design.dataflow with
+   | Dataflow.Multicast { dp } ->
+     Alcotest.(check (array int)) "C tree dir" [| 0; 1 |] dp
+   | df -> Alcotest.failf "C: expected multicast, got %s" (Dataflow.to_string df));
+  Alcotest.(check string) "letters" "MTM" (Design.letters d)
+
+let test_unicast_classification () =
+  (* Batched-GEMV A[m,k,n] depends on all three iterators: rank-0 reuse *)
+  let bg = Workloads.batched_gemv ~m:4 ~n:4 ~k:4 in
+  let t =
+    Transform.by_names bg [ "m"; "n"; "k" ]
+      ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 0; 0; 1 ] ]
+  in
+  let d = Design.analyze t in
+  Alcotest.(check bool) "A unicast" true
+    ((Design.find_tensor d "A").Design.dataflow = Dataflow.Unicast)
+
+let test_2d_reuse_classification () =
+  (* Conv2D weight B[k,c,p,q] under XYP selection has a 2-D reuse plane *)
+  let conv = Workloads.conv2d ~k:4 ~c:4 ~y:6 ~x:6 ~p:3 ~q:3 in
+  let t =
+    Transform.by_names conv [ "x"; "y"; "p" ]
+      ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 0; 0; 1 ] ]
+  in
+  let d = Design.analyze t in
+  let b = (Design.find_tensor d "B").Design.dataflow in
+  Alcotest.(check int) "B reuse is 2-D" 2 (Dataflow.subspace_dim b);
+  Alcotest.(check char) "B letter" 'B' (Dataflow.letter b)
+
+let test_broadcast_classification () =
+  (* both null directions spatial: element broadcast to a plane *)
+  let dw = Workloads.depthwise_conv ~k:4 ~y:6 ~x:6 ~p:3 ~q:3 in
+  (* select (x,y,p); B[k,p,q] restricted depends only on p; choose T with
+     x,y spatial and p temporal-but... here x->p1, y->p0, p->t so the reuse
+     plane {e_x,e_y} maps to {(0,1,0),(1,0,0)}: vertical to t => broadcast *)
+  let t =
+    Transform.by_names dw [ "x"; "y"; "p" ]
+      ~matrix:[ [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 0; 0; 1 ] ]
+  in
+  let d = Design.analyze t in
+  (match (Design.find_tensor d "B").Design.dataflow with
+   | Dataflow.Reuse2d Dataflow.Broadcast -> ()
+   | df -> Alcotest.failf "expected broadcast, got %s" (Dataflow.to_string df))
+
+let test_multicast_stationary_classification () =
+  (* GEMM with B[n,k] ignoring the selected m loop... use depthwise: plane
+     containing the time axis *)
+  let dw = Workloads.depthwise_conv ~k:4 ~y:6 ~x:6 ~p:3 ~q:3 in
+  (* select (x,y,p); T: p0=y+p, p1=p, t=x.  B depends on p only; null plane
+     {e_x, e_y} maps to {(0,0,1)=e_t, (1,0,0)}: contains the t axis *)
+  let t =
+    Transform.by_names dw [ "x"; "y"; "p" ]
+      ~matrix:[ [ 0; 1; 1 ]; [ 0; 0; 1 ]; [ 1; 0; 0 ] ]
+  in
+  let d = Design.analyze t in
+  (match (Design.find_tensor d "B").Design.dataflow with
+   | Dataflow.Reuse2d (Dataflow.Multicast_stationary { multicast }) ->
+     Alcotest.(check (array int)) "multicast dir" [| 1; 0 |] multicast
+   | df ->
+     Alcotest.failf "expected multicast+stationary, got %s"
+       (Dataflow.to_string df))
+
+let test_projector_matches_nullspace () =
+  (* Eq. 3 projector image = T . null(A) for every GEMM tensor *)
+  let d = Design.analyze fig1b in
+  List.iter
+    (fun (ti : Design.tensor_info) ->
+      let p = Reuse.projector fig1b ti.Design.access in
+      let basis = Reuse.reuse_basis fig1b ti.Design.access in
+      (* projector is idempotent *)
+      Alcotest.(check bool) "P^2 = P" true (Mat.equal (Mat.mul p p) p);
+      (* image of the projector has the same rank as the reuse space *)
+      Alcotest.(check int)
+        ("rank for " ^ ti.Design.access.Access.tensor)
+        (List.length basis) (Mat.rank p);
+      (* each basis vector is fixed by the projector *)
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "P v = v" true
+            (Vec.equal (Mat.mul_vec p v) v))
+        basis)
+    d.Design.tensors
+
+let test_time_bounds () =
+  let lo, hi = Transform.time_bounds fig1b in
+  Alcotest.(check int) "min time" 0 lo;
+  Alcotest.(check int) "max time" 9 hi;
+  (* negative schedule coefficients give a negative lower bound *)
+  let t =
+    Transform.by_names gemm [ "m"; "n"; "k" ]
+      ~matrix:[ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ -1; 0; 1 ] ]
+  in
+  let lo, hi = Transform.time_bounds t in
+  Alcotest.(check int) "min time negative" (-3) lo;
+  Alcotest.(check int) "max time" 3 hi
+
+let test_space_footprint () =
+  let fp = Transform.space_footprint fig1b in
+  Alcotest.(check int) "footprint 4x4" 16 (Hashtbl.length fp)
+
+let test_selection_label () =
+  let conv = Workloads.conv2d ~k:4 ~c:4 ~y:6 ~x:6 ~p:3 ~q:3 in
+  let t =
+    Transform.by_names conv [ "k"; "c"; "x" ]
+      ~matrix:[ [ 1; 0; 0 ]; [ 0; 0; 1 ]; [ 0; 1; 0 ] ]
+  in
+  Alcotest.(check string) "label" "KCX" (Transform.selection_label t)
+
+let test_search_named_designs () =
+  List.iter
+    (fun name ->
+      match Search.find_design gemm name with
+      | Some d -> Alcotest.(check string) name name d.Design.name
+      | None -> Alcotest.failf "%s not found" name)
+    [ "MNK-SST"; "MNK-STS"; "MNK-MTM"; "MNK-MMT"; "MNK-SSS" ];
+  (* unrealisable combination: GEMM cannot be all-stationary *)
+  Alcotest.(check bool) "TTT unrealisable" true
+    (Search.find_design gemm "MNK-TTT" = None)
+
+let test_search_loose_matching () =
+  (* Conv2D XYP-MST relies on loose matching of 2-D reuse letters *)
+  let conv = Workloads.conv2d ~k:4 ~c:4 ~y:6 ~x:6 ~p:3 ~q:3 in
+  match Search.find_design conv "XYP-MST" with
+  | Some d ->
+    Alcotest.(check bool) "B tensor has 2-D reuse" true
+      (Dataflow.subspace_dim (Design.find_tensor d "B").Design.dataflow >= 2)
+  | None -> Alcotest.fail "XYP-MST should resolve loosely"
+
+let test_all_designs_gemm () =
+  let all = Search.all_designs ~selection:[| 0; 1; 2 |] gemm in
+  Alcotest.(check int) "19 letter-distinct GEMM dataflows" 19
+    (List.length all);
+  (* no design name repeats *)
+  let names = List.map fst all in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_candidate_matrices () =
+  let ms = Search.candidate_matrices ~n:2 in
+  (* full-rank 2x2 matrices over {-1,0,1}: 48 of them *)
+  Alcotest.(check int) "2x2 count" 48 (List.length ms);
+  List.iter
+    (fun m ->
+      let det = Mat.det (Mat.of_int_rows m) in
+      Alcotest.(check bool) "full rank" false (Rat.is_zero det))
+    ms
+
+let test_netlist_supported () =
+  let d = Design.analyze fig1b in
+  Alcotest.(check bool) "SST supported" true (Design.netlist_supported d)
+
+(* ---------- properties ---------- *)
+
+let arbitrary_transform =
+  let gen =
+    QCheck.Gen.(
+      let cell = int_range (-1) 1 in
+      let rec full_rank () =
+        array_size (return 9) cell >>= fun cells ->
+        let m = List.init 3 (fun i -> List.init 3 (fun j -> cells.((i * 3) + j))) in
+        if Rat.is_zero (Mat.det (Mat.of_int_rows m)) then full_rank ()
+        else return m
+      in
+      full_rank ())
+  in
+  QCheck.make
+    ~print:(fun m ->
+      String.concat ";"
+        (List.map (fun r -> String.concat "," (List.map string_of_int r)) m))
+    gen
+
+(* step one reuse vector in space-time: must land on the same element *)
+let check_step dp dt access t ext points =
+  List.for_all
+    (fun x1 ->
+      let p1, t1 = Transform.apply t x1 in
+      let p2 = [| p1.(0) + dp.(0); p1.(1) + dp.(1) |] in
+      let x2r = Transform.inverse_apply t p2 (t1 + dt) in
+      if Array.for_all Rat.is_integer x2r then begin
+        let x2 = Array.map Rat.to_int x2r in
+        let inb = Array.for_all2 (fun v e -> v >= 0 && v < e) x2 ext in
+        (not inb) || Reuse.reuses_same_element t access x1 x2
+      end
+      else true)
+    points
+
+(* The classification must agree with brute-force reuse enumeration: for a
+   tensor classified with reuse vector (dp,dt), the iterations mapping to
+   (p,t) and (p+dp,t+dt) access the same element; unicast tensors never
+   share an element between distinct iterations. *)
+let prop_classification_sound =
+  QCheck.Test.make ~name:"Table-I classification vs brute force" ~count:60
+    arbitrary_transform (fun m ->
+      let t = Transform.by_names gemm [ "m"; "n"; "k" ] ~matrix:m in
+      let d = Design.analyze t in
+      let points = ref [] in
+      let ext = Transform.selected_extents t in
+      for i = 0 to ext.(0) - 1 do
+        for j = 0 to ext.(1) - 1 do
+          for k = 0 to ext.(2) - 1 do
+            points := [| i; j; k |] :: !points
+          done
+        done
+      done;
+      List.for_all
+        (fun (ti : Design.tensor_info) ->
+          let access = ti.Design.access in
+          match ti.Design.dataflow with
+          | Dataflow.Unicast ->
+            List.for_all
+              (fun x1 ->
+                List.for_all
+                  (fun x2 ->
+                    x1 == x2 || not (Reuse.reuses_same_element t access x1 x2))
+                  !points)
+              !points
+          | Dataflow.Systolic { dp; dt } ->
+            check_step dp dt access t ext !points
+          | Dataflow.Multicast { dp } ->
+            check_step dp 0 access t ext !points
+          | Dataflow.Stationary { dt } ->
+            check_step [| 0; 0 |] dt access t ext !points
+          | Dataflow.Reuse2d _ | Dataflow.Reuse_full -> true)
+        d.Design.tensors)
+
+let prop_one_to_one =
+  QCheck.Test.make ~name:"full-rank STT is one-to-one on the domain"
+    ~count:60 arbitrary_transform (fun m ->
+      let t = Transform.by_names gemm [ "m"; "n"; "k" ] ~matrix:m in
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      let ext = Transform.selected_extents t in
+      for i = 0 to ext.(0) - 1 do
+        for j = 0 to ext.(1) - 1 do
+          for k = 0 to ext.(2) - 1 do
+            let p, tm = Transform.apply t [| i; j; k |] in
+            let key = (p.(0), p.(1), tm) in
+            if Hashtbl.mem seen key then ok := false;
+            Hashtbl.add seen key ()
+          done
+        done
+      done;
+      !ok)
+
+let prop_reuse_dim_complements_rank =
+  QCheck.Test.make ~name:"reuse dim = 3 - rank(A_sel)" ~count:60
+    arbitrary_transform (fun m ->
+      let t = Transform.by_names gemm [ "m"; "n"; "k" ] ~matrix:m in
+      let d = Design.analyze t in
+      List.for_all
+        (fun (ti : Design.tensor_info) ->
+          let a_sel = Transform.restricted_access t ti.Design.access in
+          Dataflow.subspace_dim ti.Design.dataflow = 3 - Mat.rank a_sel)
+        d.Design.tensors)
+
+let suite =
+  [ Alcotest.test_case "transform validity" `Quick test_transform_validity;
+    Alcotest.test_case "fig 1(b) mapping" `Quick test_fig1b_mapping;
+    Alcotest.test_case "fig 1(b) dataflows" `Quick test_fig1b_dataflows;
+    Alcotest.test_case "multicast classification" `Quick
+      test_multicast_classification;
+    Alcotest.test_case "unicast classification" `Quick
+      test_unicast_classification;
+    Alcotest.test_case "2-D reuse classification" `Quick
+      test_2d_reuse_classification;
+    Alcotest.test_case "broadcast classification" `Quick
+      test_broadcast_classification;
+    Alcotest.test_case "multicast+stationary classification" `Quick
+      test_multicast_stationary_classification;
+    Alcotest.test_case "Eq.3 projector" `Quick test_projector_matches_nullspace;
+    Alcotest.test_case "time bounds" `Quick test_time_bounds;
+    Alcotest.test_case "space footprint" `Quick test_space_footprint;
+    Alcotest.test_case "selection label" `Quick test_selection_label;
+    Alcotest.test_case "named design search" `Quick test_search_named_designs;
+    Alcotest.test_case "loose letter matching" `Quick
+      test_search_loose_matching;
+    Alcotest.test_case "GEMM letter space" `Quick test_all_designs_gemm;
+    Alcotest.test_case "candidate matrices" `Quick test_candidate_matrices;
+    Alcotest.test_case "netlist support flag" `Quick test_netlist_supported ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_classification_sound; prop_one_to_one;
+        prop_reuse_dim_complements_rank ]
