@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples fuzz doc clean
+.PHONY: all build test lint bench examples fuzz doc clean
 
 all: build
 
@@ -20,6 +20,17 @@ examples:
 	dune exec examples/tiled_reuse.exe
 	dune exec examples/custom_einsum.exe
 
+# Static-analysis gate: every supported design of the small workloads must
+# report zero error-severity findings (rule catalog: docs/LINT.md).
+lint:
+	dune build bin/tensorlib_cli.exe
+	dune exec bin/tensorlib_cli.exe -- lint -w gemm-small
+	dune exec bin/tensorlib_cli.exe -- lint -w conv2d-small
+	dune exec bin/tensorlib_cli.exe -- lint -w depthwise-small
+	dune exec bin/tensorlib_cli.exe -- lint -w mttkrp-small
+
+# Random designs vs the golden executor, plus the lint differential
+# oracle over random netlists (Rewrite must never introduce findings).
 fuzz:
 	dune exec bin/fuzz.exe -- 500
 

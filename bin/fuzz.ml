@@ -3,6 +3,16 @@
    golden executor.  A standing end-to-end soundness harness for the
    generator (the CI-style long-running counterpart of the property tests).
 
+   Two phases:
+   - designs: random stmt x random STT; generated accelerators must match
+     the golden executor, and the lint must report no error-severity
+     finding on the generated netlist, before or after [Rewrite].
+   - netlists: random raw netlists; the lint must never crash, and
+     [Rewrite.circuit] must never introduce a finding (per-rule counts
+     never grow).  A slice of deliberately broken netlists checks that
+     unassigned wires and combinational cycles surface as L001/L002
+     findings instead of exceptions.
+
    Usage: dune exec bin/fuzz.exe -- [iterations] [seed] *)
 
 open Tensorlib
@@ -52,6 +62,103 @@ let random_transform rng stmt =
   in
   Transform.v stmt ~selected ~matrix:(matrix ())
 
+(* ---------------- lint differential oracle ---------------- *)
+
+(* Keep L012 quiet: the generator shares leaves freely, so folding can push
+   an individual signal's fanout across any small threshold without adding
+   logic.  Every other rule is compared by exact per-rule count. *)
+let fuzz_lint_config =
+  { Lint.Netlist.default_config with fanout_threshold = 1000 }
+
+let rule_counts findings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      let n =
+        match Hashtbl.find_opt tbl f.Lint.Finding.rule with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace tbl f.Lint.Finding.rule (n + 1))
+    findings;
+  tbl
+
+let introduced ~before ~after =
+  let b = rule_counts before and a = rule_counts after in
+  Hashtbl.fold
+    (fun rule n acc ->
+      let m = match Hashtbl.find_opt b rule with Some m -> m | None -> 0 in
+      if n > m then (rule, m, n) :: acc else acc)
+    a []
+
+(* Random netlists built so that [Rewrite] cannot merely *reveal* a latent
+   warning: register data inputs are [q op expr] (the feedback term [q]
+   never folds to a constant), enables and write strobes are input bits,
+   and ram addresses are input slices.  Under those constraints any finding
+   whose count grows across [Rewrite.circuit] is a genuine optimiser bug. *)
+let random_netlist rng =
+  let open Signal in
+  let w = 8 in
+  let x = input "x" w and y = input "y" w in
+  let nregs = 1 + Random.State.int rng 3 in
+  let wires = Array.init nregs (fun _ -> wire w) in
+  let regs =
+    Array.init nregs (fun i -> reg ~enable:(bit x (i mod w)) wires.(i))
+  in
+  let rec expr depth =
+    if depth = 0 then
+      match Random.State.int rng 4 with
+      | 0 -> x
+      | 1 -> y
+      | 2 -> const ~width:w (Random.State.int rng 256)
+      | _ -> regs.(Random.State.int rng nregs)
+    else
+      let e () = expr (depth - 1) in
+      match Random.State.int rng 9 with
+      | 0 -> e () +: e ()
+      | 1 -> e () -: e ()
+      | 2 -> e () *: e ()
+      | 3 -> e () &: e ()
+      | 4 -> e () ^: e ()
+      | 5 -> mux2 (bit (e ()) 0) (e ()) (e ())
+      | 6 ->
+        (* deliberate L004: identical branches *)
+        let b = e () in
+        mux2 (bit x 0) b b
+      | 7 ->
+        (* deliberate L005: constant select *)
+        mux2 (if Random.State.bool rng then vdd else gnd) (e ()) (e ())
+      | _ -> uresize (select (e ()) ~hi:(w - 2) ~lo:1) w
+  in
+  Array.iteri
+    (fun i wr ->
+      let op =
+        match Random.State.int rng 3 with 0 -> ( +: ) | 1 -> ( -: ) | _ -> ( ^: )
+      in
+      assign wr (op regs.(i) (expr 2)))
+    wires;
+  let r = ram ~size:8 ~width:w ~init:(Array.make 8 0) () in
+  ram_write r ~we:(bit y 0)
+    ~addr:(select x ~hi:2 ~lo:0)
+    ~data:(expr 2);
+  let read = ram_read r (select y ~hi:2 ~lo:0) in
+  Lint.Netlist.source ~name:"fuzz_netlist"
+    ~declared_inputs:[ ("x", w); ("y", w) ]
+    [ ("o0", expr 3); ("o1", regs.(0)); ("o2", read) ]
+
+let broken_netlist rng =
+  let open Signal in
+  let x = input "x" 8 in
+  if Random.State.bool rng then
+    (* unassigned wire *)
+    let dangling = wire 8 -- "dangling" in
+    ("L001", Lint.Netlist.source ~name:"fuzz_broken" [ ("o", x +: dangling) ])
+  else
+    (* combinational cycle *)
+    let loop = wire 8 -- "loop" in
+    assign loop (x +: loop);
+    ("L002", Lint.Netlist.source ~name:"fuzz_broken" [ ("o", loop) ])
+
 let () =
   let iterations =
     if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
@@ -61,6 +168,7 @@ let () =
   in
   let rng = Random.State.make [| seed |] in
   let checked = ref 0 and skipped = ref 0 and failed = ref 0 in
+  (* phase 1: designs *)
   for i = 1 to iterations do
     let stmt = random_stmt rng in
     let t = random_transform rng stmt in
@@ -75,10 +183,83 @@ let () =
         if not (Dense.equal golden (Accel.execute acc)) then begin
           incr failed;
           Format.printf "FAIL at iteration %d:@.%a@." i Design.pp_report d
-        end
+        end;
+        let design_errors =
+          Lint.Finding.errors (Lint.Design.check_design ~rows:12 ~cols:12 d)
+        in
+        let netlist_errors =
+          Lint.Finding.errors
+            (Lint.Netlist.check_circuit ~config:fuzz_lint_config
+               acc.Accel.circuit)
+        in
+        let rewritten_errors =
+          Lint.Finding.errors
+            (Lint.Netlist.check_circuit ~config:fuzz_lint_config
+               (Rewrite.circuit acc.Accel.circuit))
+        in
+        List.iter
+          (fun (what, errs) ->
+            if errs <> [] then begin
+              incr failed;
+              Format.printf "LINT FAIL at iteration %d (%s):@.%a@." i what
+                Lint.Finding.pp_report errs
+            end)
+          [ ("design", design_errors); ("netlist", netlist_errors);
+            ("rewritten netlist", rewritten_errors) ]
     end
     else incr skipped
   done;
-  Printf.printf "fuzz: %d checked, %d skipped, %d failed (seed %d)\n" !checked
-    !skipped !failed seed;
-  if !failed > 0 then exit 1
+  Printf.printf "fuzz designs: %d checked, %d skipped, %d failed (seed %d)\n"
+    !checked !skipped !failed seed;
+  (* phase 2: raw netlists through the lint differential oracle *)
+  let linted = ref 0 and violations = ref 0 in
+  for i = 1 to iterations do
+    (if i mod 10 = 0 then
+       (* broken netlists must surface as findings, not exceptions *)
+       let expected_rule, src = broken_netlist rng in
+       match Lint.Netlist.check_source ~config:fuzz_lint_config src with
+       | exception e ->
+         incr violations;
+         Printf.printf "ORACLE FAIL at netlist %d: lint raised %s\n" i
+           (Printexc.to_string e)
+       | findings, circuit ->
+         if circuit <> None
+            || not
+                 (List.exists
+                    (fun (f : Lint.Finding.t) ->
+                      f.Lint.Finding.rule = expected_rule)
+                    findings)
+         then begin
+           incr violations;
+           Printf.printf
+             "ORACLE FAIL at netlist %d: broken netlist did not report %s\n" i
+             expected_rule
+         end);
+    (let src = random_netlist rng in
+      match Lint.Netlist.check_source ~config:fuzz_lint_config src with
+      | exception e ->
+        incr violations;
+        Printf.printf "ORACLE FAIL at netlist %d: lint raised %s\n" i
+          (Printexc.to_string e)
+      | before, None ->
+        incr violations;
+        Printf.printf "ORACLE FAIL at netlist %d: valid netlist rejected:\n%s\n"
+          i
+          (Lint.Finding.to_json before)
+      | before, Some circuit ->
+        incr linted;
+        let after =
+          Lint.Netlist.check_circuit ~config:fuzz_lint_config
+            (Rewrite.circuit circuit)
+        in
+        List.iter
+          (fun (rule, m, n) ->
+            incr violations;
+            Printf.printf
+              "ORACLE FAIL at netlist %d: Rewrite grew %s findings %d -> %d\n"
+              i rule m n)
+          (introduced ~before ~after))
+  done;
+  Printf.printf "fuzz lint oracle: %d netlists linted, %d violations\n" !linted
+    !violations;
+  if !failed > 0 || !violations > 0 then exit 1

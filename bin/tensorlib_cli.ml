@@ -5,7 +5,9 @@
    tensorlib simulate -w gemm -d MNK-SST          netlist sim vs golden
    tensorlib perf     -w conv2d -d KCX-SST        Fig.5-style cycle model
    tensorlib explore  -w gemm                     design-space sweep + cost
-   tensorlib list     -w mttkrp                   letter-distinct dataflows *)
+   tensorlib list     -w mttkrp                   letter-distinct dataflows
+   tensorlib lint     -w gemm-small               static analysis gate
+                                                  (exit 1 on any error) *)
 
 open Tensorlib
 
@@ -259,6 +261,128 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Design-space exploration with the ASIC model")
     Term.(const run $ workload_arg)
 
+(* ---------------- lint ---------------- *)
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit findings as JSON instead of text.")
+
+let all_designs_arg =
+  Arg.(value & flag
+       & info [ "all" ]
+           ~doc:"Also lint designs the netlist backend cannot realise \
+                 (their L103/L105 findings are otherwise skipped along \
+                 with generation).")
+
+let suppress_arg =
+  Arg.(value & opt string ""
+       & info [ "suppress" ]
+           ~doc:"Comma-separated rule IDs to suppress, e.g. L012,L104.")
+
+let fanout_arg =
+  Arg.(value & opt int 64
+       & info [ "fanout-threshold" ]
+           ~doc:"Fanout above which L012 reports a hotspot.")
+
+let lint_dataflow_arg =
+  Arg.(value & opt (some string) None
+       & info [ "d"; "dataflow" ]
+           ~doc:"Lint a single dataflow instead of every supported one.")
+
+let lint_rows_arg =
+  Arg.(value & opt int 16 & info [ "rows" ] ~doc:"PE array rows.")
+
+let lint_cols_arg =
+  Arg.(value & opt int 16 & info [ "cols" ] ~doc:"PE array columns.")
+
+let lint_cmd =
+  let run w rows cols json all suppress fanout d select matrix =
+    let stmt = workload_of_string w in
+    let suppress =
+      if suppress = "" then []
+      else List.map String.trim (String.split_on_char ',' suppress)
+    in
+    let nconfig = { Lint.Netlist.suppress; fanout_threshold = fanout } in
+    let findings = ref [] and checked = ref 0 and generated = ref 0 in
+    let add fs = findings := !findings @ fs in
+    let env = Exec.alloc_inputs stmt in
+    let lint_netlist (design : Design.t) =
+      if Design.netlist_supported design then begin
+        match Accel.generate ~rows ~cols design env with
+        | exception Accel.Unsupported msg ->
+          add
+            (Lint.Finding.suppress ~rules:suppress
+               [ Lint.Finding.v ~rule:"L106" ~target:design.Design.name
+                   ~subject:"generator" msg ])
+        | acc ->
+          incr generated;
+          add (Lint.Netlist.check_circuit ~config:nconfig acc.Accel.circuit)
+      end
+    in
+    let lint_design design =
+      incr checked;
+      add (Lint.Design.check_design ~rows ~cols ~suppress design);
+      lint_netlist design
+    in
+    (match (select, matrix) with
+     | Some sel, Some m ->
+       let names = List.map String.trim (String.split_on_char ',' sel) in
+       let selected =
+         Array.of_list
+           (List.map (Iter.index_of stmt.Stmt.iters) names)
+       in
+       let rows_m =
+         List.map
+           (fun row ->
+             List.map
+               (fun c -> int_of_string (String.trim c))
+               (String.split_on_char ',' row))
+           (String.split_on_char ';' m)
+       in
+       incr checked;
+       let fs, design =
+         Lint.Design.check_matrix ~rows ~cols ~suppress stmt ~selected
+           ~matrix:rows_m
+       in
+       add fs;
+       Option.iter lint_netlist design
+     | Some _, None | None, Some _ ->
+       failwith "--select and --matrix must be given together"
+     | None, None -> (
+       match d with
+       | Some name -> (
+         match Search.find_design stmt name with
+         | Some design -> lint_design design
+         | None ->
+           failwith
+             (Printf.sprintf "dataflow %s not realisable for %s" name w))
+       | None ->
+         let designs = Search.all_designs stmt in
+         let designs =
+           if all then designs
+           else
+             List.filter
+               (fun (_, dd) -> Design.netlist_supported dd)
+               designs
+         in
+         List.iter (fun (_, dd) -> lint_design dd) designs));
+    if json then print_string (Lint.Finding.to_json !findings)
+    else begin
+      Format.printf "%a@." Lint.Finding.pp_report !findings;
+      Printf.printf "lint: %d design(s) checked, %d netlist(s) generated\n"
+        !checked !generated
+    end;
+    if Lint.Finding.has_errors !findings then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis over every supported design of a workload: \
+             STT validity rules plus netlist rules on the generated \
+             accelerators; exits non-zero on any error-severity finding")
+    Term.(const run $ workload_arg $ lint_rows_arg $ lint_cols_arg
+          $ json_arg $ all_designs_arg $ suppress_arg $ fanout_arg
+          $ lint_dataflow_arg $ select_arg $ matrix_arg)
+
 let () =
   let info =
     Cmd.info "tensorlib" ~version:Tensorlib.version
@@ -268,4 +392,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
-            explore_cmd ]))
+            explore_cmd; lint_cmd ]))

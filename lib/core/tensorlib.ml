@@ -42,6 +42,13 @@ module Sim = Tl_hw.Sim
 module Vcd = Tl_hw.Vcd
 module Rewrite = Tl_hw.Rewrite
 
+(* Static analysis (lint) *)
+module Lint = struct
+  module Finding = Tl_lint.Finding
+  module Netlist = Tl_lint.Netlist_lint
+  module Design = Tl_lint.Design_lint
+end
+
 (* Hardware templates and generation *)
 module Pe_modules = Tl_templates.Pe_modules
 module Reduce_tree = Tl_templates.Reduce_tree

@@ -73,29 +73,57 @@ let create ~name ~outputs =
   (* reachability *)
   let visited : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let collected = ref [] in
-  let rec visit s =
+  let rec visit ~out_name stack s =
     if not (Hashtbl.mem visited s.Signal.id) then begin
       Hashtbl.add visited s.Signal.id ();
-      List.iter visit (all_children s);
+      let children =
+        try all_children s
+        with Unassigned_wire _ ->
+          (* [s] is the unassigned wire; name the nearest user-named
+             signal on the path from the output so the wire can be found *)
+          let named =
+            List.find_opt (fun p -> p.Signal.name <> None) stack
+          in
+          raise
+            (Unassigned_wire
+               (Printf.sprintf "%s (in the cone of output %S%s)"
+                  (describe s) out_name
+                  (match named with
+                   | Some p ->
+                     ", nearest named signal " ^ describe p
+                   | None -> "")))
+      in
+      List.iter (visit ~out_name (s :: stack)) children;
       collected := s :: !collected
     end
   in
-  List.iter (fun (_, s) -> visit s) outputs;
+  List.iter (fun (out_name, s) -> visit ~out_name [] s) outputs;
   let all = List.rev !collected in
   (* combinational topological sort with cycle detection *)
   let color : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   let order = ref [] in
-  let rec dfs s =
+  let rec dfs stack s =
     match Hashtbl.find_opt color s.Signal.id with
     | Some 2 -> ()
-    | Some 1 -> raise (Combinational_cycle (describe s))
+    | Some 1 ->
+      (* [stack] holds the grey path back to [s]; data flows from each
+         child to its parent, so the cycle reads s -> ... -> s *)
+      let rec upto acc = function
+        | [] -> acc
+        | p :: rest -> if p == s then acc else upto (p :: acc) rest
+      in
+      let through = List.rev (upto [] stack) in
+      raise
+        (Combinational_cycle
+           (String.concat " -> "
+              (List.map describe ((s :: through) @ [ s ]))))
     | Some _ | None ->
       Hashtbl.replace color s.Signal.id 1;
-      List.iter dfs (comb_children s);
+      List.iter (dfs (s :: stack)) (comb_children s);
       Hashtbl.replace color s.Signal.id 2;
       order := s :: !order
   in
-  List.iter dfs all;
+  List.iter (dfs []) all;
   let nodes = Array.of_list (List.rev !order) in
   (* inputs *)
   let input_table = Hashtbl.create 16 in

@@ -19,8 +19,9 @@ let circuit_with_ram_map original =
     | Some nr -> nr
     | None ->
       let nr =
-        Signal.ram ~name:r.Signal.ram_name ~size:r.Signal.size
-          ~width:r.Signal.ram_width ~init:r.Signal.init_data ()
+        Signal.ram ~name:r.Signal.ram_name ~read_only:r.Signal.read_only
+          ~size:r.Signal.size ~width:r.Signal.ram_width
+          ~init:r.Signal.init_data ()
       in
       Hashtbl.add ram_map r.Signal.ram_id nr;
       ram_pairs := (r, nr) :: !ram_pairs;

@@ -33,6 +33,7 @@ and ram = {
   ram_name : string;
   size : int;
   ram_width : int;
+  read_only : bool;
   init_data : int array;
   mutable write_port : write_port option;
 }
@@ -157,7 +158,7 @@ let sresize s w =
     concat [ repl sign (w - s.width); s ]
   end
 
-let ram ?name ~size ~width ~init () =
+let ram ?name ?(read_only = false) ~size ~width ~init () =
   if Array.length init <> size then
     invalid_arg "Signal.ram: init length must equal size";
   if size <= 0 then invalid_arg "Signal.ram: empty ram";
@@ -167,16 +168,18 @@ let ram ?name ~size ~width ~init () =
     | Some n -> n
     | None -> Printf.sprintf "ram%d" !next_ram_id
   in
-  { ram_id = !next_ram_id; ram_name; size; ram_width = width;
+  { ram_id = !next_ram_id; ram_name; size; ram_width = width; read_only;
     init_data = Array.map (mask_to_width width) init;
     write_port = None }
 
 let rom ?name ~width data =
-  ram ?name ~size:(Array.length data) ~width ~init:data ()
+  ram ?name ~read_only:true ~size:(Array.length data) ~width ~init:data ()
 
 let ram_read r addr = fresh r.ram_width (Ram_read (r, addr))
 
 let ram_write r ~we ~addr ~data =
+  if r.read_only then
+    invalid_arg ("Signal.ram_write: " ^ r.ram_name ^ " is a rom");
   if r.write_port <> None then
     invalid_arg "Signal.ram_write: write port already attached";
   if we.width <> 1 then raise (Width_mismatch "ram_write we");

@@ -54,6 +54,8 @@ and ram = {
   ram_name : string;
   size : int;
   ram_width : int;
+  read_only : bool;  (** built by {!rom} (or a pre-loaded data memory):
+                         no write port may ever be attached *)
   init_data : int array;  (** initial contents, length [size] *)
   mutable write_port : write_port option;
 }
@@ -118,8 +120,12 @@ val bit : t -> int -> t
 val uresize : t -> int -> t
 val sresize : t -> int -> t
 
-val ram : ?name:string -> size:int -> width:int -> init:int array -> unit -> ram
-(** @raise Invalid_argument if [init] length differs from [size]. *)
+val ram : ?name:string -> ?read_only:bool -> size:int -> width:int ->
+  init:int array -> unit -> ram
+(** @raise Invalid_argument if [init] length differs from [size].
+    [read_only] (default false) marks the memory as a rom: attaching a
+    write port is rejected, and the lint treats its contents as
+    intentional. *)
 
 val rom : ?name:string -> width:int -> int array -> ram
 (** Read-only ram initialised with the given contents. *)
@@ -129,7 +135,8 @@ val ram_read : ram -> t -> t
 
 val ram_write : ram -> we:t -> addr:t -> data:t -> unit
 (** Attach the single synchronous write port.
-    @raise Invalid_argument if already attached or widths disagree. *)
+    @raise Invalid_argument if already attached, the ram is read-only, or
+    widths disagree. *)
 
 val set_name : t -> string -> t
 (** Attach a human-readable name used in emitted Verilog / VCD. *)

@@ -21,24 +21,10 @@ let keywords =
 type namer = {
   by_id : (int, string) Hashtbl.t;
   used : (string, unit) Hashtbl.t;
+  input_ports : (string, string) Hashtbl.t;  (* declared name -> port *)
+  output_ports : (string, string) Hashtbl.t; (* output name -> port *)
+  ram_names : (int, string) Hashtbl.t;       (* ram id -> identifier *)
 }
-
-let make_namer circuit =
-  let n = { by_id = Hashtbl.create 64; used = Hashtbl.create 64 } in
-  List.iter (fun k -> Hashtbl.add n.used k ()) keywords;
-  Hashtbl.add n.used "clock" ();
-  (* reserve declared input names and output names first *)
-  List.iter
-    (fun (name, _) -> Hashtbl.replace n.used (sanitize name) ())
-    (Circuit.inputs circuit);
-  List.iter
-    (fun (name, _) -> Hashtbl.replace n.used (sanitize name) ())
-    (Circuit.outputs circuit);
-  List.iter
-    (fun (ram : Signal.ram) ->
-      Hashtbl.replace n.used (sanitize ram.Signal.ram_name) ())
-    (Circuit.rams circuit);
-  n
 
 let unique n base =
   if not (Hashtbl.mem n.used base) then begin
@@ -56,13 +42,57 @@ let unique n base =
     in
     go 1
 
+(* Port and ram identifiers are uniquified through the same [used] table as
+   everything else, in a fixed order (inputs, outputs, rams), so signals
+   whose sanitised names collide — or collide with a Verilog keyword — emit
+   distinct, deterministic identifiers. *)
+let make_namer circuit =
+  let n =
+    { by_id = Hashtbl.create 64;
+      used = Hashtbl.create 64;
+      input_ports = Hashtbl.create 16;
+      output_ports = Hashtbl.create 16;
+      ram_names = Hashtbl.create 8 }
+  in
+  List.iter (fun k -> Hashtbl.add n.used k ()) keywords;
+  Hashtbl.add n.used "clock" ();
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace n.input_ports name (unique n (sanitize name)))
+    (Circuit.inputs circuit);
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace n.output_ports name (unique n (sanitize name)))
+    (Circuit.outputs circuit);
+  List.iter
+    (fun (ram : Signal.ram) ->
+      Hashtbl.replace n.ram_names ram.Signal.ram_id
+        (unique n (sanitize ram.Signal.ram_name)))
+    (Circuit.rams circuit);
+  n
+
+let input_port n name =
+  match Hashtbl.find_opt n.input_ports name with
+  | Some p -> p
+  | None -> sanitize name
+
+let output_port n name =
+  match Hashtbl.find_opt n.output_ports name with
+  | Some p -> p
+  | None -> sanitize name
+
+let ram_name n (ram : Signal.ram) =
+  match Hashtbl.find_opt n.ram_names ram.Signal.ram_id with
+  | Some r -> r
+  | None -> sanitize ram.Signal.ram_name
+
 let node_name n (s : Signal.t) =
   match Hashtbl.find_opt n.by_id s.Signal.id with
   | Some name -> name
   | None ->
     let name =
       match s.Signal.node with
-      | Signal.Input i -> sanitize i
+      | Signal.Input i -> input_port n i
       | _ -> (
         match s.Signal.name with
         | Some u -> unique n (sanitize u)
@@ -107,7 +137,7 @@ let expr n (s : Signal.t) =
     | Some d -> nm d
     | None -> invalid_arg "Verilog: unassigned wire")
   | Signal.Ram_read (ram, addr) ->
-    Printf.sprintf "%s[%s]" (sanitize ram.Signal.ram_name) (nm addr)
+    Printf.sprintf "%s[%s]" (ram_name n ram) (nm addr)
 
 let emit buf circuit =
   let n = make_namer circuit in
@@ -118,17 +148,18 @@ let emit buf circuit =
   let out_ports = Circuit.outputs circuit in
   add "module %s(\n  input clock" (sanitize (Circuit.name circuit));
   List.iter
-    (fun (name, w) -> add ",\n  input %s%s" (width_decl w) (sanitize name))
+    (fun (name, w) ->
+      add ",\n  input %s%s" (width_decl w) (input_port n name))
     (Circuit.inputs circuit);
   List.iter
     (fun (name, (s : Signal.t)) ->
-      add ",\n  output %s%s" (width_decl s.Signal.width) (sanitize name))
+      add ",\n  output %s%s" (width_decl s.Signal.width) (output_port n name))
     out_ports;
   add "\n);\n\n";
   (* ram declarations *)
   List.iter
     (fun (ram : Signal.ram) ->
-      let rname = sanitize ram.Signal.ram_name in
+      let rname = ram_name n ram in
       add "  reg %s%s [0:%d];\n"
         (width_decl ram.Signal.ram_width)
         rname (ram.Signal.size - 1);
@@ -190,8 +221,7 @@ let emit buf circuit =
     List.iter
       (fun ((ram : Signal.ram), (wp : Signal.write_port)) ->
         add "    if (%s) %s[%s] <= %s;\n"
-          (node_name n wp.Signal.we)
-          (sanitize ram.Signal.ram_name)
+          (node_name n wp.Signal.we) (ram_name n ram)
           (node_name n wp.Signal.waddr)
           (node_name n wp.Signal.wdata))
       ram_writes;
@@ -200,7 +230,7 @@ let emit buf circuit =
   add "\n";
   List.iter
     (fun (name, s) ->
-      add "  assign %s = %s;\n" (sanitize name) (node_name n s))
+      add "  assign %s = %s;\n" (output_port n name) (node_name n s))
     out_ports;
   add "endmodule\n"
 

@@ -1,0 +1,148 @@
+open Tl_stt
+
+let tensor_name (ti : Design.tensor_info) = ti.Design.access.Tl_ir.Access.tensor
+
+(* Footprint bounding box over the selected domain, mirroring
+   [Schedule.build]: the first space row indexes array rows, the second
+   (when present) array columns. *)
+let footprint_dims transform =
+  let fp = Transform.space_footprint transform in
+  let sd = Transform.space_dims transform in
+  let lo = Array.make sd max_int and hi = Array.make sd min_int in
+  Hashtbl.iter
+    (fun p () ->
+      Array.iteri
+        (fun i v ->
+          if v < lo.(i) then lo.(i) <- v;
+          if v > hi.(i) then hi.(i) <- v)
+        p)
+    fp;
+  Array.init sd (fun i -> hi.(i) - lo.(i) + 1)
+
+let check_design ?(rows = 16) ?(cols = 16) ?(suppress = []) design =
+  let target = design.Design.name in
+  let transform = design.Design.transform in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* L102: PE bounds *)
+  let dims = footprint_dims transform in
+  let fits =
+    match Array.length dims with
+    | 1 -> dims.(0) <= rows
+    | 2 -> dims.(0) <= rows && dims.(1) <= cols
+    | _ -> false
+  in
+  if not fits then
+    add
+      (Finding.v ~rule:"L102" ~target ~subject:"space footprint"
+         (Printf.sprintf "footprint %s exceeds the %dx%d PE array"
+            (String.concat "x"
+               (Array.to_list (Array.map string_of_int dims)))
+            rows cols));
+  (* L103: output accumulations must be separated in time or reduced by a
+     tree; a reuse plane perpendicular to the time axis (or full reuse)
+     makes every PE update the same element in the same cycle. *)
+  let out = Design.output_info design in
+  (match out.Design.dataflow with
+   | Dataflow.Reuse2d Dataflow.Broadcast ->
+     add
+       (Finding.v ~rule:"L103" ~target ~subject:(tensor_name out)
+          "output reuse plane is perpendicular to the time axis: all PEs \
+           accumulate the same element in the same cycle with no \
+           reduction-tree realisation")
+   | Dataflow.Reuse_full ->
+     add
+       (Finding.v ~rule:"L103" ~target ~subject:(tensor_name out)
+          "output ignores every selected iterator: the whole array \
+           accumulates one element every cycle")
+   | _ -> ());
+  (* L104: raw reuse directions with dt < 0 (classification normalises the
+     orientation, but the raw transform maps reuse backwards in time) *)
+  List.iter
+    (fun (ti : Design.tensor_info) ->
+      List.iter
+        (fun v ->
+          let ints = Tl_linalg.Vec.to_integer v in
+          let dt = ints.(Array.length ints - 1) in
+          if dt < 0 then
+            add
+              (Finding.v ~rule:"L104" ~target ~subject:(tensor_name ti)
+                 (Printf.sprintf
+                    "raw reuse direction [%s] points backwards in time \
+                     (dt = %d); normalised during classification"
+                    (String.concat "; "
+                       (Array.to_list (Array.map string_of_int ints)))
+                    dt)))
+        (Reuse.reuse_basis transform ti.Design.access))
+    design.Design.tensors;
+  (* L105: dataflows without a structural RTL template *)
+  if not (Design.netlist_supported design) then
+    List.iter
+      (fun (ti : Design.tensor_info) ->
+        let unsupported =
+          match (ti.Design.role, ti.Design.dataflow) with
+          | _, Dataflow.Reuse_full -> true
+          | Design.Output, Dataflow.Reuse2d (Dataflow.Systolic_multicast _)
+          | Design.Output, Dataflow.Reuse2d Dataflow.Broadcast -> true
+          | _, _ -> false
+        in
+        if unsupported then
+          add
+            (Finding.v ~rule:"L105" ~target ~subject:(tensor_name ti)
+               (Format.asprintf
+                  "no netlist template for %s dataflow %a"
+                  (match ti.Design.role with
+                   | Design.Input -> "input"
+                   | Design.Output -> "output")
+                  Dataflow.pp ti.Design.dataflow)))
+      design.Design.tensors;
+  Finding.suppress ~rules:suppress (List.rev !findings)
+
+let check_matrix ?rows ?cols ?(suppress = []) stmt ~selected ~matrix =
+  let target =
+    Printf.sprintf "stt[%s]"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int selected)))
+  in
+  let structural = ref [] in
+  let add_struct msg =
+    structural :=
+      Finding.v ~rule:"L100" ~target ~subject:"selection/matrix" msg
+      :: !structural
+  in
+  let n = Array.length selected in
+  let depth = Tl_ir.Stmt.depth stmt in
+  if n < 2 then add_struct "need at least 2 selected iterators";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= depth then
+        add_struct
+          (Printf.sprintf "selected iterator %d out of range [0, %d)" i
+             depth))
+    selected;
+  let sorted = Array.copy selected in
+  Array.sort compare sorted;
+  for i = 0 to n - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      add_struct
+        (Printf.sprintf "iterator %d selected more than once" sorted.(i))
+  done;
+  if
+    List.length matrix <> n
+    || List.exists (fun row -> List.length row <> n) matrix
+  then
+    add_struct
+      (Printf.sprintf "matrix must be %dx%d for %d selected iterators" n n n);
+  match !structural with
+  | _ :: _ as fs -> (Finding.suppress ~rules:suppress (List.rev fs), None)
+  | [] ->
+    let m = Tl_linalg.Mat.of_int_rows matrix in
+    if Tl_linalg.Rat.is_zero (Tl_linalg.Mat.det m) then
+      ( Finding.suppress ~rules:suppress
+          [ Finding.v ~rule:"L101" ~target ~subject:"matrix"
+              "the STT matrix is singular: distinct iterations collide on \
+               the same (PE, cycle) slot" ],
+        None )
+    else
+      let design = Design.analyze (Transform.v stmt ~selected ~matrix) in
+      (check_design ?rows ?cols ~suppress design, Some design)

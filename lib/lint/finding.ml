@@ -1,0 +1,163 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  target : string;
+  subject : string;
+  message : string;
+}
+
+type rule_info = {
+  id : string;
+  title : string;
+  default_severity : severity;
+  summary : string;
+}
+
+let catalog =
+  [ { id = "L001"; title = "unassigned-wire"; default_severity = Error;
+      summary = "a wire placeholder is never assigned a driver" };
+    { id = "L002"; title = "combinational-cycle"; default_severity = Error;
+      summary = "combinational feedback loop (no register on the path)" };
+    { id = "L003"; title = "frozen-register"; default_severity = Warning;
+      summary =
+        "register data input is a constant equal to its initial value" };
+    { id = "L004"; title = "mux-identical-branches"; default_severity = Warning;
+      summary = "mux branches are the same signal; the select is dead" };
+    { id = "L005"; title = "mux-constant-select"; default_severity = Warning;
+      summary = "mux select is a constant; one branch is dead" };
+    { id = "L006"; title = "constant-enable"; default_severity = Warning;
+      summary = "register enable is tied to a constant" };
+    { id = "L007"; title = "constant-clear"; default_severity = Warning;
+      summary = "register clear is tied to a constant" };
+    { id = "L008"; title = "writeless-ram"; default_severity = Warning;
+      summary =
+        "read-write ram has no write port; reads only see the initial \
+         contents" };
+    { id = "L009"; title = "ram-address-out-of-range"; default_severity = Error;
+      summary = "constant ram address is outside the ram" };
+    { id = "L010"; title = "unreachable-logic"; default_severity = Warning;
+      summary = "logic not in the fan-in cone of any output" };
+    { id = "L011"; title = "unobservable-register"; default_severity = Warning;
+      summary = "register that can never influence an output" };
+    { id = "L012"; title = "fanout-hotspot"; default_severity = Info;
+      summary = "signal fanout above the configured threshold" };
+    { id = "L013"; title = "unused-input"; default_severity = Warning;
+      summary = "declared input is not read by any output cone" };
+    { id = "L100"; title = "stt-malformed"; default_severity = Error;
+      summary = "iterator selection or matrix shape is invalid" };
+    { id = "L101"; title = "stt-singular"; default_severity = Error;
+      summary = "STT matrix is singular; the mapping is not one-to-one" };
+    { id = "L102"; title = "pe-bounds"; default_severity = Error;
+      summary = "space footprint exceeds the PE array" };
+    { id = "L103"; title = "schedule-causality"; default_severity = Error;
+      summary =
+        "output accumulations collide in the same cycle with no \
+         reduction-tree realisation" };
+    { id = "L104"; title = "reuse-negative-dt"; default_severity = Info;
+      summary =
+        "raw reuse direction points backwards in time (normalised during \
+         classification)" };
+    { id = "L105"; title = "netlist-unsupported"; default_severity = Warning;
+      summary = "no structural RTL template for a tensor's dataflow" };
+    { id = "L106"; title = "generation-rejected"; default_severity = Warning;
+      summary =
+        "the accelerator generator rejected the design at elaboration \
+         time" } ]
+
+let rule_info id = List.find_opt (fun r -> String.equal r.id id) catalog
+
+let v ~rule ?severity ~target ~subject message =
+  let severity =
+    match severity with
+    | Some s -> s
+    | None -> (
+      match rule_info rule with
+      | Some r -> r.default_severity
+      | None -> Warning)
+  in
+  { rule; severity; target; subject; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare a.target b.target in
+      if c <> 0 then c else String.compare a.subject b.subject
+
+let suppress ~rules findings =
+  List.filter (fun f -> not (List.mem f.rule rules)) findings
+
+let errors findings = List.filter (fun f -> f.severity = Error) findings
+let has_errors findings = errors findings <> []
+
+let count findings =
+  List.fold_left
+    (fun (e, w, i) f ->
+      match f.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) findings
+
+let pp ppf f =
+  Format.fprintf ppf "%s %-7s [%s] %s: %s" f.rule (severity_label f.severity)
+    f.target f.subject f.message
+
+let pp_report ppf findings =
+  let sorted = List.sort compare findings in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp f) sorted;
+  let e, w, i = count findings in
+  Format.fprintf ppf "%d error%s, %d warning%s, %d info@]" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json findings =
+  let sorted = List.sort compare findings in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rule\":\"%s\",\"severity\":\"%s\",\"target\":\"%s\",\
+            \"subject\":\"%s\",\"message\":\"%s\"}"
+           (json_escape f.rule)
+           (severity_label f.severity)
+           (json_escape f.target) (json_escape f.subject)
+           (json_escape f.message)))
+    sorted;
+  let e, w, i = count findings in
+  Buffer.add_string b
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d,\"infos\":%d}" e w i);
+  Buffer.contents b

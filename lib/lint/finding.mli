@@ -1,0 +1,60 @@
+(** Lint findings: rule catalog, severities, suppression, reporting.
+
+    Shared core of the two lint front ends ({!Netlist_lint} over elaborated
+    circuits, {!Design_lint} over space-time transformations).  Every
+    finding carries a stable rule ID (see {!catalog} and docs/LINT.md), a
+    severity, the lint target (circuit or design name) and the specific
+    subject (signal, tensor, ram) it is about. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;      (** stable rule ID, e.g. ["L003"] *)
+  severity : severity;
+  target : string;    (** circuit / design the finding belongs to *)
+  subject : string;   (** offending signal / tensor / memory *)
+  message : string;
+}
+
+type rule_info = {
+  id : string;
+  title : string;              (** short kebab-case rule name *)
+  default_severity : severity;
+  summary : string;            (** one-line rationale *)
+}
+
+val catalog : rule_info list
+(** Every rule the two front ends can emit, in ID order. *)
+
+val rule_info : string -> rule_info option
+
+val v : rule:string -> ?severity:severity -> target:string ->
+  subject:string -> string -> t
+(** Build a finding; the severity defaults to the rule's catalog entry
+    (Warning for unknown rules). *)
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare : t -> t -> int
+(** Errors first, then by rule ID, target, subject. *)
+
+val suppress : rules:string list -> t list -> t list
+(** Drop findings whose rule ID is in [rules] (per-rule suppression). *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+val count : t list -> int * int * int
+(** (errors, warnings, infos). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [L003 warning [target] subject: message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Human-readable multi-line report, sorted with {!compare}, ending in a
+    summary line. *)
+
+val to_json : t list -> string
+(** Machine-readable report:
+    [{"findings":[...],"errors":N,"warnings":N,"infos":N}]. *)

@@ -1,0 +1,297 @@
+open Tl_hw
+
+type config = { suppress : string list; fanout_threshold : int }
+
+let default_config = { suppress = []; fanout_threshold = 64 }
+
+type source = {
+  name : string;
+  outputs : (string * Signal.t) list;
+  roots : Signal.t list;
+  declared_inputs : (string * int) list;
+}
+
+let source ?(roots = []) ?(declared_inputs = []) ~name outputs =
+  { name; outputs; roots; declared_inputs }
+
+let describe (s : Signal.t) =
+  match s.Signal.name with
+  | Some n -> Printf.sprintf "%s (id %d)" n s.Signal.id
+  | None -> Printf.sprintf "id %d" s.Signal.id
+
+(* Follow wire aliases; unlike [Signal.resolve] an unassigned wire is
+   returned as itself so the lint never raises mid-analysis. *)
+let rec chase (s : Signal.t) =
+  match s.Signal.node with
+  | Signal.Wire { contents = Some d } -> chase d
+  | _ -> s
+
+let const_of s =
+  match (chase s).Signal.node with Signal.Const c -> Some c | _ -> None
+
+(* Structural children, tolerating unassigned wires (treated as leaves).
+   Ram reads contribute only their address here; write-port signals are
+   charged once per ram by the callers that need them. *)
+let children (s : Signal.t) =
+  match s.Signal.node with
+  | Signal.Input _ | Signal.Const _ -> []
+  | Signal.Unop (_, a) -> [ a ]
+  | Signal.Binop (_, a, b) -> [ a; b ]
+  | Signal.Mux (c, a, b) -> [ c; a; b ]
+  | Signal.Concat (a, b) -> [ a; b ]
+  | Signal.Repl (a, _) -> [ a ]
+  | Signal.Select (a, _, _) -> [ a ]
+  | Signal.Reg r ->
+    (r.Signal.d :: Option.to_list r.Signal.enable)
+    @ Option.to_list r.Signal.clear
+  | Signal.Wire { contents = Some d } -> [ d ]
+  | Signal.Wire { contents = None } -> []
+  | Signal.Ram_read (_, addr) -> [ addr ]
+
+(* ---------------- rules over a validated circuit ---------------- *)
+
+let reg_rules ~target (s : Signal.t) (r : Signal.reg) =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  (match const_of r.Signal.d with
+   | Some c
+     when c = r.Signal.init
+          && (r.Signal.clear = None || r.Signal.clear_to = r.Signal.init) ->
+     add
+       (Finding.v ~rule:"L003" ~target ~subject:(describe s)
+          (Printf.sprintf
+             "register data input is constant %d = init; the register can \
+              never change value"
+             c))
+   | _ -> ());
+  (match r.Signal.enable with
+   | Some e -> (
+     match const_of e with
+     | Some 0 ->
+       add
+         (Finding.v ~rule:"L006" ~target ~subject:(describe s)
+            "enable is tied to 0: the register never loads")
+     | Some _ ->
+       add
+         (Finding.v ~rule:"L006" ~target ~subject:(describe s)
+            "enable is tied to 1: the enable gating is redundant")
+     | None -> ())
+   | None -> ());
+  (match r.Signal.clear with
+   | Some c -> (
+     match const_of c with
+     | Some 0 ->
+       add
+         (Finding.v ~rule:"L007" ~target ~subject:(describe s)
+            "clear is tied to 0: the clear logic is dead")
+     | Some _ ->
+       add
+         (Finding.v ~rule:"L007" ~target ~subject:(describe s)
+            (Printf.sprintf
+               "clear is tied to 1: the register is held at %d"
+               r.Signal.clear_to))
+     | None -> ())
+   | None -> ());
+  !fs
+
+let mux_rules ~target (s : Signal.t) sel a b =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  if chase a == chase b then
+    add
+      (Finding.v ~rule:"L004" ~target ~subject:(describe s)
+         (Printf.sprintf "both branches are %s; the select is dead"
+            (describe (chase a))));
+  (match const_of sel with
+   | Some v ->
+     add
+       (Finding.v ~rule:"L005" ~target ~subject:(describe s)
+          (Printf.sprintf
+             "select is tied to %d: the %s branch is dead logic" v
+             (if v = 0 then "on-1" else "on-0")))
+   | None -> ());
+  !fs
+
+let ram_addr_rule ~target ~what (ram : Signal.ram) addr =
+  match const_of addr with
+  | Some a when a >= ram.Signal.size ->
+    [ Finding.v ~rule:"L009" ~target
+        ~subject:(Printf.sprintf "%s (ram %d)" ram.Signal.ram_name
+                    ram.Signal.ram_id)
+        (Printf.sprintf
+           "constant %s address %d is out of range for size %d" what a
+           ram.Signal.size) ]
+  | _ -> []
+
+let check_circuit ?(config = default_config) circuit =
+  let target = Circuit.name circuit in
+  let findings = ref [] in
+  let add fs = findings := fs @ !findings in
+  let nodes = Circuit.nodes circuit in
+  (* per-node rules *)
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Reg r -> add (reg_rules ~target s r)
+      | Signal.Mux (sel, a, b) -> add (mux_rules ~target s sel a b)
+      | Signal.Ram_read (ram, addr) ->
+        add (ram_addr_rule ~target ~what:"read" ram addr)
+      | _ -> ())
+    nodes;
+  (* ram-level rules *)
+  List.iter
+    (fun (ram : Signal.ram) ->
+      (match ram.Signal.write_port with
+       | None ->
+         if not ram.Signal.read_only then
+           add
+             [ Finding.v ~rule:"L008" ~target
+                 ~subject:
+                   (Printf.sprintf "%s (ram %d)" ram.Signal.ram_name
+                      ram.Signal.ram_id)
+                 "read-write ram has no write port: reads only ever see \
+                  the initial contents (did you mean a rom?)" ]
+       | Some wp ->
+         add (ram_addr_rule ~target ~what:"write" ram wp.Signal.waddr)))
+    (Circuit.rams circuit);
+  (* fanout: count structural references to each (wire-resolved) signal;
+     wires are free aliases and constants are free literals, so neither is
+     a hotspot subject *)
+  let fanout : (int, int * Signal.t) Hashtbl.t =
+    Hashtbl.create (Array.length nodes)
+  in
+  let charge c =
+    let c = chase c in
+    match c.Signal.node with
+    | Signal.Const _ -> ()
+    | _ ->
+      let n = match Hashtbl.find_opt fanout c.Signal.id with
+        | Some (n, _) -> n
+        | None -> 0
+      in
+      Hashtbl.replace fanout c.Signal.id (n + 1, c)
+  in
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Wire _ -> ()
+      | _ -> List.iter charge (children s))
+    nodes;
+  List.iter
+    (fun (ram : Signal.ram) ->
+      match ram.Signal.write_port with
+      | None -> ()
+      | Some wp ->
+        List.iter charge [ wp.Signal.we; wp.Signal.waddr; wp.Signal.wdata ])
+    (Circuit.rams circuit);
+  Hashtbl.iter
+    (fun _ (n, s) ->
+      if n > config.fanout_threshold then
+        add
+          [ Finding.v ~rule:"L012" ~target ~subject:(describe s)
+              (Printf.sprintf "fanout %d exceeds threshold %d" n
+                 config.fanout_threshold) ])
+    fanout;
+  Finding.suppress ~rules:config.suppress (List.rev !findings)
+
+(* ---------------- raw-source rules ---------------- *)
+
+let cone_ids outputs =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let rec visit s =
+    if not (Hashtbl.mem seen s.Signal.id) then begin
+      Hashtbl.add seen s.Signal.id ();
+      List.iter visit (children s);
+      match s.Signal.node with
+      | Signal.Ram_read (ram, _) -> (
+        match ram.Signal.write_port with
+        | Some wp ->
+          List.iter visit
+            [ wp.Signal.we; wp.Signal.waddr; wp.Signal.wdata ]
+        | None -> ())
+      | _ -> ()
+    end
+  in
+  List.iter visit outputs;
+  seen
+
+let unreachable_rules ~target ~circuit_cone roots =
+  List.concat_map
+    (fun root ->
+      let root_cone : (int, Signal.t) Hashtbl.t = Hashtbl.create 64 in
+      let rec visit s =
+        if not (Hashtbl.mem root_cone s.Signal.id) then begin
+          Hashtbl.add root_cone s.Signal.id s;
+          List.iter visit (children s)
+        end
+      in
+      visit root;
+      let stray =
+        Hashtbl.fold
+          (fun id s acc ->
+            if Hashtbl.mem circuit_cone id then acc
+            else
+              match s.Signal.node with
+              | Signal.Wire _ | Signal.Const _ -> acc (* free aliases *)
+              | _ -> s :: acc)
+          root_cone []
+      in
+      if stray = [] then []
+      else
+        let regs =
+          List.filter
+            (fun (s : Signal.t) ->
+              match s.Signal.node with Signal.Reg _ -> true | _ -> false)
+            stray
+        in
+        Finding.v ~rule:"L010" ~target ~subject:(describe root)
+          (Printf.sprintf
+             "%d node%s in this cone cannot reach any output" (List.length stray)
+             (if List.length stray = 1 then "" else "s"))
+        :: List.map
+             (fun (s : Signal.t) ->
+               Finding.v ~rule:"L011" ~target ~subject:(describe s)
+                 "register state can never be observed at an output")
+             (List.sort
+                (fun (a : Signal.t) (b : Signal.t) ->
+                  compare a.Signal.id b.Signal.id)
+                regs))
+    roots
+
+let declared_input_rules ~target ~used declared =
+  List.filter_map
+    (fun (name, w) ->
+      match List.assoc_opt name used with
+      | None ->
+        Some
+          (Finding.v ~rule:"L013" ~target ~subject:name
+             (Printf.sprintf
+                "declared input (%d bits) is not read by any output cone" w))
+      | Some w' when w' <> w ->
+        Some
+          (Finding.v ~rule:"L013" ~target ~subject:name
+             (Printf.sprintf "declared %d bits wide but read as %d bits" w w'))
+      | Some _ -> None)
+    declared
+
+let check_source ?(config = default_config) src =
+  match Circuit.create ~name:src.name ~outputs:src.outputs with
+  | exception Circuit.Unassigned_wire msg ->
+    ( Finding.suppress ~rules:config.suppress
+        [ Finding.v ~rule:"L001" ~target:src.name ~subject:"netlist"
+            ("unassigned wire: " ^ msg) ],
+      None )
+  | exception Circuit.Combinational_cycle msg ->
+    ( Finding.suppress ~rules:config.suppress
+        [ Finding.v ~rule:"L002" ~target:src.name ~subject:"netlist"
+            ("combinational cycle: " ^ msg) ],
+      None )
+  | circuit ->
+    let fs = check_circuit ~config circuit in
+    let circuit_cone = cone_ids (List.map snd src.outputs) in
+    let extra =
+      unreachable_rules ~target:src.name ~circuit_cone src.roots
+      @ declared_input_rules ~target:src.name
+          ~used:(Circuit.inputs circuit) src.declared_inputs
+    in
+    (fs @ Finding.suppress ~rules:config.suppress extra, Some circuit)

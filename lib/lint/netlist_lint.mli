@@ -1,0 +1,44 @@
+(** Netlist lint: rule-based static analysis over elaborated circuits.
+
+    Two entry points:
+
+    - {!check_circuit} analyses an already-validated {!Tl_hw.Circuit.t}
+      (rules L003–L009, L012);
+    - {!check_source} analyses a {i raw} netlist — named outputs plus,
+      optionally, extra root signals and a declared input interface — so it
+      can also report what [Circuit.create] would reject (L001 unassigned
+      wires, L002 combinational cycles, with the full named cycle path) and
+      what it would silently prune (L010/L011 unreachable logic and
+      registers, L013 unused declared inputs).
+
+    See docs/LINT.md for the rule catalog. *)
+
+type config = {
+  suppress : string list;  (** rule IDs to drop from the result *)
+  fanout_threshold : int;  (** L012 fires strictly above this *)
+}
+
+val default_config : config
+(** No suppressions, fanout threshold 64. *)
+
+type source = {
+  name : string;
+  outputs : (string * Tl_hw.Signal.t) list;
+  roots : Tl_hw.Signal.t list;
+      (** additional signals the generator created; any root whose cone
+          does not meet an output cone is reported unreachable *)
+  declared_inputs : (string * int) list;
+      (** the intended input interface, checked against the inputs the
+          output cones actually read *)
+}
+
+val source : ?roots:Tl_hw.Signal.t list ->
+  ?declared_inputs:(string * int) list -> name:string ->
+  (string * Tl_hw.Signal.t) list -> source
+
+val check_circuit : ?config:config -> Tl_hw.Circuit.t -> Finding.t list
+
+val check_source : ?config:config -> source ->
+  Finding.t list * Tl_hw.Circuit.t option
+(** The circuit is [None] exactly when elaboration failed (the findings
+    then contain the L001/L002 explanation). *)

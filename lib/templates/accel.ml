@@ -74,7 +74,12 @@ let data_ram ctx (access : Tl_ir.Access.t) =
     let dense = List.assoc name ctx.env in
     let size = Tl_ir.Dense.size dense in
     let init = Array.init size (Tl_ir.Dense.flat_get dense) in
-    let r = Signal.ram ~name:(name ^ "_mem") ~size ~width:ctx.dw ~init () in
+    let r =
+      (* pre-loaded data memory: the netlist never writes it (a DMA engine
+         or [Sim.load_ram] fills it), so it is a rom to the lint *)
+      Signal.ram ~name:(name ^ "_mem") ~read_only:true ~size ~width:ctx.dw
+        ~init ()
+    in
     Hashtbl.add ctx.data_rams name r;
     r
 

@@ -427,6 +427,192 @@ let suite =
         test_rewrite_accelerator_equivalent;
       QCheck_alcotest.to_alcotest prop_rewrite_equivalent ]
 
+(* ---------------- diagnostics content ---------------- *)
+
+let contains hay sub =
+  let n = String.length sub and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+let test_unassigned_wire_message () =
+  let x = input "x" 8 in
+  let dangling = wire 8 in
+  let stage = (x +: dangling) -- "adder_stage" in
+  match Circuit.create ~name:"diag" ~outputs:[ ("result", stage) ] with
+  | _ -> Alcotest.fail "expected unassigned wire"
+  | exception Circuit.Unassigned_wire msg ->
+    Alcotest.(check bool) "names the output" true (contains msg "\"result\"");
+    Alcotest.(check bool) "names the nearest named signal" true
+      (contains msg "nearest named signal adder_stage")
+
+let test_comb_cycle_message () =
+  let x = input "x" 8 and y = input "y" 8 in
+  let w = wire 8 in
+  let a = (w +: x) -- "stage_a" in
+  let b = (a *: y) -- "stage_b" in
+  assign w b;
+  match Circuit.create ~name:"diag" ~outputs:[ ("o", b) ] with
+  | _ -> Alcotest.fail "expected combinational cycle"
+  | exception Circuit.Combinational_cycle msg ->
+    Alcotest.(check bool) "full path: stage_a" true (contains msg "stage_a");
+    Alcotest.(check bool) "full path: stage_b" true (contains msg "stage_b");
+    let hops = String.split_on_char '>' msg in
+    Alcotest.(check bool) "at least one hop" true (List.length hops >= 3);
+    (* the path closes on the signal it started from *)
+    let first = String.trim (List.hd hops) in
+    let first = String.sub first 0 (String.length first - 2) in
+    let last = String.trim (List.nth hops (List.length hops - 1)) in
+    Alcotest.(check string) "cycle closes" first last
+
+(* ---------------- rewrite properties ---------------- *)
+
+let prop_rewrite_idempotent =
+  let arb =
+    QCheck.make ~print:(fun _ -> "<expr>") (gen_expr 4)
+  in
+  QCheck.Test.make ~name:"rewrite is idempotent and never adds cells"
+    ~count:60 arb (fun e ->
+      let x = input "x" 8 and y = input "y" 8 in
+      let c = circuit_of [ ("o", build_signal x y e) ] in
+      let opt = Tensorlib.Rewrite.circuit c in
+      let opt2 = Tensorlib.Rewrite.circuit opt in
+      Tensorlib.Rewrite.count_removed ~before:c ~after:opt >= 0
+      && Tensorlib.Rewrite.count_removed ~before:opt ~after:opt2 = 0)
+
+let rewritten_accel_equivalent stmt =
+  let open Tensorlib in
+  let _, d =
+    match
+      List.filter (fun (_, d) -> Design.netlist_supported d)
+        (Search.all_designs stmt)
+    with
+    | [] -> Alcotest.fail "no supported design"
+    | hd :: _ -> hd
+  in
+  List.iter
+    (fun seed ->
+      let env = Exec.alloc_inputs ~seed stmt in
+      let acc = Accel.generate ~rows:8 ~cols:8 d env in
+      let before = acc.Accel.circuit in
+      let opt, ram_map = Rewrite.circuit_with_ram_map before in
+      (* a second pass finds nothing left to remove *)
+      Alcotest.(check int) "idempotent on accelerator" 0
+        (Rewrite.count_removed ~before:opt ~after:(Rewrite.circuit opt));
+      let s0 = Sim.create before and s1 = Sim.create opt in
+      Sim.cycles s0 (acc.Accel.total_cycles + 1);
+      Sim.cycles s1 (acc.Accel.total_cycles + 1);
+      List.iter
+        (fun (name, bank) ->
+          match List.assoc_opt bank ram_map with
+          | None -> Alcotest.failf "bank %s not remapped" name
+          | Some nb ->
+            Alcotest.(check (array int)) name
+              (Sim.ram_contents s0 bank)
+              (Sim.ram_contents s1 nb))
+        acc.Accel.banks)
+    [ 11; 23 ]
+
+let test_rewrite_gemm_random_stimulus () =
+  rewritten_accel_equivalent (Tensorlib.Workloads.gemm ~m:3 ~n:3 ~k:3)
+
+let test_rewrite_mttkrp_random_stimulus () =
+  rewritten_accel_equivalent
+    (Tensorlib.Workloads.mttkrp ~i:3 ~j:3 ~k:3 ~l:3)
+
+(* ---------------- verilog name handling ---------------- *)
+
+let test_verilog_name_sanitisation () =
+  (* keyword-named, space-separated and colliding identifiers, plus a
+     signal fighting over the implicit clock port *)
+  let kw = input "module" 8 in
+  let sp = input "a b" 8 in
+  let us = input "a_b" 8 in
+  let ck = input "clock" 1 in
+  let q = reg ~enable:ck (sp +: us) -- "begin" in
+  let c =
+    Circuit.create ~name:"names" ~outputs:[ ("end", q); ("a_b", kw) ]
+  in
+  let v = Verilog.to_string c in
+  let has sub = contains v sub in
+  (* inputs are allocated in sorted order: "a b", "a_b", "clock", "module" *)
+  Alcotest.(check bool) "space sanitised" true (has "input [7:0] a_b,");
+  Alcotest.(check bool) "collision suffixed" true (has "input [7:0] a_b_1");
+  Alcotest.(check bool) "clock port stays clean" true (has "input clock,");
+  Alcotest.(check bool) "clock collision renamed" true (has "input clock_1");
+  Alcotest.(check bool) "keyword input renamed" true
+    (has "input [7:0] module_1");
+  Alcotest.(check bool) "keyword reg renamed" true (has "reg [7:0] begin_1");
+  Alcotest.(check bool) "keyword output renamed" true
+    (has "output [7:0] end_1");
+  Alcotest.(check bool) "output collides with inputs" true
+    (has "output [7:0] a_b_2");
+  Alcotest.(check bool) "output assigns renamed ports" true
+    (has "assign a_b_2 = module_1;");
+  Alcotest.(check bool) "enable uses renamed clock" true (has "if (clock_1)");
+  (* no raw keyword survives as an identifier *)
+  Alcotest.(check bool) "no bare begin decl" false (has "reg [7:0] begin ");
+  Alcotest.(check bool) "no bare module port" false (has "input [7:0] module,");
+  (* emission is deterministic *)
+  Alcotest.(check string) "deterministic" v (Verilog.to_string c)
+
+let test_verilog_identifiers_unique () =
+  (* every declared identifier in the emitted Verilog is unique *)
+  let x = input "s1" 8 in
+  let a = (x +: x) -- "dup" in
+  let b = (x *: x) -- "dup" in
+  let q = reg (a +: b) -- "s2" in
+  let c = Circuit.create ~name:"uniq" ~outputs:[ ("dup", q) ] in
+  let v = Verilog.to_string c in
+  (* a declaration line is "<kw> [hi:lo] <ident> ..." with the width
+     optional; collect every declared identifier *)
+  let decl_ident line =
+    let words =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | kw :: rest when List.mem kw [ "wire"; "reg"; "input"; "output" ] ->
+      let rest =
+        match rest with
+        | w :: tl when String.length w > 0 && w.[0] = '[' -> tl
+        | _ -> rest
+      in
+      (match rest with
+       | id :: _ ->
+         Some
+           (String.concat ""
+              (String.split_on_char ','
+                 (String.concat "" (String.split_on_char ';' id))))
+       | [] -> None)
+    | _ -> None
+  in
+  let names =
+    List.filter_map decl_ident (String.split_on_char '\n' v)
+    |> List.filter (fun s -> s <> "")
+  in
+  let sorted = List.sort compare names in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "identifiers unique" true (no_dup sorted);
+  Alcotest.(check bool) "nonempty" true (List.length names > 3)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "unassigned wire message" `Quick
+        test_unassigned_wire_message;
+      Alcotest.test_case "comb cycle message" `Quick test_comb_cycle_message;
+      Alcotest.test_case "rewrite: gemm random stimulus" `Quick
+        test_rewrite_gemm_random_stimulus;
+      Alcotest.test_case "rewrite: mttkrp random stimulus" `Quick
+        test_rewrite_mttkrp_random_stimulus;
+      Alcotest.test_case "verilog name sanitisation" `Quick
+        test_verilog_name_sanitisation;
+      Alcotest.test_case "verilog identifiers unique" `Quick
+        test_verilog_identifiers_unique;
+      QCheck_alcotest.to_alcotest prop_rewrite_idempotent ]
+
 let test_reset_keeps_constants () =
   (* the compiled schedule sets constants once; reset must preserve them *)
   let w = wire 8 in

@@ -11,4 +11,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("parse", Test_parse.suite);
       ("misc", Test_misc.suite);
+      ("lint", Test_lint.suite);
       ("coverage", Test_coverage.suite) ]
