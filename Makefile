@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick examples fuzz doc clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Benchmark gate: quick sim + DSE throughput run, writes BENCH_sim.json
+# (schema and fields: docs/PERF.md).
+bench-quick:
+	dune exec bench/main.exe -- bench-quick
 
 examples:
 	dune exec examples/quickstart.exe

@@ -6,7 +6,12 @@
    Run everything:          dune exec bench/main.exe
    One experiment:          dune exec bench/main.exe -- fig5
    Sections: table1 table2 fig5 fig6 table3 ablation-float ablation-span
-             micro *)
+             micro bench-sim bench-dse bench-quick
+
+   The heavy sweeps (fig5, fig6, verify) and the DSE loops fan out over a
+   Tl_par domain pool (override the width with TL_DOMAINS=n).  The
+   bench-sim / bench-dse sections are the benchmark gate: they emit
+   machine-readable BENCH_sim.json (see docs/PERF.md). *)
 
 open Tensorlib
 
@@ -146,12 +151,26 @@ let fig5 () =
      32 GB/s)";
   let csv = Buffer.create 1024 in
   Buffer.add_string csv "workload,dataflow,normalized,cycles,utilization,bw_stall\n";
+  let workloads = fig5_workloads () in
+  (* evaluate every (workload, dataflow) point on the domain pool, then
+     print sequentially in the figure's order *)
+  let jobs =
+    List.concat_map
+      (fun (wname, stmt, dataflows) ->
+        List.map (fun df -> (wname, stmt, df)) dataflows)
+      workloads
+  in
+  let evaluated = Hashtbl.create 64 in
+  List.iter2
+    (fun (wname, _, df) r -> Hashtbl.replace evaluated (wname, df) r)
+    jobs
+    (Par.map (fun (_, stmt, df) -> Perf.evaluate_name stmt df) jobs);
   List.iter
-    (fun (wname, stmt, dataflows) ->
+    (fun (wname, _, dataflows) ->
       Printf.printf "\n  %s\n" wname;
       List.iter
         (fun df ->
-          match Perf.evaluate_name stmt df with
+          match Hashtbl.find evaluated (wname, df) with
           | Some r ->
             Printf.printf
               "    %-10s %5.3f |%-30s| cycles=%-9.0f util=%4.2f bw=%4.2fx\n"
@@ -164,7 +183,7 @@ let fig5 () =
                  r.Perf.bw_stall_factor)
           | None -> Printf.printf "    %-10s (not realisable)\n" df)
         dataflows)
-    (fig5_workloads ());
+    workloads;
   let oc = open_out "fig5.csv" in
   Buffer.output_buffer oc csv;
   close_out oc;
@@ -228,7 +247,7 @@ let scatter points =
 
 let fig6_one name points =
   let costed =
-    List.map (fun p -> (p, Asic.evaluate p.Enumerate.design)) points
+    Par.map (fun p -> (p, Asic.evaluate p.Enumerate.design)) points
   in
   let csv = Buffer.create 1024 in
   Buffer.add_string csv "design,area,power_mw\n";
@@ -498,10 +517,25 @@ let micro () =
       Test.make ~name:"generate-4x4-netlist"
         (Staged.stage (fun () ->
              ignore (Accel.generate ~rows:4 ~cols:4 sst env)));
+      (* steady-state simulation: the sim (and hence the compiled tape /
+         closure program) is built once, each run is reset + full schedule,
+         as in a DSE loop re-simulating one accelerator on many inputs *)
       Test.make ~name:"simulate-4x4-netlist"
         (Staged.stage
            (let acc = Accel.generate ~rows:4 ~cols:4 sst env in
-            fun () -> ignore (Accel.execute acc)));
+            let sim = Sim.create acc.Accel.circuit in
+            let n = acc.Accel.total_cycles + 1 in
+            fun () ->
+              Sim.reset sim;
+              Sim.cycles sim n));
+      Test.make ~name:"simulate-4x4-closure"
+        (Staged.stage
+           (let acc = Accel.generate ~rows:4 ~cols:4 sst env in
+            let sim = Sim.create ~backend:`Closure acc.Accel.circuit in
+            let n = acc.Accel.total_cycles + 1 in
+            fun () ->
+              Sim.reset sim;
+              Sim.cycles sim n));
       Test.make ~name:"emit-verilog-4x4"
         (Staged.stage
            (let acc = Accel.generate ~rows:4 ~cols:4 sst env in
@@ -524,7 +558,24 @@ let micro () =
           Printf.printf "  %-40s %10.2f us/run\n" name (t /. 1e3)
         else Printf.printf "  %-40s %10.0f ns/run\n" name t
       | Some [] | None -> Printf.printf "  %-40s (no estimate)\n" name)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  let estimate_of suffix =
+    List.find_map
+      (fun (name, est) ->
+        if Filename.check_suffix name suffix then
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) -> Some t
+          | Some [] | None -> None
+        else None)
+      rows
+  in
+  match (estimate_of "simulate-4x4-netlist", estimate_of "simulate-4x4-closure")
+  with
+  | Some tape, Some closure when tape > 0. ->
+    Printf.printf
+      "\n  instruction-tape backend speedup over closure interpreter: %.2fx\n"
+      (closure /. tape)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Functional verification: generated netlists vs the golden model.    *)
@@ -532,42 +583,47 @@ let micro () =
 let verify () =
   section
     "Functional verification: generated netlists vs the golden executor";
-  let check label stmt name rows cols =
+  (* each check elaborates and simulates a full accelerator: run them on
+     the domain pool and print the reports in order *)
+  let check label stmt name rows cols () =
     match Search.find_design stmt name with
-    | None -> Printf.printf "  %-34s not realisable\n" label
+    | None -> Printf.sprintf "  %-34s not realisable\n" label
     | Some d -> (
       let env = Exec.alloc_inputs stmt in
       match Accel.generate ~rows ~cols d env with
       | exception Accel.Unsupported msg ->
-        Printf.printf "  %-34s unsupported: %s\n" label msg
+        Printf.sprintf "  %-34s unsupported: %s\n" label msg
       | acc ->
         let ok = Dense.equal (Exec.run stmt env) (Accel.execute acc) in
         let st = Circuit.stats acc.Accel.circuit in
-        Printf.printf "  %-34s %-5s %4d cycles, %4d regs, %3d rams\n" label
+        Printf.sprintf "  %-34s %-5s %4d cycles, %4d regs, %3d rams\n" label
           (if ok then "PASS" else "FAIL")
           acc.Accel.total_cycles st.Circuit.regs st.Circuit.rams)
   in
   let gemm = Workloads.gemm ~m:4 ~n:4 ~k:5 in
-  check "GEMM output-stationary (SST)" gemm "MNK-SST" 8 8;
-  check "GEMM weight-stationary (STS)" gemm "MNK-STS" 8 8;
-  check "GEMM multicast+tree (MTM)" gemm "MNK-MTM" 8 8;
-  check "GEMM wavefront (SSS)" gemm "MNK-SSS" 8 8;
   let conv = Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3 in
-  check "Conv2D KCX-SST" conv "KCX-SST" 8 8;
-  check "Conv2D ShiDianNao-style" conv "XYP-MST" 8 8;
   let strided = Workloads.conv2d_strided ~stride:2 ~k:3 ~c:3 ~y:3 ~x:3 ~p:3 ~q:3 in
-  check "Conv2D stride-2" strided "KCX-SST" 8 8;
   let dw = Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3 in
-  check "Depthwise XYP-MMM" dw "XYP-MMM" 8 8;
   let mt = Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4 in
-  check "MTTKRP unicast (3-operand)" mt "IKL-UBBB" 8 8;
-  check "MTTKRP systolic" mt "IJK-SSMT" 8 8;
   let tt = Workloads.ttmc ~i:4 ~j:4 ~k:3 ~l:4 ~m:4 in
-  check "TTMc unicast output" tt "IJK-BBBU" 8 8;
   let bg = Workloads.batched_gemv ~m:4 ~n:4 ~k:4 in
-  check "Batched-GEMV" bg "MNK-UTM" 8 8;
   let big = Tiling.split (Workloads.gemm ~m:8 ~n:8 ~k:8) [ ("m", 4); ("n", 4) ] in
-  check "GEMM 8x8x8 tiled onto 4x4" big "MNK-SST" 4 4
+  let checks =
+    [ check "GEMM output-stationary (SST)" gemm "MNK-SST" 8 8;
+      check "GEMM weight-stationary (STS)" gemm "MNK-STS" 8 8;
+      check "GEMM multicast+tree (MTM)" gemm "MNK-MTM" 8 8;
+      check "GEMM wavefront (SSS)" gemm "MNK-SSS" 8 8;
+      check "Conv2D KCX-SST" conv "KCX-SST" 8 8;
+      check "Conv2D ShiDianNao-style" conv "XYP-MST" 8 8;
+      check "Conv2D stride-2" strided "KCX-SST" 8 8;
+      check "Depthwise XYP-MMM" dw "XYP-MMM" 8 8;
+      check "MTTKRP unicast (3-operand)" mt "IKL-UBBB" 8 8;
+      check "MTTKRP systolic" mt "IJK-SSMT" 8 8;
+      check "TTMc unicast output" tt "IJK-BBBU" 8 8;
+      check "Batched-GEMV" bg "MNK-UTM" 8 8;
+      check "GEMM 8x8x8 tiled onto 4x4" big "MNK-SST" 4 4 ]
+  in
+  List.iter print_string (Par.map (fun f -> f ()) checks)
 
 (* ------------------------------------------------------------------ *)
 (* Reuse metrics: the analytic backbone of the Fig. 5 bandwidth story. *)
@@ -642,6 +698,120 @@ let ablation_rewrite () =
     \  boundary muxes against constant-zero neighbours."
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark gate: machine-readable sim / DSE throughput.  Each section
+   measures, prints a human-readable table, and (re)writes BENCH_sim.json
+   with every fragment recorded so far, so `bench-sim`, `bench-dse` and
+   `bench-quick` all leave a valid gate file behind.                    *)
+
+let bench_fragments : (string * string) list ref = ref []
+
+let record_fragment key json =
+  bench_fragments := List.remove_assoc key !bench_fragments @ [ (key, json) ]
+
+let write_bench_json () =
+  let oc = open_out "BENCH_sim.json" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"tensorlib-bench-sim/1\",\n  \"domains\": %d%s\n}\n"
+    (Par.n_domains ())
+    (String.concat ""
+       (List.map (fun (_, j) -> Printf.sprintf ",\n%s" j) !bench_fragments));
+  close_out oc;
+  print_endline "\n  (machine-readable results written to BENCH_sim.json)"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sim_case ~quick name stmt dname rows cols reps =
+  let d = Search.find_design_exn stmt dname in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows ~cols d env in
+  let reps = if quick then max 1 (reps / 10) else reps in
+  (* steady-state: one sim per backend, each rep replays the full schedule
+     from reset — compile cost (measured by generate-4x4-netlist) excluded *)
+  let tape = Sim.create acc.Accel.circuit in
+  let closure = Sim.create ~backend:`Closure acc.Accel.circuit in
+  let n = acc.Accel.total_cycles + 1 in
+  let run sim () =
+    for _ = 1 to reps do
+      Sim.reset sim;
+      Sim.cycles sim n
+    done
+  in
+  Sim.cycles tape n (* warm-up *);
+  Sim.cycles closure n;
+  let (), tape_s = wall (run tape) in
+  let (), closure_s = wall (run closure) in
+  let simulated = float_of_int ((acc.Accel.total_cycles + 1) * reps) in
+  let tape_cps = simulated /. tape_s in
+  let closure_cps = simulated /. closure_s in
+  Printf.printf
+    "  %-10s %5d cyc/run  tape %11.3e cyc/s  closure %11.3e cyc/s  %5.2fx\n"
+    name (acc.Accel.total_cycles + 1) tape_cps closure_cps
+    (tape_cps /. closure_cps);
+  (name, acc.Accel.total_cycles + 1, reps, tape_cps, closure_cps)
+
+let bench_sim ~quick () =
+  section "Benchmark gate: netlist simulation throughput (tape vs closure)";
+  let cases =
+    [ sim_case ~quick "gemm-4x4" (Workloads.gemm ~m:4 ~n:4 ~k:4) "MNK-SST" 4 4
+        200;
+      sim_case ~quick "gemm-8x8" (Workloads.gemm ~m:8 ~n:8 ~k:8) "MNK-SST" 8 8
+        40 ]
+  in
+  record_fragment "sim"
+    (Printf.sprintf "  \"sim\": {%s\n  }"
+       (String.concat ","
+          (List.map
+             (fun (n, cyc, reps, t, c) ->
+               Printf.sprintf
+                 "\n    \"%s\": {\"cycles_per_run\": %d, \"reps\": %d, \
+                  \"tape_cycles_per_sec\": %.0f, \"closure_cycles_per_sec\": \
+                  %.0f, \"speedup\": %.3f}"
+                 n cyc reps t c (t /. c))
+             cases)));
+  write_bench_json ()
+
+let bench_dse ~quick () =
+  section "Benchmark gate: DSE sweep wall-time (sequential vs Tl_par)";
+  let gemm = Workloads.gemm ~m:256 ~n:256 ~k:256 in
+  let limit = if quick then 10 else 32 in
+  ignore (Explore.explore ~limit:2 gemm) (* warm-up *);
+  let r_seq, seq_s = wall (fun () -> Explore.explore ~limit ~domains:1 gemm) in
+  let r_par, par_s = wall (fun () -> Explore.explore ~limit gemm) in
+  let explore_ok = List.length r_seq = List.length r_par in
+  Printf.printf
+    "  explore (GEMM, limit=%d):    seq %7.3fs   par %7.3fs   %5.2fx%s\n"
+    limit seq_s par_s (seq_s /. par_s)
+    (if explore_ok then "" else "  [MISMATCH]");
+  let dw = Workloads.depthwise_conv ~k:256 ~y:28 ~x:28 ~p:3 ~q:3 in
+  let e_seq, es = wall (fun () -> Enumerate.design_space ~domains:1 dw) in
+  let e_par, ep = wall (fun () -> Enumerate.design_space dw) in
+  let enum_ok =
+    List.map (fun p -> p.Enumerate.signature) e_seq
+    = List.map (fun p -> p.Enumerate.signature) e_par
+  in
+  Printf.printf
+    "  enumerate (Depthwise, %4d): seq %7.3fs   par %7.3fs   %5.2fx%s\n"
+    (List.length e_par) es ep (es /. ep)
+    (if enum_ok then "" else "  [MISMATCH]");
+  record_fragment "dse"
+    (Printf.sprintf
+       "  \"dse\": {\n    \"explore_limit\": %d, \"explore_seq_s\": %.4f, \
+        \"explore_par_s\": %.4f, \"explore_speedup\": %.3f,\n    \
+        \"enumerate_points\": %d, \"enumerate_seq_s\": %.4f, \
+        \"enumerate_par_s\": %.4f, \"enumerate_speedup\": %.3f,\n    \
+        \"deterministic\": %b\n  }"
+       limit seq_s par_s (seq_s /. par_s) (List.length e_par) es ep (es /. ep)
+       (explore_ok && enum_ok));
+  write_bench_json ()
+
+let bench_quick () =
+  bench_sim ~quick:true ();
+  bench_dse ~quick:true ()
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("verify", verify);
@@ -650,18 +820,22 @@ let all_sections =
     ("metrics", metrics); ("tradeoffs", tradeoffs);
     ("ablation-float", ablation_float);
     ("ablation-span", ablation_span); ("ablation-rewrite", ablation_rewrite);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("bench-sim", fun () -> bench_sim ~quick:false ());
+    ("bench-dse", fun () -> bench_dse ~quick:false ()) ]
+
+let dispatch = all_sections @ [ ("bench-quick", bench_quick) ]
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as picked) ->
     List.iter
       (fun name ->
-        match List.assoc_opt name all_sections with
+        match List.assoc_opt name dispatch with
         | Some f -> f ()
         | None ->
           Printf.eprintf "unknown section %s; available: %s\n" name
-            (String.concat " " (List.map fst all_sections));
+            (String.concat " " (List.map fst dispatch));
           exit 1)
       picked
   | _ ->

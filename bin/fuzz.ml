@@ -6,7 +6,8 @@
    Two phases:
    - designs: random stmt x random STT; generated accelerators must match
      the golden executor, and the lint must report no error-severity
-     finding on the generated netlist, before or after [Rewrite].
+     finding on the generated netlist, before or after [Rewrite].  Trials
+     run on the Tl_par domain pool (override width with TL_DOMAINS=n).
    - netlists: random raw netlists; the lint must never crash, and
      [Rewrite.circuit] must never introduce a finding (per-rule counts
      never grow).  A slice of deliberately broken netlists checks that
@@ -167,22 +168,27 @@ let () =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2024
   in
   let rng = Random.State.make [| seed |] in
-  let checked = ref 0 and skipped = ref 0 and failed = ref 0 in
-  (* phase 1: designs *)
-  for i = 1 to iterations do
+  (* phase 1: designs.  Trials are independent — each draws from its own
+     [seed; i] PRNG — so they fan out over the Tl_par domain pool; reports
+     come back as strings and print in trial order. *)
+  let trial i =
+    let rng = Random.State.make [| seed; i |] in
     let stmt = random_stmt rng in
     let t = random_transform rng stmt in
     let d = Design.analyze t in
-    if Design.netlist_supported d then begin
+    if not (Design.netlist_supported d) then (0, 1, 0, "")
+    else
       let env = Exec.alloc_inputs ~seed:i stmt in
       match Accel.generate ~rows:12 ~cols:12 d env with
-      | exception Accel.Unsupported _ -> incr skipped
+      | exception Accel.Unsupported _ -> (0, 1, 0, "")
       | acc ->
-        incr checked;
+        let buf = Buffer.create 64 in
+        let fmt = Format.formatter_of_buffer buf in
+        let failures = ref 0 in
         let golden = Exec.run stmt env in
         if not (Dense.equal golden (Accel.execute acc)) then begin
-          incr failed;
-          Format.printf "FAIL at iteration %d:@.%a@." i Design.pp_report d
+          incr failures;
+          Format.fprintf fmt "FAIL at iteration %d:@.%a@." i Design.pp_report d
         end;
         let design_errors =
           Lint.Finding.errors (Lint.Design.check_design ~rows:12 ~cols:12 d)
@@ -200,17 +206,22 @@ let () =
         List.iter
           (fun (what, errs) ->
             if errs <> [] then begin
-              incr failed;
-              Format.printf "LINT FAIL at iteration %d (%s):@.%a@." i what
+              incr failures;
+              Format.fprintf fmt "LINT FAIL at iteration %d (%s):@.%a@." i what
                 Lint.Finding.pp_report errs
             end)
           [ ("design", design_errors); ("netlist", netlist_errors);
-            ("rewritten netlist", rewritten_errors) ]
-    end
-    else incr skipped
-  done;
+            ("rewritten netlist", rewritten_errors) ];
+        Format.pp_print_flush fmt ();
+        (1, 0, !failures, Buffer.contents buf)
+  in
+  let results = Par.map trial (List.init iterations (fun i -> i + 1)) in
+  let checked = List.fold_left (fun a (c, _, _, _) -> a + c) 0 results in
+  let skipped = List.fold_left (fun a (_, s, _, _) -> a + s) 0 results in
+  let failed = ref (List.fold_left (fun a (_, _, f, _) -> a + f) 0 results) in
+  List.iter (fun (_, _, _, msg) -> print_string msg) results;
   Printf.printf "fuzz designs: %d checked, %d skipped, %d failed (seed %d)\n"
-    !checked !skipped !failed seed;
+    checked skipped !failed seed;
   (* phase 2: raw netlists through the lint differential oracle *)
   let linted = ref 0 and violations = ref 0 in
   for i = 1 to iterations do

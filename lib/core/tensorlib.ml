@@ -56,6 +56,9 @@ module Schedule = Tl_templates.Schedule
 module Topology = Tl_templates.Topology
 module Accel = Tl_templates.Accel
 
+(* Parallel work pool *)
+module Par = Tl_par
+
 (* Models and exploration *)
 module Perf = Tl_perf.Perf_model
 module Metrics = Tl_perf.Metrics

@@ -59,7 +59,7 @@ let signature (d : Tl_stt.Design.t) =
     (List.tl d4)
 
 let design_space ?max_unselected ?(exclude_unicast = false)
-    ?max_bank_ports stmt =
+    ?max_bank_ports ?domains stmt =
   let depth = Tl_ir.Stmt.depth stmt in
   let selections =
     List.filter
@@ -69,38 +69,43 @@ let design_space ?max_unselected ?(exclude_unicast = false)
         | Some k -> depth - Array.length sel <= k)
       (Tl_stt.Search.selections stmt ~n:3)
   in
+  let matrices = Tl_stt.Search.candidate_matrices ~n:3 in
+  (* analyse each selection's matrix sweep in its own task; the dedup stays
+     sequential over the concatenated (selection-order, matrix-order)
+     stream, so the kept representative and the output order are identical
+     to the serial enumeration *)
+  let per_selection selected =
+    List.filter_map
+      (fun m ->
+        let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
+        let d = Tl_stt.Design.analyze t in
+        let excluded =
+          List.exists
+            (fun ti ->
+              ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Reuse_full
+              || (exclude_unicast
+                  && ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Unicast))
+            d.Tl_stt.Design.tensors
+          ||
+          match max_bank_ports with
+          | None -> false
+          | Some limit ->
+            (Tl_cost.Inventory.of_design d).Tl_cost.Inventory.bank_ports
+            > limit
+        in
+        if excluded then None
+        else Some { design = d; signature = signature d })
+      matrices
+  in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-  let points = ref [] in
-  List.iter
-    (fun selected ->
-      List.iter
-        (fun m ->
-          let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
-          let d = Tl_stt.Design.analyze t in
-          let excluded =
-            List.exists
-              (fun ti ->
-                ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Reuse_full
-                || (exclude_unicast
-                    && ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Unicast))
-              d.Tl_stt.Design.tensors
-            ||
-            match max_bank_ports with
-            | None -> false
-            | Some limit ->
-              (Tl_cost.Inventory.of_design d).Tl_cost.Inventory.bank_ports
-              > limit
-          in
-          if not excluded then begin
-            let s = signature d in
-            if not (Hashtbl.mem seen s) then begin
-              Hashtbl.add seen s ();
-              points := { design = d; signature = s } :: !points
-            end
-          end)
-        (Tl_stt.Search.candidate_matrices ~n:3))
-    selections;
-  List.rev !points
+  Tl_par.map ?domains per_selection selections
+  |> List.concat
+  |> List.filter (fun p ->
+      if Hashtbl.mem seen p.signature then false
+      else begin
+        Hashtbl.add seen p.signature ();
+        true
+      end)
 
 let pareto_min project items =
   let dominated (x1, y1) (x2, y2) =

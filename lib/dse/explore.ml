@@ -5,20 +5,19 @@ type evaluated = {
   gops_per_watt : float;
 }
 
-let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64) stmt =
+let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64)
+    ?domains stmt =
   let names = Tl_stt.Search.all_designs stmt in
   let capped = List.filteri (fun i _ -> i < limit) names in
-  List.filter_map
-    (fun (name, _) ->
-      match Tl_perf.Perf_model.evaluate_name ~config stmt name with
-      | None | (exception Invalid_argument _) -> None
-      | Some perf ->
-        (* re-resolve so the costed design matches the evaluated one *)
-        let design =
-          match Tl_stt.Search.find_design stmt name with
-          | Some d -> d
-          | None -> assert false (* evaluate_name just resolved it *)
-        in
+  (* [all_designs] already carries the realising design for every name:
+     evaluate and cost that design directly instead of re-resolving the
+     whole candidate-matrix space per name (the costed design is by
+     construction the evaluated one). *)
+  Tl_par.map ?domains
+    (fun (_, design) ->
+      match Tl_perf.Perf_model.evaluate ~config design with
+      | exception Invalid_argument _ -> None
+      | perf ->
         let asic =
           Tl_cost.Asic.evaluate ~rows:config.Tl_perf.Perf_model.rows
             ~cols:config.Tl_perf.Perf_model.cols design
@@ -28,6 +27,7 @@ let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64) stmt =
         in
         Some { design; perf; asic; gops_per_watt })
     capped
+  |> List.filter_map Fun.id
 
 let best_by f = function
   | [] -> invalid_arg "Explore: empty evaluation list"

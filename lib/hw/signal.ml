@@ -42,14 +42,16 @@ and write_port = { we : t; waddr : t; wdata : t }
 
 exception Width_mismatch of string
 
-let next_id = ref 0
-let next_ram_id = ref 0
+(* Atomic counters: netlists may be elaborated concurrently from several
+   domains (Tl_par fans out DSE sweeps and fuzz trials), and signal ids
+   must stay unique across all of them. *)
+let next_id = Atomic.make 0
+let next_ram_id = Atomic.make 0
 
 let fresh width node =
   if width <= 0 || width > 62 then
     invalid_arg (Printf.sprintf "Signal: unsupported width %d" width);
-  incr next_id;
-  { id = !next_id; width; node; name = None }
+  { id = Atomic.fetch_and_add next_id 1 + 1; width; node; name = None }
 
 let mask_to_width w v = if w >= 62 then v else v land ((1 lsl w) - 1)
 
@@ -162,13 +164,13 @@ let ram ?name ?(read_only = false) ~size ~width ~init () =
   if Array.length init <> size then
     invalid_arg "Signal.ram: init length must equal size";
   if size <= 0 then invalid_arg "Signal.ram: empty ram";
-  incr next_ram_id;
+  let rid = Atomic.fetch_and_add next_ram_id 1 + 1 in
   let ram_name =
     match name with
     | Some n -> n
-    | None -> Printf.sprintf "ram%d" !next_ram_id
+    | None -> Printf.sprintf "ram%d" rid
   in
-  { ram_id = !next_ram_id; ram_name; size; ram_width = width; read_only;
+  { ram_id = rid; ram_name; size; ram_width = width; read_only;
     init_data = Array.map (mask_to_width width) init;
     write_port = None }
 

@@ -1,37 +1,659 @@
-type t = {
-  circuit : Circuit.t;
-  index_of : (int, int) Hashtbl.t;  (** signal id → dense index *)
-  values : int array;
-  reg_state : (int * Signal.reg) array;  (** dense index, reg info *)
-  ram_state : (int, int array) Hashtbl.t;  (** ram id → contents *)
-  input_values : (string, int) Hashtbl.t;
-  input_widths : (string, int) Hashtbl.t;
-  mutable clock : int;
-  mutable program : (unit -> unit) array;
-      (** compiled combinational schedule: one closure per non-register
-          node, in topological order, reading/writing [values] through
-          captured dense indices — no hashing on the hot path *)
+(* Two execution backends over one simulator state:
+
+   - [`Tape] (default): the netlist is compiled at [create] time into a flat
+     int-array instruction tape (opcode + dense operand indices + immediates)
+     evaluated by a tight match loop.  The sequential phase is compiled too:
+     register next-state and ram write ports are pre-resolved to dense
+     indices, so [latch] performs zero hashing and zero allocation per cycle.
+
+   - [`Closure]: the original interpreter — one closure per combinational
+     node, and a latch that resolves register operands through the
+     signal-id hash table each cycle.  Kept as an independently implemented
+     reference for differential testing and as the baseline the benchmark
+     gate reports speedups against. *)
+
+type backend = [ `Closure | `Tape ]
+
+(* Compiled register: dense [values] indices, -1 for an absent control. *)
+type creg = {
+  self : int;
+  d : int;
+  en : int;
+  clr : int;
+  clear_to : int;
+  rinit : int;
 }
 
-(* Compile each combinational node into a closure over dense indices so the
-   per-cycle loop performs no hashing or dispatch beyond one indirect call. *)
-let compile t =
+(* Compiled ram write port. [wcontents] aliases the array in [ram_state];
+   [reset] refills that array in place so the alias stays valid. *)
+type cwport = {
+  we : int;
+  waddr : int;
+  wdata : int;
+  wsize : int;
+  wcontents : int array;
+}
+
+type t = {
+  circuit : Circuit.t;
+  backend : backend;
+  index_of : (int, int) Hashtbl.t;  (** signal id → dense index *)
+  values : int array;
+  (* compiled combinational phase *)
+  code : int array;  (** instruction tape ([`Tape] only) *)
+  tape_rams : int array array;  (** dense ram slot → contents *)
+  program : (unit -> unit) array;  (** closure schedule ([`Closure] only) *)
+  (* compiled sequential phase *)
+  cregs : creg array;
+  reg_next : int array;  (** latch scratch, one slot per register *)
+  cwports : cwport array;
+  reg_state : (int * Signal.reg) array;  (** reference-latch view *)
+  (* state and cached lookups *)
+  ram_state : (int, int array) Hashtbl.t;  (** ram id → contents *)
+  writable_inits : (int array * int array) array;
+      (** contents, init_data for every ram with a write port: the only
+          rams [reset] must restore (plus any the testbench dirtied) *)
+  ram_init_of : (int, int array) Hashtbl.t;  (** ram id → init_data *)
+  dirty_rams : (int, unit) Hashtbl.t;
+      (** read-only rams rewritten through {!load_ram} *)
+  input_slots : int array;
+  input_slot_of : (string, int * int) Hashtbl.t;  (** name → slot, width *)
+  out_slot_of : (string, int * int) Hashtbl.t;  (** name → dense idx, width *)
+  init_image : int array;
+      (** [values] as first constructed (constants, folded slots, register
+          init values) — [reset] restores it with one blit *)
+  mutable clock : int;
+}
+
+let backend t = t.backend
+
+(* [land]-able immediates: a full-width (62-bit) signal needs no masking,
+   exactly like Signal.mask_to_width. *)
+let mask_of w = if w >= 62 then -1 else (1 lsl w) - 1
+
+(* Biased-comparison sign bit: (v lxor sign) orders like to_signed v.  Zero
+   (the identity) for full-width signals, where to_signed is the identity. *)
+let sign_of w = if w >= 62 then 0 else 1 lsl (w - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction tape.                                                   *)
+
+let op_input = 0 (* dst slot *)
+let op_not = 1 (* dst a mask *)
+let op_add = 2 (* dst a b mask *)
+let op_sub = 3 (* dst a b mask *)
+let op_mul = 4 (* dst a b mask *)
+let op_and = 5 (* dst a b *)
+let op_or = 6 (* dst a b *)
+let op_xor = 7 (* dst a b *)
+let op_eq = 8 (* dst a b *)
+let op_ult = 9 (* dst a b *)
+let op_slt = 10 (* dst a b sign *)
+let op_shl = 11 (* dst a n mask *)
+let op_shr = 12 (* dst a n *)
+let op_sra = 13 (* dst a n sign mask *)
+let op_mux = 14 (* dst c x y *)
+let op_concat = 15 (* dst hi lo lw mask *)
+let op_repl = 16 (* dst a n aw mask *)
+let op_select = 17 (* dst a lo mask *)
+let op_copy = 18 (* dst d *)
+let op_ramrd = 19 (* dst ram addr size *)
+
+(* Immediate-operand variants, emitted when one operand is a compile-time
+   constant: the constant rides in the tape (a sequential read) instead of
+   costing a second random [values] load. *)
+let op_addi = 20 (* dst a imm mask *)
+let op_subi = 21 (* dst a imm mask : a - imm *)
+let op_isub = 22 (* dst a imm mask : imm - a *)
+let op_muli = 23 (* dst a imm mask *)
+let op_andi = 24 (* dst a imm *)
+let op_ori = 25 (* dst a imm *)
+let op_xori = 26 (* dst a imm *)
+let op_eqi = 27 (* dst a imm *)
+let op_ulti = 28 (* dst a imm : a < imm *)
+let op_iult = 29 (* dst a imm : imm < a *)
+let op_slti = 30 (* dst a sign imm' : (a lxor sign) < imm' *)
+let op_islt = 31 (* dst a sign imm' : imm' < (a lxor sign) *)
+let op_mux_ix = 32 (* dst c imm y : c <> 0 ? imm : values.(y) *)
+let op_mux_iy = 33 (* dst c x imm *)
+let op_shl_ori = 34 (* dst a sh imm mask : ((a lsl sh) land mask) lor imm *)
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let k = ref 0 in
+  let x = ref v in
+  while !x > 1 do
+    incr k;
+    x := !x lsr 1
+  done;
+  !k
+
+(* Compile the combinational nodes to the instruction tape, running a
+   constant-folding / peephole pass as it goes:
+
+   - a node whose operands are all compile-time constants is evaluated now
+     and preloaded into [values] (returned in the folded list) — no
+     instruction is emitted;
+   - a node provably equal to one of its operands (wire, zero-extension,
+     [x + 0], [x * 1], mux with constant select, ...) is {e aliased}: its
+     entry in [index_of] is redirected to the operand's slot, so consumers
+     and [peek] read the operand directly and no instruction is emitted;
+   - a node with one constant operand uses an immediate-form opcode.
+
+   Mutates [index_of] (alias redirection) — the caller must resolve
+   registers, write ports and outputs through [index_of] {e after} this
+   pass.  Width invariants relied on (enforced by {!Signal}): binop
+   operands and result share one width; mux branches match the result
+   width; widths never exceed 62. *)
+let compile_tape nodes ~index_of ~slot_of_input ~ram_slot =
+  let idx (s : Signal.t) = Hashtbl.find index_of s.Signal.id in
+  let known : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let kv i = Hashtbl.find_opt known i in
+  let folded = ref [] in
+  let len = ref 0 in
+  let buf = ref (Array.make 1024 0) in
+  let push v =
+    if !len = Array.length !buf then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !buf 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- v;
+    incr len
+  in
+  Array.iter
+    (fun (s : Signal.t) ->
+      let i = idx s in
+      let w = s.Signal.width in
+      let m = Signal.mask_to_width w in
+      (* node evaluates to the constant [v]: preload, emit nothing *)
+      let fold v =
+        Hashtbl.replace known i v;
+        folded := (i, v) :: !folded
+      in
+      (* node always equals the value in slot [j]: redirect reads *)
+      let alias j =
+        Hashtbl.replace index_of s.Signal.id j;
+        match kv j with Some v -> Hashtbl.replace known i v | None -> ()
+      in
+      match s.Signal.node with
+      | Signal.Const c -> Hashtbl.replace known i c (* preloaded by create *)
+      | Signal.Reg _ -> ()
+      | Signal.Input n -> push op_input; push i; push (slot_of_input n)
+      | Signal.Unop (Signal.Not, a) -> (
+        let ai = idx a in
+        match kv ai with
+        | Some v -> fold (m (lnot v))
+        | None -> push op_not; push i; push ai; push (mask_of w))
+      | Signal.Binop (op, a, b) -> (
+        let aw = a.Signal.width in
+        let ai = idx a and bi = idx b in
+        let ka = kv ai and kb = kv bi in
+        let emit2 o x imm = push o; push i; push x; push imm in
+        let emit3 o x imm extra = push o; push i; push x; push imm; push extra
+        in
+        match op, ka, kb with
+        (* --- both operands constant: evaluate at compile time --- *)
+        | Signal.Add, Some va, Some vb -> fold (m (va + vb))
+        | Signal.Sub, Some va, Some vb -> fold (m (va - vb))
+        | Signal.Mul, Some va, Some vb -> fold (m (va * vb))
+        | Signal.And, Some va, Some vb -> fold (va land vb)
+        | Signal.Or, Some va, Some vb -> fold (va lor vb)
+        | Signal.Xor, Some va, Some vb -> fold (va lxor vb)
+        | Signal.Eq, Some va, Some vb -> fold (if va = vb then 1 else 0)
+        | Signal.Ult, Some va, Some vb -> fold (if va < vb then 1 else 0)
+        | Signal.Slt, Some va, Some vb ->
+          fold
+            (if Signal.to_signed aw va < Signal.to_signed aw vb then 1 else 0)
+        | Signal.Shl n, Some va, _ -> fold (m (va lsl n))
+        | Signal.Shr n, Some va, _ -> fold (va lsr n)
+        | Signal.Sra n, Some va, _ -> fold (m (Signal.to_signed aw va asr n))
+        (* --- identities (operand and result widths are equal) --- *)
+        | Signal.Add, Some 0, None -> alias bi
+        | Signal.Add, None, Some 0 -> alias ai
+        | (Signal.Sub | Signal.Or | Signal.Xor), None, Some 0 -> alias ai
+        | (Signal.Or | Signal.Xor), Some 0, None -> alias bi
+        | Signal.Mul, Some 0, None | Signal.Mul, None, Some 0 -> fold 0
+        | Signal.And, Some 0, None | Signal.And, None, Some 0 -> fold 0
+        | Signal.Mul, Some 1, None -> alias bi
+        | Signal.Mul, None, Some 1 -> alias ai
+        | Signal.And, Some v, None when v = mask_of w -> alias bi
+        | Signal.And, None, Some v when v = mask_of w -> alias ai
+        | Signal.Ult, None, Some 0 -> fold 0 (* nothing is < 0 unsigned *)
+        (* --- one constant operand: immediate form --- *)
+        | Signal.Add, Some v, None -> emit3 op_addi bi v (mask_of w)
+        | Signal.Add, None, Some v -> emit3 op_addi ai v (mask_of w)
+        | Signal.Sub, None, Some v -> emit3 op_subi ai v (mask_of w)
+        | Signal.Sub, Some v, None -> emit3 op_isub bi v (mask_of w)
+        | Signal.Mul, Some v, None when is_pow2 v ->
+          emit3 op_shl bi (log2 v) (mask_of w)
+        | Signal.Mul, None, Some v when is_pow2 v ->
+          emit3 op_shl ai (log2 v) (mask_of w)
+        | Signal.Mul, Some v, None -> emit3 op_muli bi v (mask_of w)
+        | Signal.Mul, None, Some v -> emit3 op_muli ai v (mask_of w)
+        | Signal.And, Some v, None -> emit2 op_andi bi v
+        | Signal.And, None, Some v -> emit2 op_andi ai v
+        | Signal.Or, Some v, None -> emit2 op_ori bi v
+        | Signal.Or, None, Some v -> emit2 op_ori ai v
+        | Signal.Xor, Some v, None -> emit2 op_xori bi v
+        | Signal.Xor, None, Some v -> emit2 op_xori ai v
+        | Signal.Eq, Some v, None -> emit2 op_eqi bi v
+        | Signal.Eq, None, Some v -> emit2 op_eqi ai v
+        | Signal.Ult, None, Some v -> emit2 op_ulti ai v
+        | Signal.Ult, Some v, None -> emit2 op_iult bi v
+        | Signal.Slt, None, Some v ->
+          let sg = sign_of aw in
+          emit3 op_slti ai sg (v lxor sg)
+        | Signal.Slt, Some v, None ->
+          let sg = sign_of aw in
+          emit3 op_islt bi sg (v lxor sg)
+        (* --- general forms --- *)
+        | Signal.Add, None, None ->
+          push op_add; push i; push ai; push bi; push (mask_of w)
+        | Signal.Sub, None, None ->
+          push op_sub; push i; push ai; push bi; push (mask_of w)
+        | Signal.Mul, None, None ->
+          push op_mul; push i; push ai; push bi; push (mask_of w)
+        | Signal.And, None, None -> push op_and; push i; push ai; push bi
+        | Signal.Or, None, None -> push op_or; push i; push ai; push bi
+        | Signal.Xor, None, None -> push op_xor; push i; push ai; push bi
+        | Signal.Eq, None, None -> push op_eq; push i; push ai; push bi
+        | Signal.Ult, None, None -> push op_ult; push i; push ai; push bi
+        | Signal.Slt, None, None ->
+          push op_slt; push i; push ai; push bi; push (sign_of aw)
+        | Signal.Shl n, None, _ ->
+          if n = 0 then alias ai
+          else emit3 op_shl ai n (mask_of w)
+        | Signal.Shr n, None, _ ->
+          if n = 0 then alias ai else emit2 op_shr ai n
+        | Signal.Sra n, None, _ ->
+          if n = 0 then alias ai
+          else begin
+            push op_sra; push i; push ai; push n; push (sign_of aw);
+            push (mask_of w)
+          end)
+      | Signal.Mux (c, x, y) -> (
+        let ci = idx c and xi = idx x and yi = idx y in
+        match kv ci with
+        | Some vc -> alias (if vc <> 0 then xi else yi)
+        | None -> (
+          if xi = yi then alias xi
+          else
+            match kv xi, kv yi with
+            | Some vx, Some vy when vx = vy -> fold vx
+            | Some vx, _ ->
+              push op_mux_ix; push i; push ci; push vx; push yi
+            | None, Some vy ->
+              push op_mux_iy; push i; push ci; push xi; push vy
+            | None, None ->
+              push op_mux; push i; push ci; push xi; push yi))
+      | Signal.Concat (hi, lo) -> (
+        let lw = lo.Signal.width in
+        let hi_i = idx hi and lo_i = idx lo in
+        match kv hi_i, kv lo_i with
+        | Some vh, Some vl -> fold (m ((vh lsl lw) lor vl))
+        | Some vh, None ->
+          let imm = m (vh lsl lw) in
+          if imm = 0 then alias lo_i (* zero-extension *)
+          else begin push op_ori; push i; push lo_i; push imm end
+        | None, Some vl ->
+          push op_shl_ori; push i; push hi_i; push lw; push vl;
+          push (mask_of w)
+        | None, None ->
+          push op_concat; push i; push hi_i; push lo_i; push lw;
+          push (mask_of w))
+      | Signal.Repl (a, n) -> (
+        let ai = idx a in
+        let aw = a.Signal.width in
+        match kv ai with
+        | Some v ->
+          let acc = ref 0 in
+          for _ = 1 to n do
+            acc := (!acc lsl aw) lor v
+          done;
+          fold (m !acc)
+        | None ->
+          push op_repl; push i; push ai; push n; push aw; push (mask_of w))
+      | Signal.Select (a, _, lo) -> (
+        let ai = idx a in
+        match kv ai with
+        | Some v -> fold (m (v lsr lo))
+        | None ->
+          if lo = 0 && w = a.Signal.width then alias ai
+          else begin
+            push op_select; push i; push ai; push lo; push (mask_of w)
+          end)
+      | Signal.Wire r -> (
+        match !r with
+        | Some direct ->
+          (* follow the wire chain to its non-wire driver and alias; a
+             degenerate wire cycle falls back to an explicit copy *)
+          let rec driver_of (n : Signal.t) seen =
+            match n.Signal.node with
+            | Signal.Wire { contents = Some d }
+              when not (List.mem n.Signal.id seen) ->
+              driver_of d (n.Signal.id :: seen)
+            | _ -> n
+          in
+          let d = driver_of s [] in
+          if d != s then alias (idx d)
+          else begin push op_copy; push i; push (idx direct) end
+        | None -> invalid_arg "Sim: unassigned wire")
+      | Signal.Ram_read (ram, addr) ->
+        push op_ramrd; push i; push (ram_slot ram.Signal.ram_id);
+        push (idx addr); push ram.Signal.size)
+    nodes;
+  let code0 = Array.sub !buf 0 !len in
+  (* Post-pass: common-subexpression elimination.  Every instruction runs
+     on every settle, so two instructions with the same opcode, immediates
+     and (remapped) value operands always hold equal results — the later
+     one is dropped and its slot redirected to the earlier one's.  The
+     tape's dst field is always at offset 1; [val_fields] lists which of
+     the remaining fields are [values] indices (as opposed to immediates,
+     input slots or ram slots). *)
+  let stride_of op =
+    match op with
+    | 0 | 18 -> 3
+    | 1 | 5 | 6 | 7 | 8 | 9 | 12 | 24 | 25 | 26 | 27 | 28 | 29 -> 4
+    | 13 | 15 | 16 | 34 -> 6
+    | _ -> 5
+  in
+  let val_fields op =
+    match op with
+    | 0 -> []
+    | 14 -> [ 2; 3; 4 ]
+    | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 15 -> [ 2; 3 ]
+    | 19 -> [ 3 ]
+    | 32 -> [ 2; 4 ]
+    | 33 -> [ 2; 3 ]
+    | _ -> [ 2 ]
+  in
+  let n_nodes = Array.length nodes in
+  let remap = Array.init n_nodes (fun k -> k) in
+  let seen = Hashtbl.create 256 in
+  len := 0;
+  let p = ref 0 in
+  while !p < Array.length code0 do
+    let op = code0.(!p) in
+    let st = stride_of op in
+    let inst = Array.sub code0 !p st in
+    List.iter (fun f -> inst.(f) <- remap.(inst.(f))) (val_fields op);
+    let key =
+      op :: List.filteri (fun k _ -> k > 1) (Array.to_list inst)
+    in
+    (match Hashtbl.find_opt seen key with
+    | Some prior -> remap.(inst.(1)) <- prior
+    | None ->
+      Hashtbl.add seen key inst.(1);
+      Array.iter push inst);
+    p := !p + st
+  done;
+  (* point aliased / eliminated nodes at the surviving slots *)
+  let updates =
+    Hashtbl.fold
+      (fun id di acc -> if remap.(di) <> di then (id, remap.(di)) :: acc
+        else acc)
+      index_of []
+  in
+  List.iter (fun (id, di) -> Hashtbl.replace index_of id di) updates;
+  (Array.sub !buf 0 !len, Array.of_list (List.rev !folded))
+
+let exec_tape t =
+  let code = t.code in
   let values = t.values in
-  let idx (s : Signal.t) = Hashtbl.find t.index_of s.Signal.id in
+  let slots = t.input_slots in
+  let rams = t.tape_rams in
+  let n = Array.length code in
+  let pc = ref 0 in
+  while !pc < n do
+    let p = !pc in
+    let d = Array.unsafe_get code (p + 1) in
+    match Array.unsafe_get code p with
+    | 0 (* input *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get slots (Array.unsafe_get code (p + 2)));
+      pc := p + 3
+    | 1 (* not *) ->
+      Array.unsafe_set values d
+        (lnot (Array.unsafe_get values (Array.unsafe_get code (p + 2)))
+         land Array.unsafe_get code (p + 3));
+      pc := p + 4
+    | 2 (* add *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get values (Array.unsafe_get code (p + 2))
+          + Array.unsafe_get values (Array.unsafe_get code (p + 3)))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 3 (* sub *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get values (Array.unsafe_get code (p + 2))
+          - Array.unsafe_get values (Array.unsafe_get code (p + 3)))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 4 (* mul *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         * Array.unsafe_get values (Array.unsafe_get code (p + 3))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 5 (* and *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         land Array.unsafe_get values (Array.unsafe_get code (p + 3)));
+      pc := p + 4
+    | 6 (* or *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         lor Array.unsafe_get values (Array.unsafe_get code (p + 3)));
+      pc := p + 4
+    | 7 (* xor *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         lxor Array.unsafe_get values (Array.unsafe_get code (p + 3)));
+      pc := p + 4
+    | 8 (* eq *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           = Array.unsafe_get values (Array.unsafe_get code (p + 3))
+         then 1
+         else 0);
+      pc := p + 4
+    | 9 (* ult *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           < Array.unsafe_get values (Array.unsafe_get code (p + 3))
+         then 1
+         else 0);
+      pc := p + 4
+    | 10 (* slt *) ->
+      let s = Array.unsafe_get code (p + 4) in
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2)) lxor s
+           < Array.unsafe_get values (Array.unsafe_get code (p + 3)) lxor s
+         then 1
+         else 0);
+      pc := p + 5
+    | 11 (* shl *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           lsl Array.unsafe_get code (p + 3)
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 12 (* shr *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         lsr Array.unsafe_get code (p + 3));
+      pc := p + 4
+    | 13 (* sra *) ->
+      let s = Array.unsafe_get code (p + 4) in
+      Array.unsafe_set values d
+        (((Array.unsafe_get values (Array.unsafe_get code (p + 2)) lxor s) - s)
+           asr Array.unsafe_get code (p + 3)
+         land Array.unsafe_get code (p + 5));
+      pc := p + 6
+    | 14 (* mux *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values
+           (if Array.unsafe_get values (Array.unsafe_get code (p + 2)) <> 0
+            then Array.unsafe_get code (p + 3)
+            else Array.unsafe_get code (p + 4)));
+      pc := p + 5
+    | 15 (* concat *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get values (Array.unsafe_get code (p + 2))
+            lsl Array.unsafe_get code (p + 4)
+          lor Array.unsafe_get values (Array.unsafe_get code (p + 3)))
+         land Array.unsafe_get code (p + 5));
+      pc := p + 6
+    | 16 (* repl *) ->
+      let v = Array.unsafe_get values (Array.unsafe_get code (p + 2)) in
+      let times = Array.unsafe_get code (p + 3) in
+      let aw = Array.unsafe_get code (p + 4) in
+      let acc = ref 0 in
+      for _ = 1 to times do
+        acc := (!acc lsl aw) lor v
+      done;
+      Array.unsafe_set values d (!acc land Array.unsafe_get code (p + 5));
+      pc := p + 6
+    | 17 (* select *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           lsr Array.unsafe_get code (p + 3)
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 18 (* copy *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2)));
+      pc := p + 3
+    | 19 (* ramrd *) ->
+      let a = Array.unsafe_get values (Array.unsafe_get code (p + 3)) in
+      Array.unsafe_set values d
+        (if a < Array.unsafe_get code (p + 4) then
+           (Array.unsafe_get rams (Array.unsafe_get code (p + 2))).(a)
+         else 0);
+      pc := p + 5
+    | 20 (* addi *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get values (Array.unsafe_get code (p + 2))
+          + Array.unsafe_get code (p + 3))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 21 (* subi *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get values (Array.unsafe_get code (p + 2))
+          - Array.unsafe_get code (p + 3))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 22 (* isub *) ->
+      Array.unsafe_set values d
+        ((Array.unsafe_get code (p + 3)
+          - Array.unsafe_get values (Array.unsafe_get code (p + 2)))
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 23 (* muli *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         * Array.unsafe_get code (p + 3)
+         land Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | 24 (* andi *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         land Array.unsafe_get code (p + 3));
+      pc := p + 4
+    | 25 (* ori *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         lor Array.unsafe_get code (p + 3));
+      pc := p + 4
+    | 26 (* xori *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         lxor Array.unsafe_get code (p + 3));
+      pc := p + 4
+    | 27 (* eqi *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           = Array.unsafe_get code (p + 3)
+         then 1
+         else 0);
+      pc := p + 4
+    | 28 (* ulti *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           < Array.unsafe_get code (p + 3)
+         then 1
+         else 0);
+      pc := p + 4
+    | 29 (* iult *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get code (p + 3)
+           < Array.unsafe_get values (Array.unsafe_get code (p + 2))
+         then 1
+         else 0);
+      pc := p + 4
+    | 30 (* slti *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           lxor Array.unsafe_get code (p + 3)
+           < Array.unsafe_get code (p + 4)
+         then 1
+         else 0);
+      pc := p + 5
+    | 31 (* islt *) ->
+      Array.unsafe_set values d
+        (if
+           Array.unsafe_get code (p + 4)
+           < Array.unsafe_get values (Array.unsafe_get code (p + 2))
+             lxor Array.unsafe_get code (p + 3)
+         then 1
+         else 0);
+      pc := p + 5
+    | 32 (* mux_ix *) ->
+      Array.unsafe_set values d
+        (if Array.unsafe_get values (Array.unsafe_get code (p + 2)) <> 0
+         then Array.unsafe_get code (p + 3)
+         else Array.unsafe_get values (Array.unsafe_get code (p + 4)));
+      pc := p + 5
+    | 33 (* mux_iy *) ->
+      Array.unsafe_set values d
+        (if Array.unsafe_get values (Array.unsafe_get code (p + 2)) <> 0
+         then Array.unsafe_get values (Array.unsafe_get code (p + 3))
+         else Array.unsafe_get code (p + 4));
+      pc := p + 5
+    | _ (* shl_ori *) ->
+      Array.unsafe_set values d
+        (Array.unsafe_get values (Array.unsafe_get code (p + 2))
+           lsl Array.unsafe_get code (p + 3)
+         land Array.unsafe_get code (p + 5)
+         lor Array.unsafe_get code (p + 4));
+      pc := p + 6
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter: one closure per combinational node.          *)
+
+let compile_closures nodes ~idx ~slot_of_input ~values ~input_slots
+    ~ram_contents =
   let steps =
-    Array.to_list (Circuit.nodes t.circuit)
+    Array.to_list nodes
     |> List.filter_map (fun (s : Signal.t) ->
         let i = idx s in
         let w = s.Signal.width in
         let m = Signal.mask_to_width w in
         match s.Signal.node with
-        | Signal.Reg _ -> None (* state element *)
-        | Signal.Const c ->
-          values.(i) <- c;
-          None (* constants never change *)
+        | Signal.Reg _ | Signal.Const _ -> None (* sequential / preloaded *)
         | Signal.Input n ->
-          let tbl = t.input_values in
-          Some (fun () -> values.(i) <- Hashtbl.find tbl n)
+          let slot = slot_of_input n in
+          Some (fun () -> values.(i) <- input_slots.(slot))
         | Signal.Unop (Signal.Not, a) ->
           let a = idx a in
           Some (fun () -> values.(i) <- m (lnot values.(a)))
@@ -90,7 +712,7 @@ let compile t =
             Some (fun () -> values.(i) <- values.(d))
           | None -> invalid_arg "Sim: unassigned wire")
         | Signal.Ram_read (ram, addr) ->
-          let contents = Hashtbl.find t.ram_state ram.Signal.ram_id in
+          let contents = ram_contents ram.Signal.ram_id in
           let size = ram.Signal.size in
           let addr = idx addr in
           Some
@@ -100,10 +722,45 @@ let compile t =
   in
   Array.of_list steps
 
-let create circuit =
+(* ------------------------------------------------------------------ *)
+
+let create ?(backend = `Tape) circuit =
   let nodes = Circuit.nodes circuit in
-  let index_of = Hashtbl.create (Array.length nodes) in
+  let n = Array.length nodes in
+  let index_of = Hashtbl.create (max 16 n) in
   Array.iteri (fun i s -> Hashtbl.add index_of s.Signal.id i) nodes;
+  let values = Array.make (max 1 n) 0 in
+  (* inputs: one dense slot per distinct name *)
+  let inputs = Circuit.inputs circuit in
+  let input_slots = Array.make (max 1 (List.length inputs)) 0 in
+  let input_slot_of = Hashtbl.create 16 in
+  List.iteri (fun k (nm, w) -> Hashtbl.add input_slot_of nm (k, w)) inputs;
+  let slot_of_input nm = fst (Hashtbl.find input_slot_of nm) in
+  (* rams: hash table keyed by id for the testbench API, dense slots for
+     the tape *)
+  let rams = Circuit.rams circuit in
+  let ram_state = Hashtbl.create 8 in
+  let tape_rams = Array.make (max 1 (List.length rams)) [||] in
+  let ram_slot_of = Hashtbl.create 8 in
+  List.iteri
+    (fun k (r : Signal.ram) ->
+      let contents = Array.copy r.Signal.init_data in
+      Hashtbl.add ram_state r.Signal.ram_id contents;
+      Hashtbl.add ram_slot_of r.Signal.ram_id k;
+      tape_rams.(k) <- contents)
+    rams;
+  (* Compile the tape first: its folding pass redirects aliased nodes in
+     [index_of], and everything below (registers, write ports, outputs)
+     must resolve through the redirected table. *)
+  let code, folded =
+    match backend with
+    | `Tape ->
+      compile_tape nodes ~index_of ~slot_of_input
+        ~ram_slot:(Hashtbl.find ram_slot_of)
+    | `Closure -> ([||], [||])
+  in
+  let idx (s : Signal.t) = Hashtbl.find index_of s.Signal.id in
+  (* registers *)
   let regs = ref [] in
   Array.iteri
     (fun i s ->
@@ -111,62 +768,148 @@ let create circuit =
       | Signal.Reg r -> regs := (i, r) :: !regs
       | _ -> ())
     nodes;
-  let values = Array.make (Array.length nodes) 0 in
-  List.iter (fun (i, r) -> values.(i) <- r.Signal.init) !regs;
-  let ram_state = Hashtbl.create 8 in
-  List.iter
-    (fun r ->
-      Hashtbl.add ram_state r.Signal.ram_id (Array.copy r.Signal.init_data))
-    (Circuit.rams circuit);
-  let input_values = Hashtbl.create 16 in
-  let input_widths = Hashtbl.create 16 in
-  List.iter
-    (fun (n, w) ->
-      Hashtbl.add input_values n 0;
-      Hashtbl.add input_widths n w)
-    (Circuit.inputs circuit);
-  let t =
-    { circuit; index_of; values;
-      reg_state = Array.of_list (List.rev !regs);
-      ram_state; input_values; input_widths; clock = 0; program = [||] }
+  let reg_state = Array.of_list (List.rev !regs) in
+  let cregs =
+    Array.map
+      (fun (i, (r : Signal.reg)) ->
+        { self = i;
+          d = idx r.Signal.d;
+          en = (match r.Signal.enable with Some e -> idx e | None -> -1);
+          clr = (match r.Signal.clear with Some c -> idx c | None -> -1);
+          clear_to = r.Signal.clear_to;
+          rinit = r.Signal.init })
+      reg_state
   in
-  t.program <- compile t;
-  t
-
-let reset t =
-  Array.iteri
-    (fun i (s : Signal.t) ->
-      match s.Signal.node with
-      | Signal.Reg r -> t.values.(i) <- r.Signal.init
-      | Signal.Const c -> t.values.(i) <- c (* constants are set once *)
-      | _ -> t.values.(i) <- 0)
-    (Circuit.nodes t.circuit);
+  let ram_init_of = Hashtbl.create 8 in
   List.iter
-    (fun r ->
-      let c = Hashtbl.find t.ram_state r.Signal.ram_id in
-      Array.blit r.Signal.init_data 0 c 0 r.Signal.size)
-    (Circuit.rams t.circuit);
+    (fun (r : Signal.ram) ->
+      Hashtbl.add ram_init_of r.Signal.ram_id r.Signal.init_data)
+    rams;
+  let writable_inits =
+    List.filter_map
+      (fun (r : Signal.ram) ->
+        match r.Signal.write_port with
+        | None -> None
+        | Some _ ->
+          Some (Hashtbl.find ram_state r.Signal.ram_id, r.Signal.init_data))
+      rams
+    |> Array.of_list
+  in
+  let cwports =
+    List.filter_map
+      (fun (ram : Signal.ram) ->
+        match ram.Signal.write_port with
+        | None -> None
+        | Some wp ->
+          Some
+            { we = idx wp.Signal.we;
+              waddr = idx wp.Signal.waddr;
+              wdata = idx wp.Signal.wdata;
+              wsize = ram.Signal.size;
+              wcontents = Hashtbl.find ram_state ram.Signal.ram_id })
+      rams
+    |> Array.of_list
+  in
+  (* preload constants: literal Const nodes, slots the tape compiler
+     folded, register init values — then snapshot for [reset] *)
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Const c -> values.(idx s) <- c
+      | _ -> ())
+    nodes;
+  Array.iter (fun (i, c) -> values.(i) <- c) folded;
+  Array.iter (fun r -> values.(r.self) <- r.rinit) cregs;
+  let init_image = Array.copy values in
+  let out_slot_of = Hashtbl.create 8 in
+  List.iter
+    (fun (nm, (s : Signal.t)) ->
+      if not (Hashtbl.mem out_slot_of nm) then
+        Hashtbl.add out_slot_of nm (idx s, s.Signal.width))
+    (Circuit.outputs circuit);
+  let program =
+    match backend with
+    | `Closure ->
+      compile_closures nodes ~idx ~slot_of_input ~values ~input_slots
+        ~ram_contents:(Hashtbl.find ram_state)
+    | `Tape -> [||]
+  in
+  { circuit; backend; index_of; values; code; tape_rams; program; cregs;
+    reg_next = Array.make (max 1 (Array.length cregs)) 0;
+    cwports; reg_state; ram_state; writable_inits; ram_init_of;
+    dirty_rams = Hashtbl.create 4;
+    input_slots; input_slot_of; out_slot_of; init_image; clock = 0 }
+
+(* The compiled programs (tape and closures) read state only through
+   [values], [input_slots] and the ram contents arrays, all of which are
+   restored in place — no recompilation needed. *)
+let reset t =
+  Array.blit t.init_image 0 t.values 0 (Array.length t.values);
+  (* Read-only rams cannot have drifted from their init image, so only
+     rams with a write port — plus any the testbench rewrote through
+     [load_ram] — need restoring. *)
+  Array.iter
+    (fun (c, init) -> Array.blit init 0 c 0 (Array.length c))
+    t.writable_inits;
   Hashtbl.iter
-    (fun k _ -> Hashtbl.replace t.input_values k 0)
-    (Hashtbl.copy t.input_values);
+    (fun id () ->
+      let c = Hashtbl.find t.ram_state id in
+      Array.blit (Hashtbl.find t.ram_init_of id) 0 c 0 (Array.length c))
+    t.dirty_rams;
+  Hashtbl.reset t.dirty_rams;
+  Array.fill t.input_slots 0 (Array.length t.input_slots) 0;
   t.clock <- 0
 
 let set_input t name v =
-  match Hashtbl.find_opt t.input_widths name with
+  match Hashtbl.find_opt t.input_slot_of name with
   | None -> raise Not_found
-  | Some w -> Hashtbl.replace t.input_values name (Signal.mask_to_width w v)
+  | Some (slot, w) -> t.input_slots.(slot) <- Signal.mask_to_width w v
 
 let value t (s : Signal.t) = t.values.(Hashtbl.find t.index_of s.Signal.id)
 
 let settle t =
-  let program = t.program in
-  for i = 0 to Array.length program - 1 do
-    (Array.unsafe_get program i) ()
-  done
+  match t.backend with
+  | `Tape -> exec_tape t
+  | `Closure ->
+    let program = t.program in
+    for i = 0 to Array.length program - 1 do
+      (Array.unsafe_get program i) ()
+    done
 
-let latch t =
+(* Compiled latch: next states into the preallocated scratch array, ram
+   writes, then commit — registers and write ports see pre-edge values. *)
+let latch_compiled t =
+  let values = t.values in
+  let cregs = t.cregs in
+  let nexts = t.reg_next in
+  for k = 0 to Array.length cregs - 1 do
+    let r = Array.unsafe_get cregs k in
+    let next =
+      if r.clr >= 0 && Array.unsafe_get values r.clr <> 0 then r.clear_to
+      else if r.en >= 0 && Array.unsafe_get values r.en = 0 then
+        Array.unsafe_get values r.self
+      else Array.unsafe_get values r.d
+    in
+    Array.unsafe_set nexts k next
+  done;
+  let wps = t.cwports in
+  for k = 0 to Array.length wps - 1 do
+    let w = Array.unsafe_get wps k in
+    if Array.unsafe_get values w.we <> 0 then begin
+      let a = Array.unsafe_get values w.waddr in
+      if a < w.wsize then w.wcontents.(a) <- Array.unsafe_get values w.wdata
+    end
+  done;
+  for k = 0 to Array.length cregs - 1 do
+    Array.unsafe_set values (Array.unsafe_get cregs k).self
+      (Array.unsafe_get nexts k)
+  done;
+  t.clock <- t.clock + 1
+
+(* Reference latch: resolves every operand through the id hash table, as
+   the original interpreter did. *)
+let latch_reference t =
   let v = value t in
-  (* compute all next values first, then commit (registers see old values) *)
   let nexts =
     Array.map
       (fun (i, (r : Signal.reg)) ->
@@ -198,6 +941,11 @@ let latch t =
   Array.iter (fun (i, next) -> t.values.(i) <- next) nexts;
   t.clock <- t.clock + 1
 
+let latch t =
+  match t.backend with
+  | `Tape -> latch_compiled t
+  | `Closure -> latch_reference t
+
 let cycle t =
   settle t;
   latch t
@@ -207,22 +955,22 @@ let cycles t n =
     cycle t
   done
 
-let find_output t name =
-  match List.assoc_opt name (Circuit.outputs t.circuit) with
-  | Some s -> s
-  | None -> raise Not_found
-
 let peek t s =
   match Hashtbl.find_opt t.index_of s.Signal.id with
   | Some i -> t.values.(i)
   | None -> raise Not_found
 
 let peek_signed t s = Signal.to_signed s.Signal.width (peek t s)
-let output t name = peek t (find_output t name)
+
+let output t name =
+  match Hashtbl.find_opt t.out_slot_of name with
+  | Some (i, _) -> t.values.(i)
+  | None -> raise Not_found
 
 let output_signed t name =
-  let s = find_output t name in
-  Signal.to_signed s.Signal.width (peek t s)
+  match Hashtbl.find_opt t.out_slot_of name with
+  | Some (i, w) -> Signal.to_signed w t.values.(i)
+  | None -> raise Not_found
 
 let ram_contents t (r : Signal.ram) =
   Array.copy (Hashtbl.find t.ram_state r.Signal.ram_id)
@@ -230,6 +978,9 @@ let ram_contents t (r : Signal.ram) =
 let load_ram t (r : Signal.ram) data =
   if Array.length data <> r.Signal.size then
     invalid_arg "Sim.load_ram: size mismatch";
+  (match r.Signal.write_port with
+  | None -> Hashtbl.replace t.dirty_rams r.Signal.ram_id ()
+  | Some _ -> ());
   let contents = Hashtbl.find t.ram_state r.Signal.ram_id in
   Array.iteri
     (fun i v -> contents.(i) <- Signal.mask_to_width r.Signal.ram_width v)

@@ -4,14 +4,33 @@
     evaluated in topological order ({i settle}), then registers and ram
     write ports latch their next values ({i latch}).  This matches the
     standard synchronous-RTL evaluation model used by Verilog simulators on
-    the single-clock subset the DSL generates. *)
+    the single-clock subset the DSL generates.
+
+    Two interchangeable execution backends implement these semantics:
+
+    - [`Tape] (default): the netlist is compiled at {!create} time into a
+      flat int-array instruction tape (opcode, dense operand indices,
+      pre-computed masks) evaluated by a tight match loop, and the
+      sequential phase is pre-resolved to dense indices so {!cycle}
+      performs no hashing and no allocation.
+    - [`Closure]: the reference interpreter — one closure per
+      combinational node and a hash-resolved latch.  Slower; kept for
+      differential testing ({i tape vs closure must agree cycle-for-cycle})
+      and as the baseline for the [bench-sim] benchmark gate. *)
 
 type t
 
-val create : Circuit.t -> t
-(** Registers start at their [init] value, rams at their [init_data]. *)
+type backend = [ `Closure | `Tape ]
+
+val create : ?backend:backend -> Circuit.t -> t
+(** Compile the circuit for the chosen backend (default [`Tape]).
+    Registers start at their [init] value, rams at their [init_data]. *)
+
+val backend : t -> backend
 
 val reset : t -> unit
+(** Restore registers, rams, inputs and the clock counter to their
+    power-on state.  The compiled program is reused as-is. *)
 
 val set_input : t -> string -> int -> unit
 (** @raise Not_found on an unknown input.  The value is masked to the
@@ -26,7 +45,9 @@ val cycle : t -> unit
 val cycles : t -> int -> unit
 
 val output : t -> string -> int
-(** Value of a named output after the last {!settle}/{!cycle}.
+(** Value of a named output after the last {!settle}/{!cycle}.  Output
+    names are resolved to dense indices once at {!create} time, so this is
+    cheap enough for testbench polling loops.
     @raise Not_found on an unknown output. *)
 
 val output_signed : t -> string -> int

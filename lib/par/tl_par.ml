@@ -1,0 +1,58 @@
+(* Domain-based work pool for the embarrassingly parallel outer loops of
+   the repo: DSE sweeps, fuzz trials, benchmark sections.
+
+   One pool per call: [d - 1] helper domains are spawned, the calling
+   domain works too, and all items are pulled from a shared atomic
+   counter.  Results land in a per-index slot, so the output order (and
+   the exception raised, if any) is independent of scheduling — two runs
+   of the same deterministic [f] produce identical ordered results. *)
+
+let n_domains () =
+  match Sys.getenv_opt "TL_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let map_array ?domains f xs =
+  let n = Array.length xs in
+  let d =
+    min (match domains with Some d -> max 1 d | None -> n_domains ()) n
+  in
+  if d <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some (match f xs.(i) with v -> Ok v | exception e -> Error e)
+      done
+    in
+    let helpers = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (* commit in index order: the first (lowest-index) failure is the one
+       re-raised, regardless of which domain hit it *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let mapi ?domains f xs =
+  Array.to_list
+    (map_array ?domains
+       (fun (i, x) -> f i x)
+       (Array.of_list (List.mapi (fun i x -> (i, x)) xs)))
+
+let iter ?domains f xs = ignore (map ?domains f xs)

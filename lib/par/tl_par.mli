@@ -1,0 +1,23 @@
+(** Domain-based work pool (OCaml 5 [Domain]s).
+
+    Fans a list of independent items over [domains] workers pulling from a
+    shared atomic counter.  Results are returned {b in input order}, and
+    the first (lowest-index) exception is re-raised, so for a
+    deterministic [f] the observable behaviour is identical to [List.map]
+    — only faster.  With [domains = 1] (or a singleton input) no domain is
+    spawned at all: plain sequential [map].
+
+    Workers run genuinely concurrently: [f] must not touch non-atomic
+    shared mutable state.  Netlist elaboration is safe ({!Tl_hw.Signal}
+    id counters are atomic), as are the STT / performance / cost models,
+    which share nothing. *)
+
+val n_domains : unit -> int
+(** Pool width used when [?domains] is omitted:
+    [Domain.recommended_domain_count ()], overridable with the
+    [TL_DOMAINS] environment variable (clamped to at least 1). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -842,10 +842,10 @@ let run_sim t sim =
     t.out_locs;
   out
 
-let execute t = run_sim t (Sim.create t.circuit)
+let execute ?backend t = run_sim t (Sim.create ?backend t.circuit)
 
-let execute_with t env =
-  let sim = Sim.create t.circuit in
+let execute_with ?backend t env =
+  let sim = Sim.create ?backend t.circuit in
   List.iter
     (fun (name, ram) ->
       match List.assoc_opt name env with

@@ -47,11 +47,13 @@ val generate : ?rows:int -> ?cols:int -> ?data_width:int -> ?acc_width:int ->
     (see {!Tl_stt.Design.netlist_supported}), the footprint exceeds the
     array, or a stationary output's stage is shorter than the drain chain. *)
 
-val execute : t -> Tl_ir.Dense.t
+val execute : ?backend:Tl_hw.Sim.backend -> t -> Tl_ir.Dense.t
 (** Simulate the netlist to completion and reassemble the output tensor
-    from the collector banks. *)
+    from the collector banks.  [backend] selects the simulator backend
+    (default the compiled instruction tape; see {!Tl_hw.Sim}). *)
 
-val execute_with : t -> Tl_ir.Exec.env -> Tl_ir.Dense.t
+val execute_with : ?backend:Tl_hw.Sim.backend -> t -> Tl_ir.Exec.env ->
+  Tl_ir.Dense.t
 (** Re-run the {i same} generated accelerator on different input data by
     rewriting the input data memories (no re-elaboration).
     @raise Invalid_argument on a missing tensor or shape mismatch. *)

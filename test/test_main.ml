@@ -4,6 +4,7 @@ let () =
       ("ir", Test_ir.suite);
       ("stt", Test_stt.suite);
       ("hw", Test_hw.suite);
+      ("sim-backends", Test_sim_backends.suite);
       ("templates", Test_templates.suite);
       ("models", Test_models.suite);
       ("features", Test_features.suite);

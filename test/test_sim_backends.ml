@@ -1,0 +1,262 @@
+(* Differential testing of the two simulator backends (instruction tape vs
+   closure reference interpreter), Tl_par pool semantics, and a smoke run
+   of the benchmark gate. *)
+
+open Tensorlib
+open Signal
+
+(* ---------------- random-netlist differential property ---------------- *)
+
+(* Random circuits covering every node kind: mixed widths, signed compares
+   and shifts, concat/repl/select, muxes with constant selects (exercising
+   the tape's alias folding), registers with enable + clear, wire feedback
+   and a read/write ram. *)
+let random_circuit rng =
+  let ri n = Random.State.int rng n in
+  let x = input "x" 8 and y = input "y" 6 in
+  let pool =
+    ref
+      [ x; y; const ~width:8 (ri 256); const ~width:6 (ri 64);
+        const ~width:3 (ri 8); vdd; gnd ]
+  in
+  let push s = pool := s :: !pool in
+  let pick () = List.nth !pool (ri (List.length !pool)) in
+  let pick_w w =
+    match List.filter (fun s -> width s = w) !pool with
+    | [] -> const ~width:w (ri 1000)
+    | l -> List.nth l (ri (List.length l))
+  in
+  (* registers with wire feedback *)
+  let fb = wire 8 in
+  let r =
+    reg ~enable:(bit y 0) ~clear:(bit y 1) ~clear_to:(ri 256) ~init:(ri 256)
+      fb
+  in
+  push r;
+  push (reg (pick_w 6));
+  (* read/write ram *)
+  let m = ram ~size:8 ~width:8 ~init:(Array.init 8 (fun i -> i * 7 mod 256)) () in
+  for _ = 1 to 30 do
+    let a = pick () in
+    let wa = width a in
+    let b = pick_w wa in
+    let s =
+      match ri 16 with
+      | 0 -> a +: b
+      | 1 -> a -: b
+      | 2 -> a *: b
+      | 3 -> a &: b
+      | 4 -> a |: b
+      | 5 -> a ^: b
+      | 6 -> not_ a
+      | 7 -> eq a b
+      | 8 -> ult a b
+      | 9 -> slt a b
+      | 10 -> shift_left a (ri wa)
+      | 11 -> shift_right_l a (ri wa)
+      | 12 -> shift_right_a a (ri wa)
+      | 13 when wa + width b <= 20 -> concat [ a; b ]
+      | 13 -> mux2 (pick_w 1) a b
+      | 14 when wa <= 10 -> repl a (1 + ri 3)
+      | 14 -> uresize a (wa + ri 4)
+      | _ ->
+        let lo = ri wa in
+        select a ~hi:(lo + ri (wa - lo)) ~lo
+    in
+    if width s <= 62 then push s
+  done;
+  ram_write m ~we:(pick_w 1) ~addr:(pick_w 3) ~data:(pick_w 8);
+  let rd = ram_read m (pick_w 3) in
+  push rd;
+  assign fb (pick_w 8);
+  (* the explicit read output keeps the ram (and its write cone) reachable *)
+  let outs =
+    ("rr", rd) :: List.init 4 (fun k -> (Printf.sprintf "o%d" k, pick ()))
+  in
+  (Circuit.create ~name:"diff" ~outputs:outs, m)
+
+let test_differential_random () =
+  let rng = Random.State.make [| 42 |] in
+  for case = 1 to 40 do
+    let circ, m = random_circuit rng in
+    let tape = Sim.create circ in
+    let closure = Sim.create ~backend:`Closure circ in
+    Alcotest.(check bool) "backends" true
+      (Sim.backend tape = `Tape && Sim.backend closure = `Closure);
+    for cyc = 1 to 15 do
+      let xv = Random.State.int rng 256 and yv = Random.State.int rng 64 in
+      (* an input can be unreachable from the sampled outputs *)
+      let set s nm v = try Sim.set_input s nm v with Not_found -> () in
+      set tape "x" xv;
+      set tape "y" yv;
+      set closure "x" xv;
+      set closure "y" yv;
+      Sim.settle tape;
+      Sim.settle closure;
+      (* every node (through any tape aliasing) must agree post-settle *)
+      Array.iter
+        (fun n ->
+          let a = Sim.peek tape n and b = Sim.peek closure n in
+          if a <> b then
+            Alcotest.failf "case %d cycle %d: node %d (width %d): %d <> %d"
+              case cyc n.id n.width a b)
+        (Circuit.nodes circ);
+      List.iter
+        (fun (nm, _) ->
+          if Sim.output tape nm <> Sim.output closure nm then
+            Alcotest.failf "case %d cycle %d: output %s differs" case cyc nm)
+        (Circuit.outputs circ);
+      (* advance the clock edge (settle is idempotent, so cycle's second
+         settle recomputes the same values before latching) *)
+      Sim.cycle tape;
+      Sim.cycle closure;
+      if Sim.ram_contents tape m <> Sim.ram_contents closure m then
+        Alcotest.failf "case %d cycle %d: ram contents diverged" case cyc
+    done
+  done
+
+(* ---------------- workload differential vs the golden executor -------- *)
+
+let check_workload stmt dname rows cols () =
+  let d = Search.find_design_exn stmt dname in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows ~cols d env in
+  let golden = Exec.run stmt env in
+  Alcotest.(check bool)
+    (dname ^ " tape = golden") true
+    (Dense.equal golden (Accel.execute acc));
+  Alcotest.(check bool)
+    (dname ^ " closure = golden") true
+    (Dense.equal golden (Accel.execute ~backend:`Closure acc))
+
+let test_gemm_both =
+  check_workload (Workloads.gemm ~m:4 ~n:4 ~k:5) "MNK-SST" 8 8
+
+let test_conv_both =
+  check_workload (Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3) "KCX-SST" 8 8
+
+let test_depthwise_both =
+  check_workload (Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3) "XYP-MMM"
+    8 8
+
+let test_mttkrp_both =
+  check_workload (Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4) "IKL-UBBB" 8 8
+
+(* ---------------- reset reproducibility ------------------------------- *)
+
+let counter_trace backend =
+  let fb = wire 8 in
+  let c = reg fb in
+  assign fb (c +: const ~width:8 1);
+  let m = ram ~size:4 ~width:8 ~init:(Array.make 4 0) () in
+  ram_write m ~we:vdd ~addr:(select c ~hi:1 ~lo:0) ~data:c;
+  let circ =
+    Circuit.create ~name:"ctr" ~outputs:[ ("c", c); ("r", ram_read m (select c ~hi:1 ~lo:0)) ]
+  in
+  let s = Sim.create ~backend circ in
+  let run () =
+    List.init 9 (fun _ ->
+        Sim.cycle s;
+        (Sim.output s "c", Sim.output s "r"))
+  in
+  let first = run () in
+  Sim.reset s;
+  let second = run () in
+  (first, second)
+
+let test_reset_reproducible () =
+  List.iter
+    (fun backend ->
+      let first, second = counter_trace backend in
+      Alcotest.(check (list (pair int int)))
+        "trace replays after reset" first second)
+    [ `Tape; `Closure ]
+
+let test_output_not_found () =
+  let s = Sim.create (Circuit.create ~name:"t" ~outputs:[ ("o", vdd) ]) in
+  Alcotest.check_raises "unknown output" Not_found (fun () ->
+      ignore (Sim.output s "nope"))
+
+(* ---------------- Tl_par pool semantics ------------------------------- *)
+
+let test_par_deterministic () =
+  let xs = List.init 100 Fun.id in
+  let f i = string_of_int (i * i + 1) in
+  let seq = List.map f xs in
+  let p1 = Par.map ~domains:4 f xs in
+  let p2 = Par.map ~domains:4 f xs in
+  Alcotest.(check (list string)) "par = seq (ordered)" seq p1;
+  Alcotest.(check (list string)) "two runs identical" p1 p2;
+  Alcotest.(check (list string))
+    "mapi indices line up" seq
+    (Par.mapi ~domains:4 (fun i _ -> f i) xs)
+
+let test_par_exception () =
+  match
+    Par.map ~domains:4
+      (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i)
+      (List.init 50 Fun.id)
+  with
+  | exception Failure msg ->
+    Alcotest.(check string) "lowest failing index wins" "3" msg
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_par_explore_deterministic () =
+  let gemm = Workloads.gemm ~m:16 ~n:16 ~k:16 in
+  let seq = Explore.explore ~limit:6 ~domains:1 gemm in
+  let par = Explore.explore ~limit:6 ~domains:4 gemm in
+  Alcotest.(check int) "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        "same design order, same numbers" true
+        (a.Explore.perf.Perf.cycles = b.Explore.perf.Perf.cycles
+        && a.Explore.gops_per_watt = b.Explore.gops_per_watt))
+    seq par
+
+(* ---------------- benchmark gate smoke -------------------------------- *)
+
+let test_bench_quick_smoke () =
+  let exe = "../bench/main.exe" in
+  if Sys.file_exists exe then begin
+    let code =
+      Sys.command (Filename.quote_command exe [ "bench-quick" ] ^ " > /dev/null 2>&1")
+    in
+    Alcotest.(check int) "bench-quick exits 0" 0 code;
+    Alcotest.(check bool) "BENCH_sim.json written" true
+      (Sys.file_exists "BENCH_sim.json");
+    let ic = open_in "BENCH_sim.json" in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    let contains needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec go i = i + nl <= bl && (String.sub body i nl = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) (needle ^ " present") true (contains needle))
+      [ "tensorlib-bench-sim/1"; "\"domains\""; "\"sim\"";
+        "\"tape_cycles_per_sec\""; "\"speedup\""; "\"dse\"" ]
+  end
+
+let suite =
+  [ Alcotest.test_case "tape vs closure: random netlists" `Quick
+      test_differential_random;
+    Alcotest.test_case "gemm both backends = golden" `Quick test_gemm_both;
+    Alcotest.test_case "conv2d both backends = golden" `Quick test_conv_both;
+    Alcotest.test_case "depthwise both backends = golden" `Quick
+      test_depthwise_both;
+    Alcotest.test_case "mttkrp both backends = golden" `Quick
+      test_mttkrp_both;
+    Alcotest.test_case "reset reproduces the trace" `Quick
+      test_reset_reproducible;
+    Alcotest.test_case "output raises Not_found" `Quick
+      test_output_not_found;
+    Alcotest.test_case "par map deterministic" `Quick test_par_deterministic;
+    Alcotest.test_case "par exception order" `Quick test_par_exception;
+    Alcotest.test_case "par explore deterministic" `Quick
+      test_par_explore_deterministic;
+    Alcotest.test_case "bench-quick gate smoke" `Slow
+      test_bench_quick_smoke ]
