@@ -775,36 +775,102 @@ let bench_sim ~quick () =
 
 let bench_dse ~quick () =
   section "Benchmark gate: DSE sweep wall-time (sequential vs Tl_par)";
+  let pool = Par.n_domains () in
   let gemm = Workloads.gemm ~m:256 ~n:256 ~k:256 in
   let limit = if quick then 10 else 32 in
-  ignore (Explore.explore ~limit:2 gemm) (* warm-up *);
-  let r_seq, seq_s = wall (fun () -> Explore.explore ~limit ~domains:1 gemm) in
-  let r_par, par_s = wall (fun () -> Explore.explore ~limit gemm) in
-  let explore_ok = List.length r_seq = List.length r_par in
+  ignore (Explore.explore ~limit:2 gemm) (* warm-up (candidate matrices) *);
+  (* cold = evaluation caches emptied; warm = same sweep over a hot cache *)
+  Par.Cache.clear_all ();
+  Perf.reset_counters ();
+  let r_cold, cold_s = wall (fun () -> Explore.explore ~limit ~domains:1 gemm) in
+  let r_warm, warm_s = wall (fun () -> Explore.explore ~limit ~domains:1 gemm) in
+  let explore_ok = List.length r_cold = List.length r_warm in
   Printf.printf
-    "  explore (GEMM, limit=%d):    seq %7.3fs   par %7.3fs   %5.2fx%s\n"
-    limit seq_s par_s (seq_s /. par_s)
+    "  explore (GEMM, limit=%d):    cold %7.3fs   warm %7.3fs   %5.2fx%s\n"
+    limit cold_s warm_s (cold_s /. warm_s)
     (if explore_ok then "" else "  [MISMATCH]");
+  (* a sequential-vs-parallel race on a one-domain pool measures nothing
+     but scheduling overhead: record it as skipped rather than a ~1x
+     "speedup" *)
+  let par_race =
+    if pool <= 1 then None
+    else begin
+      Par.Cache.clear_all ();
+      let r_par, par_s = wall (fun () -> Explore.explore ~limit gemm) in
+      Some (List.length r_par = List.length r_cold, par_s)
+    end
+  in
+  (match par_race with
+   | Some (ok, par_s) ->
+     Printf.printf
+       "  explore seq-vs-par:          cold %7.3fs   par  %7.3fs   %5.2fx%s\n"
+       cold_s par_s (cold_s /. par_s)
+       (if ok then "" else "  [MISMATCH]")
+   | None ->
+     Printf.printf "  explore seq-vs-par:          skipped (pool width 1)\n");
   let dw = Workloads.depthwise_conv ~k:256 ~y:28 ~x:28 ~p:3 ~q:3 in
   let e_seq, es = wall (fun () -> Enumerate.design_space ~domains:1 dw) in
-  let e_par, ep = wall (fun () -> Enumerate.design_space dw) in
-  let enum_ok =
-    List.map (fun p -> p.Enumerate.signature) e_seq
-    = List.map (fun p -> p.Enumerate.signature) e_par
+  let points = List.length e_seq in
+  let pts_per_sec = float_of_int points /. es in
+  let enum_par =
+    if pool <= 1 then None
+    else begin
+      let e_par, ep = wall (fun () -> Enumerate.design_space dw) in
+      Some
+        (List.map (fun p -> p.Enumerate.signature) e_seq
+         = List.map (fun p -> p.Enumerate.signature) e_par,
+         ep)
+    end
   in
-  Printf.printf
-    "  enumerate (Depthwise, %4d): seq %7.3fs   par %7.3fs   %5.2fx%s\n"
-    (List.length e_par) es ep (es /. ep)
-    (if enum_ok then "" else "  [MISMATCH]");
+  (match enum_par with
+   | Some (ok, ep) ->
+     Printf.printf
+       "  enumerate (Depthwise, %4d): seq %7.3fs   par %7.3fs   %5.2fx%s\n"
+       points es ep (es /. ep)
+       (if ok then "" else "  [MISMATCH]")
+   | None ->
+     Printf.printf
+       "  enumerate (Depthwise, %4d): seq %7.3fs   par skipped (pool width \
+        1)\n"
+       points es);
+  Printf.printf "  DSE throughput: %.0f points/s\n" pts_per_sec;
+  let counters_json =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+         (Perf.counters ()))
+  in
+  let caches_json =
+    String.concat ", "
+      (List.map
+         (fun s ->
+           let total = s.Par.Cache.hits + s.Par.Cache.misses in
+           Printf.sprintf
+             "\"%s\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}"
+             s.Par.Cache.name s.Par.Cache.hits s.Par.Cache.misses
+             (if total = 0 then 0.
+              else float_of_int s.Par.Cache.hits /. float_of_int total))
+         (Par.Cache.all_stats ()))
+  in
+  let opt_race = function
+    | Some (_, s) -> Printf.sprintf "%.4f" s
+    | None -> "null"
+  in
+  let race_ok = function Some (ok, _) -> ok | None -> true in
   record_fragment "dse"
     (Printf.sprintf
-       "  \"dse\": {\n    \"explore_limit\": %d, \"explore_seq_s\": %.4f, \
-        \"explore_par_s\": %.4f, \"explore_speedup\": %.3f,\n    \
+       "  \"dse\": {\n    \"pool_width\": %d, \"seq_vs_par\": \"%s\",\n    \
+        \"explore_limit\": %d, \"explore_seq_s\": %.4f, \"explore_warm_s\": \
+        %.4f, \"explore_cache_speedup\": %.3f, \"explore_par_s\": %s,\n    \
         \"enumerate_points\": %d, \"enumerate_seq_s\": %.4f, \
-        \"enumerate_par_s\": %.4f, \"enumerate_speedup\": %.3f,\n    \
-        \"deterministic\": %b\n  }"
-       limit seq_s par_s (seq_s /. par_s) (List.length e_par) es ep (es /. ep)
-       (explore_ok && enum_ok));
+        \"enumerate_par_s\": %s, \"points_per_sec\": %.1f,\n    \
+        \"counters\": {%s},\n    \"caches\": {%s},\n    \"deterministic\": \
+        %b\n  }"
+       pool
+       (if pool <= 1 then "skipped (pool width 1)" else "measured")
+       limit cold_s warm_s (cold_s /. warm_s) (opt_race par_race) points es
+       (opt_race enum_par) pts_per_sec counters_json caches_json
+       (explore_ok && race_ok par_race && race_ok enum_par));
   write_bench_json ()
 
 let bench_quick () =

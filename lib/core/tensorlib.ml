@@ -33,6 +33,7 @@ module Transform = Tl_stt.Transform
 module Reuse = Tl_stt.Reuse
 module Design = Tl_stt.Design
 module Search = Tl_stt.Search
+module Signature = Tl_stt.Signature
 
 (* Hardware DSL *)
 module Signal = Tl_hw.Signal

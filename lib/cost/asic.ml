@@ -46,8 +46,13 @@ type report = {
   breakdown : (string * float) list;
 }
 
-let evaluate ?(params = default_params) ?rows ?cols ?data_width ?acc_width
-    design =
+(* Reports are memoised per exact design (identity signature — the module
+   inventory depends on dataflow directions, so no symmetry folding) and
+   geometry.  Custom coefficient sets bypass the cache. *)
+let report_cache : report Tl_par.Cache.t =
+  Tl_par.Cache.create ~name:"asic.evaluate" ()
+
+let evaluate_uncached ~params ?rows ?cols ?data_width ?acc_width design =
   let inv = Inventory.of_design ?rows ?cols ?data_width ?acc_width design in
   let f = float_of_int in
   let p = params in
@@ -81,6 +86,27 @@ let evaluate ?(params = default_params) ?rows ?cols ?data_width ?acc_width
     +. p.a_base
   in
   { design_name = design.Tl_stt.Design.name; area; power_mw; breakdown }
+
+let evaluate ?(params = default_params) ?rows ?cols ?data_width ?acc_width
+    design =
+  if params != default_params then
+    evaluate_uncached ~params ?rows ?cols ?data_width ?acc_width design
+  else
+    let geom =
+      let d = function None -> "-" | Some v -> string_of_int v in
+      Printf.sprintf "%s,%s,%s,%s|" (d rows) (d cols) (d data_width)
+        (d acc_width)
+    in
+    let stmt =
+      design.Tl_stt.Design.transform.Tl_stt.Transform.stmt
+    in
+    Tl_par.Cache.find_or_add report_cache
+      (geom
+      ^ Tl_stt.Signature.stmt_fingerprint stmt
+      ^ Tl_stt.Signature.identity_signature design)
+      (fun () ->
+        evaluate_uncached ~params:default_params ?rows ?cols ?data_width
+          ?acc_width design)
 
 let evaluate_netlist ?(params = default_params) circuit =
   let st = Tl_hw.Circuit.stats circuit in

@@ -4,59 +4,9 @@ type point = {
 }
 
 (* Two designs whose interconnects differ only by a rotation/reflection of
-   the square array are the same hardware; canonicalise signatures under
-   the dihedral group D4 acting on all direction vectors at once. *)
-let d4 =
-  [ (fun (r, c) -> (r, c));
-    (fun (r, c) -> (c, r));
-    (fun (r, c) -> (-r, c));
-    (fun (r, c) -> (r, -c));
-    (fun (r, c) -> (-r, -c));
-    (fun (r, c) -> (-c, r));
-    (fun (r, c) -> (c, -r));
-    (fun (r, c) -> (-c, -r)) ]
-
-let map_vec g v =
-  let r, c = g (v.(0), v.(1)) in
-  [| r; c |]
-
-let map_dataflow g (df : Tl_stt.Dataflow.t) : Tl_stt.Dataflow.t =
-  match df with
-  | Tl_stt.Dataflow.Unicast | Tl_stt.Dataflow.Stationary _
-  | Tl_stt.Dataflow.Reuse_full
-  | Tl_stt.Dataflow.Reuse2d Tl_stt.Dataflow.Broadcast -> df
-  | Tl_stt.Dataflow.Systolic { dp; dt } ->
-    Tl_stt.Dataflow.Systolic { dp = map_vec g dp; dt }
-  | Tl_stt.Dataflow.Multicast { dp } ->
-    Tl_stt.Dataflow.Multicast { dp = map_vec g dp }
-  | Tl_stt.Dataflow.Reuse2d (Tl_stt.Dataflow.Multicast_stationary { multicast })
-    ->
-    Tl_stt.Dataflow.Reuse2d
-      (Tl_stt.Dataflow.Multicast_stationary { multicast = map_vec g multicast })
-  | Tl_stt.Dataflow.Reuse2d
-      (Tl_stt.Dataflow.Systolic_multicast { multicast; systolic }) ->
-    Tl_stt.Dataflow.Reuse2d
-      (Tl_stt.Dataflow.Systolic_multicast
-         { multicast = map_vec g multicast;
-           systolic =
-             { systolic with Tl_stt.Dataflow.dp = map_vec g systolic.Tl_stt.Dataflow.dp } })
-
-let signature (d : Tl_stt.Design.t) =
-  let render g =
-    let tensor ti =
-      Printf.sprintf "%s:%s" ti.Tl_stt.Design.access.Tl_ir.Access.tensor
-        (Tl_stt.Dataflow.to_string (map_dataflow g ti.Tl_stt.Design.dataflow))
-    in
-    Tl_stt.Transform.selection_label d.Tl_stt.Design.transform
-    ^ "|"
-    ^ String.concat "|" (List.map tensor d.Tl_stt.Design.tensors)
-  in
-  List.fold_left
-    (fun best g ->
-      let s = render g in
-      if String.compare s best < 0 then s else best)
-    (render (List.hd d4))
-    (List.tl d4)
+   the square array are the same hardware; canonicalisation under the
+   dihedral group D4 lives in {!Tl_stt.Signature}. *)
+let signature = Tl_stt.Signature.signature
 
 let design_space ?max_unselected ?(exclude_unicast = false)
     ?max_bank_ports ?domains stmt =
@@ -75,17 +25,28 @@ let design_space ?max_unselected ?(exclude_unicast = false)
      stream, so the kept representative and the output order are identical
      to the serial enumeration *)
   let per_selection selected =
+    let analyze = Tl_stt.Design.analyzer stmt ~selected in
+    (* within one selection the identity signature is a function of the
+       dataflow list alone (fixed tensor names, injective rendering), so
+       repeats can be dropped on the structural key before paying for the
+       string render; the kept representative (first in matrix order) is
+       the one the global dedup would keep *)
+    let local : (Tl_stt.Dataflow.t list, unit) Hashtbl.t =
+      Hashtbl.create 512
+    in
     List.filter_map
       (fun m ->
         let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
-        let d = Tl_stt.Design.analyze t in
+        let d = analyze t in
+        let dfs =
+          List.map (fun ti -> ti.Tl_stt.Design.dataflow) d.Tl_stt.Design.tensors
+        in
         let excluded =
           List.exists
-            (fun ti ->
-              ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Reuse_full
-              || (exclude_unicast
-                  && ti.Tl_stt.Design.dataflow = Tl_stt.Dataflow.Unicast))
-            d.Tl_stt.Design.tensors
+            (fun df ->
+              df = Tl_stt.Dataflow.Reuse_full
+              || (exclude_unicast && df = Tl_stt.Dataflow.Unicast))
+            dfs
           ||
           match max_bank_ports with
           | None -> false
@@ -93,26 +54,68 @@ let design_space ?max_unselected ?(exclude_unicast = false)
             (Tl_cost.Inventory.of_design d).Tl_cost.Inventory.bank_ports
             > limit
         in
-        if excluded then None
-        else Some { design = d; signature = signature d })
+        if excluded || Hashtbl.mem local dfs then None
+        else begin
+          Hashtbl.add local dfs ();
+          Some (d, Tl_stt.Signature.identity_signature d)
+        end)
       matrices
   in
+  (* two-stage dedup: drop repeats of the cheap identity render first, and
+     pay the 8-fold canonical render only for survivors.  Equal identity
+     signatures imply equal canonical signatures, so the kept
+     representative (first in stream order per canonical class) and the
+     output order are unchanged. *)
+  let seen_id : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   Tl_par.map ?domains per_selection selections
   |> List.concat
-  |> List.filter (fun p ->
-      if Hashtbl.mem seen p.signature then false
+  |> List.filter_map (fun (d, id_sig) ->
+      if Hashtbl.mem seen_id id_sig then None
       else begin
-        Hashtbl.add seen p.signature ();
-        true
+        Hashtbl.add seen_id id_sig ();
+        let s = signature d in
+        if Hashtbl.mem seen s then None
+        else begin
+          Hashtbl.add seen s ();
+          Some { design = d; signature = s }
+        end
       end)
 
+(* A point is dominated iff some point has both objectives <= with one
+   strict: either a strictly smaller x with y' <= y, or an equal x with a
+   strictly smaller y.  One sweep over the points sorted by (x, y) decides
+   both cases — running min-y over strictly-smaller x, and the group's
+   min-y for equal x — in O(n log n) instead of the all-pairs scan.
+   Output keeps the input order; points with equal projections never
+   dominate each other, so duplicates are all kept, exactly as the
+   quadratic reference did. *)
 let pareto_min project items =
-  let dominated (x1, y1) (x2, y2) =
-    x2 <= x1 && y2 <= y1 && (x2 < x1 || y2 < y1)
-  in
-  List.filter
-    (fun a ->
-      let pa = project a in
-      not (List.exists (fun b -> b != a && dominated pa (project b)) items))
-    items
+  match items with
+  | [] -> []
+  | _ ->
+    let proj = Array.of_list (List.map project items) in
+    let n = Array.length proj in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let x1, y1 = proj.(i) and x2, y2 = proj.(j) in
+        match compare x1 x2 with 0 -> compare y1 y2 | c -> c)
+      order;
+    let keep = Array.make n true in
+    let min_y_before = ref infinity in
+    let i = ref 0 in
+    while !i < n do
+      let x0 = fst proj.(order.(!i)) in
+      let group_min_y = snd proj.(order.(!i)) in
+      let j = ref !i in
+      while !j < n && fst proj.(order.(!j)) = x0 do
+        let y = snd proj.(order.(!j)) in
+        if !min_y_before <= y || group_min_y < y then
+          keep.(order.(!j)) <- false;
+        incr j
+      done;
+      if group_min_y < !min_y_before then min_y_before := group_min_y;
+      i := !j
+    done;
+    List.filteri (fun k _ -> keep.(k)) items

@@ -27,4 +27,5 @@ val design_space : ?max_unselected:int -> ?exclude_unicast:bool ->
     result set and order are identical to the serial enumeration. *)
 
 val pareto_min : ('a -> float * float) -> 'a list -> 'a list
-(** Pareto frontier minimising both objectives. *)
+(** Pareto frontier minimising both objectives, in input order; points
+    with equal projections are all kept.  O(n log n). *)

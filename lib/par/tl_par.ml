@@ -49,6 +49,90 @@ let map_array ?domains f xs =
 
 let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
 
+(* ------------------------------------------------------------------ *)
+(* String-keyed memoisation shared across the pool.                    *)
+
+module Cache = struct
+  type stats = { name : string; hits : int; misses : int; entries : int }
+
+  type 'a t = {
+    c_name : string;
+    tbl : (string, 'a) Hashtbl.t;
+    lock : Mutex.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  type registered = {
+    r_stats : unit -> stats;
+    r_clear : unit -> unit;
+  }
+
+  let registry : registered list Atomic.t = Atomic.make []
+
+  let register r =
+    let rec push () =
+      let old = Atomic.get registry in
+      if not (Atomic.compare_and_set registry old (r :: old)) then push ()
+    in
+    push ()
+
+  let stats c =
+    { name = c.c_name;
+      hits = Atomic.get c.hits;
+      misses = Atomic.get c.misses;
+      entries = Hashtbl.length c.tbl }
+
+  let clear c =
+    Mutex.lock c.lock;
+    Hashtbl.reset c.tbl;
+    Atomic.set c.hits 0;
+    Atomic.set c.misses 0;
+    Mutex.unlock c.lock
+
+  let create ~name () =
+    let c =
+      { c_name = name;
+        tbl = Hashtbl.create 256;
+        lock = Mutex.create ();
+        hits = Atomic.make 0;
+        misses = Atomic.make 0 }
+    in
+    register { r_stats = (fun () -> stats c); r_clear = (fun () -> clear c) };
+    c
+
+  let find_or_add c key f =
+    Mutex.lock c.lock;
+    match Hashtbl.find_opt c.tbl key with
+    | Some v ->
+      Mutex.unlock c.lock;
+      Atomic.incr c.hits;
+      v
+    | None ->
+      Mutex.unlock c.lock;
+      Atomic.incr c.misses;
+      (* compute outside the lock: [f] can be expensive and may itself
+         consult other caches.  Two domains racing on the same key both
+         compute the same value (f is deterministic); the first insertion
+         wins, so the merged cache is deterministic. *)
+      let v = f () in
+      Mutex.lock c.lock;
+      let kept =
+        match Hashtbl.find_opt c.tbl key with
+        | Some v0 -> v0
+        | None ->
+          Hashtbl.add c.tbl key v;
+          v
+      in
+      Mutex.unlock c.lock;
+      kept
+
+  let all_stats () =
+    List.rev_map (fun r -> r.r_stats ()) (Atomic.get registry)
+
+  let clear_all () = List.iter (fun r -> r.r_clear ()) (Atomic.get registry)
+end
+
 let mapi ?domains f xs =
   Array.to_list
     (map_array ?domains

@@ -21,3 +21,27 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+(** String-keyed memoisation safe to share across the pool.
+
+    A cache is a mutex-guarded hash table with atomic hit/miss counters.
+    [find_or_add] computes misses {e outside} the lock and keeps the
+    {b first} insertion when two domains race on the same key, so for a
+    deterministic [f] the cache contents (and every returned value) are
+    independent of scheduling.  Every cache registers itself at [create]
+    so consumers (the benchmark gate) can report or reset them all. *)
+module Cache : sig
+  type 'a t
+
+  type stats = { name : string; hits : int; misses : int; entries : int }
+
+  val create : name:string -> unit -> 'a t
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  val stats : 'a t -> stats
+  val clear : 'a t -> unit
+
+  val all_stats : unit -> stats list
+  (** Stats of every cache ever created, in creation order. *)
+
+  val clear_all : unit -> unit
+end

@@ -55,8 +55,47 @@ type result = {
           (reuse already exploited by the interconnect) *)
 }
 
-val evaluate : ?config:config -> Tl_stt.Design.t -> result
-(** @raise Invalid_argument for non-2-D space transformations. *)
+type tile_stats = {
+  t_span : int;
+  active_pes : int;
+  active_pe_cycles : int;
+  busiest_pe : int;   (** events at the most-loaded PE *)
+  demand : float array;  (** memory words demanded per schedule cycle *)
+  per_tensor : (string * float) list;  (** words per pass, by tensor *)
+}
+(** Exact per-tile schedule statistics; exposed for differential testing
+    of the two computation paths. *)
+
+val tile_statistics : Tl_stt.Design.t -> Tl_templates.Schedule.t -> tile_stats
+(** Reference path: statistics from a materialised schedule. *)
+
+val tile_statistics_streaming :
+  Tl_stt.Design.t -> Tl_templates.Schedule.frame -> tile_stats
+(** Fast path: the same statistics (bit-identical, including float demand)
+    from streaming elaboration sweeps — no event lists, no hash tables.
+    @raise Invalid_argument if a tensor index exceeds the dense code range. *)
+
+val evaluate :
+  ?config:config ->
+  ?tile_search:[ `Pruned | `Exhaustive ] ->
+  ?stats:[ `Streaming | `Materialised ] ->
+  ?cache:bool ->
+  Tl_stt.Design.t ->
+  result
+(** Evaluate a design.  [tile_search] picks branch-and-bound pruning
+    (default) or the exhaustive reference enumeration; [stats] picks the
+    streaming or the materialised statistics path.  All four combinations
+    return identical results.  Results are memoised by D4-canonical design
+    signature and config fingerprint when [cache] is true (default) and
+    both fast paths are selected; [cache:false] or any reference choice
+    bypasses the memo entirely.
+    @raise Invalid_argument for non-2-D space transformations. *)
+
+val counters : unit -> (string * int) list
+(** Cumulative tile-search counters: [tile_nodes], [tile_leaves],
+    [tile_pruned], [tiles_evaluated]. *)
+
+val reset_counters : unit -> unit
 
 val evaluate_name : ?config:config -> Tl_ir.Stmt.t -> string -> result option
 (** Resolve a paper-style dataflow name then evaluate. *)

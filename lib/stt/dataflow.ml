@@ -28,23 +28,61 @@ let subspace_dim = function
 
 let equal (a : t) (b : t) = a = b
 
-let pp_ints ppf a =
-  Format.fprintf ppf "(%s)"
-    (String.concat "," (Array.to_list (Array.map string_of_int a)))
+(* Rendering goes through [Buffer] rather than [Format]: dataflow strings
+   are the unit of work of signature canonicalisation (8 renders per
+   enumerated design), and [Format.asprintf] is an order of magnitude
+   slower than direct buffer appends. *)
 
-let pp_vector ppf v = Format.fprintf ppf "dp=%a dt=%d" pp_ints v.dp v.dt
+let render_ints buf a =
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    a;
+  Buffer.add_char buf ')'
 
-let pp ppf = function
-  | Unicast -> Format.fprintf ppf "unicast"
-  | Stationary { dt } -> Format.fprintf ppf "stationary(dt=%d)" dt
-  | Systolic v -> Format.fprintf ppf "systolic(%a)" pp_vector v
-  | Multicast { dp } -> Format.fprintf ppf "multicast(dp=%a)" pp_ints dp
-  | Reuse2d Broadcast -> Format.fprintf ppf "2d-broadcast"
+let render_vector buf v =
+  Buffer.add_string buf "dp=";
+  render_ints buf v.dp;
+  Buffer.add_string buf " dt=";
+  Buffer.add_string buf (string_of_int v.dt)
+
+let render buf = function
+  | Unicast -> Buffer.add_string buf "unicast"
+  | Stationary { dt } ->
+    Buffer.add_string buf "stationary(dt=";
+    Buffer.add_string buf (string_of_int dt);
+    Buffer.add_char buf ')'
+  | Systolic v ->
+    Buffer.add_string buf "systolic(";
+    render_vector buf v;
+    Buffer.add_char buf ')'
+  | Multicast { dp } ->
+    Buffer.add_string buf "multicast(dp=";
+    render_ints buf dp;
+    Buffer.add_char buf ')'
+  | Reuse2d Broadcast -> Buffer.add_string buf "2d-broadcast"
   | Reuse2d (Multicast_stationary { multicast }) ->
-    Format.fprintf ppf "2d-multicast+stationary(m=%a)" pp_ints multicast
+    Buffer.add_string buf "2d-multicast+stationary(m=";
+    render_ints buf multicast;
+    Buffer.add_char buf ')'
   | Reuse2d (Systolic_multicast { multicast; systolic }) ->
-    Format.fprintf ppf "2d-systolic+multicast(m=%a, s=%a)" pp_ints multicast
-      pp_vector systolic
-  | Reuse_full -> Format.fprintf ppf "full-reuse"
+    Buffer.add_string buf "2d-systolic+multicast(m=";
+    render_ints buf multicast;
+    Buffer.add_string buf ", s=";
+    render_vector buf systolic;
+    Buffer.add_char buf ')'
+  | Reuse_full -> Buffer.add_string buf "full-reuse"
 
-let to_string d = Format.asprintf "%a" pp d
+let to_string d =
+  let buf = Buffer.create 48 in
+  render buf d;
+  Buffer.contents buf
+
+let pp_vector ppf v =
+  let buf = Buffer.create 24 in
+  render_vector buf v;
+  Format.pp_print_string ppf (Buffer.contents buf)
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

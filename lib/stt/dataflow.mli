@@ -44,3 +44,7 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val pp_vector : Format.formatter -> vector -> unit
 val to_string : t -> string
+
+val render : Buffer.t -> t -> unit
+(** Append exactly [to_string d] to the buffer without the intermediate
+    string.  The fast path for signature canonicalisation. *)

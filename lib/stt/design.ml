@@ -28,6 +28,30 @@ let analyze transform =
   let name = Transform.selection_label transform ^ "-" ^ letters in
   { transform; tensors; name }
 
+(* Hoists the per-(selection, tensor) null-space work out of a matrix
+   sweep: the returned closure analyses any transform over the same
+   statement and selection with pure integer classification, producing a
+   design structurally identical to {!analyze}'s. *)
+let analyzer stmt ~selected =
+  let prep role access = (access, role, Reuse.prepare ~selected access) in
+  let preps =
+    List.map (prep Input) stmt.Tl_ir.Stmt.inputs
+    @ [ prep Output stmt.Tl_ir.Stmt.output ]
+  in
+  fun transform ->
+    let tensors =
+      List.map
+        (fun (access, role, p) ->
+          { access; role; dataflow = Reuse.classify_prepared p transform })
+        preps
+    in
+    let letters =
+      String.init (List.length tensors) (fun i ->
+          Dataflow.letter (List.nth tensors i).dataflow)
+    in
+    let name = Transform.selection_label transform ^ "-" ^ letters in
+    { transform; tensors; name }
+
 let letters d =
   String.init (List.length d.tensors) (fun i ->
       Dataflow.letter (List.nth d.tensors i).dataflow)

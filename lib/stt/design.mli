@@ -21,6 +21,12 @@ type t = {
 
 val analyze : Transform.t -> t
 
+val analyzer : Tl_ir.Stmt.t -> selected:int array -> Transform.t -> t
+(** [analyzer stmt ~selected] hoists the per-(selection, tensor) null-space
+    analysis out of a matrix sweep; applying the result to a transform over
+    the same statement and selection yields exactly [analyze transform],
+    computed with integer-only classification ({!Reuse.classify_prepared}). *)
+
 val letters : t -> string
 (** Just the dataflow letters, e.g. ["SST"]. *)
 

@@ -77,6 +77,90 @@ let classify t access =
     end
   | _ -> Dataflow.Reuse_full
 
+(* ------------------------------------------------------------------ *)
+(* Prepared fast path.
+
+   [null(A_sel)] depends only on the selection and the access — not on the
+   STT matrix — so enumeration sweeps can compute it once per
+   (selection, tensor) and classify each candidate matrix with pure
+   integer arithmetic.  The basis vectors are the exact [Mat.null_space]
+   output pre-scaled to primitive integers ([Vec.to_integer]); per-vector
+   scaling and sign are invisible to [classify]'s normalisations, so
+   {!classify_prepared} returns structurally identical dataflows to
+   {!classify} (the property suite checks this differentially). *)
+
+type prepared = { null_int : int array array }
+
+let prepare ~selected (access : Tl_ir.Access.t) =
+  let am = access.Tl_ir.Access.matrix in
+  let a_sel =
+    Mat.make ~rows:(Array.length am) ~cols:(Array.length selected) (fun i j ->
+        Rat.of_int am.(i).(selected.(j)))
+  in
+  { null_int =
+      Array.of_list (List.map Vec.to_integer (Mat.null_space a_sel)) }
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* Same contract as [normalize] on the rational ray spanned by [v]:
+   primitive, [dt > 0] when nonzero, else first nonzero dp positive. *)
+let normalize_int v =
+  let n = Array.length v in
+  let g = Array.fold_left (fun acc x -> gcd_int (abs x) acc) 0 v in
+  let v = if g > 1 then Array.map (fun x -> x / g) v else v in
+  let dt = v.(n - 1) in
+  let flip =
+    if dt <> 0 then dt < 0
+    else begin
+      let rec first i = if v.(i) <> 0 then v.(i) < 0 else first (i + 1) in
+      first 0
+    end
+  in
+  let v = if flip then Array.map (fun x -> -x) v else v in
+  (Array.sub v 0 (n - 1), v.(n - 1))
+
+let classify_prepared prep (t : Transform.t) =
+  let m = t.Transform.imatrix in
+  let n = Array.length m in
+  let mulv v =
+    Array.init n (fun i ->
+        let row = m.(i) in
+        let acc = ref 0 in
+        Array.iteri (fun j x -> acc := !acc + (row.(j) * x)) v;
+        !acc)
+  in
+  let sd = n - 1 in
+  let pad dp = if sd = 1 then [| dp.(0); 0 |] else dp in
+  match prep.null_int with
+  | [||] -> Dataflow.Unicast
+  | [| v |] ->
+    let dp, dt = normalize_int (mulv v) in
+    let dp = pad dp in
+    if Array.for_all (fun x -> x = 0) dp then Dataflow.Stationary { dt }
+    else if dt = 0 then Dataflow.Multicast { dp }
+    else Dataflow.Systolic { dp; dt }
+  | [| v1; v2 |] when sd = 2 ->
+    let r1 = mulv v1 and r2 = mulv v2 in
+    let t1 = r1.(n - 1) and t2 = r2.(n - 1) in
+    if t1 = 0 && t2 = 0 then Dataflow.Reuse2d Dataflow.Broadcast
+    else begin
+      let w = Array.init n (fun i -> (t2 * r1.(i)) - (t1 * r2.(i))) in
+      let multicast, _ = normalize_int w in
+      (* e_t ∈ span(r1, r2) iff the spatial projections of the two
+         (independent) basis vectors are linearly dependent — the exact
+         condition [Mat.solve plane e_t] tests on the rational path. *)
+      if (r1.(0) * r2.(1)) - (r1.(1) * r2.(0)) = 0 then
+        Dataflow.Reuse2d (Dataflow.Multicast_stationary { multicast })
+      else begin
+        let base = if t1 = 0 then r2 else r1 in
+        let dp, dt = reduce_against ~multicast (normalize_int base) in
+        Dataflow.Reuse2d
+          (Dataflow.Systolic_multicast
+             { multicast; systolic = { Dataflow.dp; dt } })
+      end
+    end
+  | _ -> Dataflow.Reuse_full
+
 let reuses_same_element t access x1 x2 =
   let a_sel = Transform.restricted_access t access in
   let diff =

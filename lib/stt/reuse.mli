@@ -22,3 +22,14 @@ val reuses_same_element : Transform.t -> Tl_ir.Access.t ->
   int array -> int array -> bool
 (** Brute-force oracle: do two selected iteration points access the same
     tensor element?  Used by property tests to validate {!classify}. *)
+
+type prepared
+(** The selection/access-dependent part of classification — the integer
+    null-space basis of [A_sel] — hoisted out of the per-matrix loop. *)
+
+val prepare : selected:int array -> Tl_ir.Access.t -> prepared
+
+val classify_prepared : prepared -> Transform.t -> Dataflow.t
+(** [classify_prepared (prepare ~selected access) t] equals
+    [classify t access] for every [t] with that selection, computed with
+    pure integer arithmetic (no rational null space per candidate). *)

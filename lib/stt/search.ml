@@ -12,8 +12,15 @@ let weight m =
   (sum abs, sum (fun x -> if x < 0 then 1 else 0), List.map (List.map (fun x -> -x)) m)
 
 let full_rank m =
-  let mat = Tl_linalg.Mat.of_int_rows m in
-  not (Tl_linalg.Rat.is_zero (Tl_linalg.Mat.det mat))
+  match m with
+  | [ [ a; b ]; [ c; d ] ] -> (a * d) - (b * c) <> 0
+  | [ [ a; b; c ]; [ d; e; f ]; [ g; h; i ] ] ->
+    (a * ((e * i) - (f * h))) - (b * ((d * i) - (f * g)))
+    + (c * ((d * h) - (e * g)))
+    <> 0
+  | _ ->
+    let mat = Tl_linalg.Mat.of_int_rows m in
+    not (Tl_linalg.Rat.is_zero (Tl_linalg.Mat.det mat))
 
 let candidate_matrices ~n =
   match Hashtbl.find_opt cache n with
@@ -115,23 +122,36 @@ let design_matches ~loose d target_letters =
        dfs
        (List.init (String.length target_letters) (String.get target_letters))
 
-let matching_designs stmt name =
+let matching_designs_uncached stmt name =
   let label, target_letters = split_name name in
   match selection_of_label stmt label with
   | exception Not_found -> []
   | selected ->
     let n = Array.length selected in
+    let analyze = Design.analyzer stmt ~selected in
     let collect ~loose =
       List.filter_map
         (fun m ->
           let t = Transform.v stmt ~selected ~matrix:m in
-          let d = Design.analyze t in
+          let d = analyze t in
           if design_matches ~loose d target_letters then Some d else None)
         (candidate_matrices ~n)
     in
     (match collect ~loose:false with
      | [] -> collect ~loose:true
      | strict -> strict)
+
+(* name resolution sweeps every candidate matrix; memoise per (statement,
+   name) so repeated lookups — evaluate_name, the figure benches, ASIC
+   evaluation — pay the sweep once.  Designs are immutable, sharing is
+   safe. *)
+let match_cache : Design.t list Tl_par.Cache.t =
+  Tl_par.Cache.create ~name:"stt.matching_designs" ()
+
+let matching_designs stmt name =
+  let key = Signature.stmt_fingerprint stmt ^ "!" ^ name in
+  Tl_par.Cache.find_or_add match_cache key (fun () ->
+      matching_designs_uncached stmt name)
 
 let find_design stmt name =
   match matching_designs stmt name with
@@ -150,10 +170,11 @@ let all_designs ?selection stmt =
   let table = Hashtbl.create 64 in
   List.iter
     (fun selected ->
+      let analyze = Design.analyzer stmt ~selected in
       List.iter
         (fun m ->
           let t = Transform.v stmt ~selected ~matrix:m in
-          let d = Design.analyze t in
+          let d = analyze t in
           if not (Hashtbl.mem table d.Design.name) then
             Hashtbl.add table d.Design.name d)
         (candidate_matrices ~n:(Array.length selected)))

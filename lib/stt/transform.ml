@@ -1,6 +1,21 @@
 open Tl_linalg
 
-type t = { stmt : Tl_ir.Stmt.t; selected : int array; matrix : Mat.t }
+type t = {
+  stmt : Tl_ir.Stmt.t;
+  selected : int array;
+  matrix : Mat.t;
+  imatrix : int array array;
+}
+
+(* Closed-form determinant for the 2×2/3×3 matrices every STT uses; avoids
+   a rational Gaussian elimination per candidate in the enumeration sweep. *)
+let int_det_small rows =
+  match rows with
+  | [| [| a; b |]; [| c; d |] |] -> Some ((a * d) - (b * c))
+  | [| [| a; b; c |]; [| d; e; f |]; [| g; h; i |] |] ->
+    Some ((a * ((e * i) - (f * h))) - (b * ((d * i) - (f * g)))
+          + (c * ((d * h) - (e * g))))
+  | _ -> None
 
 let v stmt ~selected ~matrix =
   let n = Array.length selected in
@@ -17,12 +32,19 @@ let v stmt ~selected ~matrix =
     if sorted.(i) = sorted.(i + 1) then
       invalid_arg "Transform.v: duplicate selected iterator"
   done;
+  let imatrix = Array.of_list (List.map Array.of_list matrix) in
+  if Array.length imatrix <> n
+     || Array.exists (fun r -> Array.length r <> n) imatrix
+  then invalid_arg "Transform.v: matrix must be n*n for n selected iterators";
   let m = Mat.of_int_rows matrix in
-  if Mat.rows m <> n || Mat.cols m <> n then
-    invalid_arg "Transform.v: matrix must be n*n for n selected iterators";
-  if Rat.is_zero (Mat.det m) then
+  let singular =
+    match int_det_small imatrix with
+    | Some d -> d = 0
+    | None -> Rat.is_zero (Mat.det m)
+  in
+  if singular then
     invalid_arg "Transform.v: STT matrix must be full rank (one-to-one)";
-  { stmt; selected; matrix = m }
+  { stmt; selected; matrix = m; imatrix }
 
 let by_names stmt names ~matrix =
   let selected =

@@ -11,6 +11,10 @@ type t = private {
   stmt : Tl_ir.Stmt.t;
   selected : int array;   (** ordered indices of the selected iterators *)
   matrix : Tl_linalg.Mat.t; (** n×n, full rank; last row = time *)
+  imatrix : int array array;
+      (** the same matrix as native integers (every STT matrix is integer);
+          the fast path for per-candidate analysis avoids rational
+          arithmetic entirely *)
 }
 
 val v : Tl_ir.Stmt.t -> selected:int array -> matrix:int list list -> t

@@ -21,7 +21,38 @@ type t = {
   event_count : int;
 }
 
-let build design ~rows ~cols =
+(* Shared elaboration geometry for {!build} and {!frame}.  The space/time
+   maps are linear, so their extrema over the box domain are attained
+   coordinate-wise — no domain sweep is needed to find the footprint. *)
+type geom = {
+  g_design : Tl_stt.Design.t;
+  g_rows : int;
+  g_cols : int;
+  g_depth : int;
+  g_selected : int array;
+  g_sel_ext : int array;
+  g_unsel : int array;
+  g_unsel_ext : int array;
+  g_row_r : int array;  (* space-row coefficients over selected iters *)
+  g_row_c : int array;  (* all-zero for 1-D arrays *)
+  g_row_t : int array;
+  g_offset : int array;
+  g_t_min : int;
+  g_span : int;
+  g_passes : int;
+  g_preload : int;
+}
+
+let row_bounds row ext =
+  let lo = ref 0 and hi = ref 0 in
+  Array.iteri
+    (fun j c ->
+      let contrib = c * (ext.(j) - 1) in
+      if contrib >= 0 then hi := !hi + contrib else lo := !lo + contrib)
+    row;
+  (!lo, !hi)
+
+let geometry design ~rows ~cols =
   let transform = design.Tl_stt.Design.transform in
   let sd = Tl_stt.Transform.space_dims transform in
   if sd <> 1 && sd <> 2 then
@@ -43,80 +74,78 @@ let build design ~rows ~cols =
   let t_min, t_max = Tl_stt.Transform.time_bounds transform in
   let span = t_max - t_min + 1 in
   let preload = 1 in
-  (* integer fast path for the (hot) space-time mapping *)
-  let tm = Tl_linalg.Mat.to_int_rows transform.Tl_stt.Transform.matrix in
-  let tm = Array.of_list (List.map Array.of_list tm) in
+  let tm = transform.Tl_stt.Transform.imatrix in
   let n_sel = Array.length selected in
-  let apply_fast x_sel =
-    let dot row =
-      let acc = ref 0 in
-      for j = 0 to n_sel - 1 do
-        acc := !acc + (row.(j) * x_sel.(j))
-      done;
-      !acc
-    in
-    if sd = 1 then ([| dot tm.(0); 0 |], dot tm.(1))
-    else ([| dot tm.(0); dot tm.(1) |], dot tm.(2))
-  in
-  (* find the footprint offset: min raw space coordinates *)
-  let min_r = ref max_int and min_c = ref max_int in
-  let max_r = ref min_int and max_c = ref min_int in
-  let iter_selected f =
-    let n = Array.length selected in
-    let x_sel = Array.make n 0 in
-    let rec go d =
-      if d = n then f x_sel
-      else
-        for v = 0 to sel_ext.(d) - 1 do
-          x_sel.(d) <- v;
-          go (d + 1)
-        done
-    in
-    go 0
-  in
-  iter_selected (fun x_sel ->
-      let p, _ = apply_fast x_sel in
-      if p.(0) < !min_r then min_r := p.(0);
-      if p.(0) > !max_r then max_r := p.(0);
-      if p.(1) < !min_c then min_c := p.(1);
-      if p.(1) > !max_c then max_c := p.(1));
-  let offset = [| - !min_r; - !min_c |] in
-  if !max_r - !min_r + 1 > rows || !max_c - !min_c + 1 > cols then
+  let row_r = tm.(0) in
+  let row_c = if sd = 1 then Array.make n_sel 0 else tm.(1) in
+  let row_t = if sd = 1 then tm.(1) else tm.(2) in
+  let min_r, max_r = row_bounds row_r sel_ext in
+  let min_c, max_c = row_bounds row_c sel_ext in
+  if max_r - min_r + 1 > rows || max_c - min_c + 1 > cols then
     raise
       (Unsupported
          (Printf.sprintf
             "Schedule.build: footprint %dx%d exceeds %dx%d array"
-            (!max_r - !min_r + 1) (!max_c - !min_c + 1) rows cols));
-  (* enumerate passes (lexicographic over unselected iterators) *)
-  let by_pe = Array.init rows (fun _ -> Array.make cols []) in
-  let count = ref 0 in
-  let unsel = Array.of_list unselected in
-  let unsel_ext = Array.of_list unsel_ext in
-  let n_unsel = Array.length unsel in
-  let x = Array.make depth 0 in
+            (max_r - min_r + 1) (max_c - min_c + 1) rows cols));
+  { g_design = design; g_rows = rows; g_cols = cols; g_depth = depth;
+    g_selected = selected; g_sel_ext = sel_ext;
+    g_unsel = Array.of_list unselected;
+    g_unsel_ext = Array.of_list unsel_ext;
+    g_row_r = row_r; g_row_c = row_c; g_row_t = row_t;
+    g_offset = [| -min_r; -min_c |];
+    g_t_min = t_min; g_span = span; g_passes = passes; g_preload = preload }
+
+(* Drive [k] over every event in build order (passes lexicographic over
+   unselected iterators, then the selected box lexicographically), keeping
+   the space-time coordinates incrementally: advancing selected dimension
+   [d] adds column [d] of the STT to [(r, c, t)].  The iteration vector
+   passed to [k] is reused between calls. *)
+let iter_geom g k =
+  let x = Array.make g.g_depth 0 in
+  let n_sel = Array.length g.g_selected in
+  let n_unsel = Array.length g.g_unsel in
+  let off_r = g.g_offset.(0) and off_c = g.g_offset.(1) in
+  let rec sel_loop d r c tt pass base =
+    if d = n_sel then k ~pass ~cycle:(base + tt) ~r ~c x
+    else begin
+      let si = g.g_selected.(d) in
+      let dr = g.g_row_r.(d) and dc = g.g_row_c.(d) and dt = g.g_row_t.(d) in
+      let r = ref r and c = ref c and tt = ref tt in
+      for v = 0 to g.g_sel_ext.(d) - 1 do
+        x.(si) <- v;
+        sel_loop (d + 1) !r !c !tt pass base;
+        r := !r + dr;
+        c := !c + dc;
+        tt := !tt + dt
+      done
+    end
+  in
   let rec passes_loop d pass =
     if d = n_unsel then begin
-      iter_selected (fun x_sel ->
-          Array.iteri (fun i si -> x.(si) <- x_sel.(i)) selected;
-          let p, tm = apply_fast x_sel in
-          let r = p.(0) + offset.(0) and c = p.(1) + offset.(1) in
-          let cycle = preload + (pass * span) + (tm - t_min) in
-          let ev = { cycle; pass; pe = (r, c); x = Array.copy x } in
-          by_pe.(r).(c) <- ev :: by_pe.(r).(c);
-          incr count);
+      let base = g.g_preload + (pass * g.g_span) - g.g_t_min in
+      sel_loop 0 off_r off_c 0 pass base;
       pass + 1
     end
     else begin
       let pass = ref pass in
-      for v = 0 to unsel_ext.(d) - 1 do
-        x.(unsel.(d)) <- v;
+      for v = 0 to g.g_unsel_ext.(d) - 1 do
+        x.(g.g_unsel.(d)) <- v;
         pass := passes_loop (d + 1) !pass
       done;
       !pass
     end
   in
-  let final_pass = passes_loop 0 0 in
-  assert (final_pass = passes);
+  ignore (passes_loop 0 0)
+
+let build design ~rows ~cols =
+  let g = geometry design ~rows ~cols in
+  let by_pe = Array.init rows (fun _ -> Array.make cols []) in
+  let count = ref 0 in
+  let span = g.g_span and t_min = g.g_t_min and preload = g.g_preload in
+  iter_geom g (fun ~pass ~cycle ~r ~c x ->
+      let ev = { cycle; pass; pe = (r, c); x = Array.copy x } in
+      by_pe.(r).(c) <- ev :: by_pe.(r).(c);
+      incr count);
   Array.iter
     (fun row ->
       Array.iteri
@@ -125,8 +154,41 @@ let build design ~rows ~cols =
             List.sort (fun a b -> compare a.cycle b.cycle) (List.rev evs))
         row)
     by_pe;
-  { design; rows; cols; offset; t_min; span; passes; preload;
-    compute_end = preload + (passes * span); by_pe; event_count = !count }
+  { design; rows; cols; offset = g.g_offset; t_min; span;
+    passes = g.g_passes; preload;
+    compute_end = preload + (g.g_passes * span); by_pe; event_count = !count }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming mode: the same schedule as {!build}, without materialising
+   any event.  [iter_events] re-runs the elaboration loop and hands each
+   (pass, cycle, pe, x) slot to a visitor; the iteration vector is REUSED
+   between calls and must not be retained or mutated by the visitor. *)
+
+type frame = {
+  f_design : Tl_stt.Design.t;
+  f_rows : int;
+  f_cols : int;
+  f_offset : int array;
+  f_t_min : int;
+  f_span : int;
+  f_passes : int;
+  f_preload : int;
+  f_compute_end : int;
+  f_event_count : int;
+  f_geom : geom;
+}
+
+let frame design ~rows ~cols =
+  let g = geometry design ~rows ~cols in
+  let sel_volume = Array.fold_left ( * ) 1 g.g_sel_ext in
+  { f_design = design; f_rows = rows; f_cols = cols; f_offset = g.g_offset;
+    f_t_min = g.g_t_min; f_span = g.g_span; f_passes = g.g_passes;
+    f_preload = g.g_preload;
+    f_compute_end = g.g_preload + (g.g_passes * g.g_span);
+    f_event_count = g.g_passes * sel_volume;
+    f_geom = g }
+
+let iter_events fr k = iter_geom fr.f_geom k
 
 let tensor_index _t access ev = Tl_ir.Access.index access ev.x
 

@@ -1,0 +1,222 @@
+(* Fast-path DSE engine: streaming schedule statistics vs the materialised
+   reference, branch-and-bound tile search vs exhaustive enumeration, the
+   signature-keyed evaluation cache, and the sort-based Pareto filter. *)
+
+open Tensorlib
+
+let small_workloads =
+  [ ("gemm", Workloads.gemm ~m:8 ~n:8 ~k:8);
+    ("conv2d", Workloads.conv2d ~k:4 ~c:4 ~y:6 ~x:6 ~p:3 ~q:3);
+    ("mttkrp", Workloads.mttkrp ~i:5 ~j:4 ~k:4 ~l:4);
+    ("depthwise", Workloads.depthwise_conv ~k:6 ~y:5 ~x:5 ~p:3 ~q:3) ]
+
+let check_stats_equal label (a : Perf.tile_stats) (b : Perf.tile_stats) =
+  Alcotest.(check int) (label ^ " span") a.Perf.t_span b.Perf.t_span;
+  Alcotest.(check int) (label ^ " active_pes") a.Perf.active_pes
+    b.Perf.active_pes;
+  Alcotest.(check int)
+    (label ^ " active_pe_cycles")
+    a.Perf.active_pe_cycles b.Perf.active_pe_cycles;
+  Alcotest.(check int) (label ^ " busiest") a.Perf.busiest_pe b.Perf.busiest_pe;
+  (* demand and traffic must be bit-identical, not approximately equal *)
+  Alcotest.(check bool) (label ^ " demand") true (a.Perf.demand = b.Perf.demand);
+  Alcotest.(check bool)
+    (label ^ " per_tensor")
+    true
+    (a.Perf.per_tensor = b.Perf.per_tensor)
+
+(* streaming statistics equal the materialised reference on every design of
+   four workloads (multi-pass schedules included: unselected loops > 1) *)
+let test_streaming_stats_workloads () =
+  let checked = ref 0 in
+  List.iter
+    (fun (wname, stmt) ->
+      List.iter
+        (fun (dname, d) ->
+          match Schedule.build d ~rows:16 ~cols:16 with
+          | exception Schedule.Unsupported _ -> ()
+          | sched ->
+            let reference = Perf.tile_statistics d sched in
+            let streaming =
+              Perf.tile_statistics_streaming d
+                (Schedule.frame d ~rows:16 ~cols:16)
+            in
+            incr checked;
+            check_stats_equal (wname ^ "/" ^ dname) reference streaming)
+        (List.filteri (fun i _ -> i < 10) (Search.all_designs stmt)))
+    small_workloads;
+  Alcotest.(check bool) "checked some designs" true (!checked > 20)
+
+let arbitrary_matrix =
+  let gen =
+    QCheck.Gen.(
+      let cell = int_range (-1) 1 in
+      let rec full_rank () =
+        array_size (return 9) cell >>= fun cells ->
+        let m =
+          List.init 3 (fun i -> List.init 3 (fun j -> cells.((i * 3) + j)))
+        in
+        if Rat.is_zero (Mat.det (Mat.of_int_rows m)) then full_rank ()
+        else return m
+      in
+      full_rank ())
+  in
+  QCheck.make
+    ~print:(fun m ->
+      String.concat ";"
+        (List.map (fun r -> String.concat "," (List.map string_of_int r)) m))
+    gen
+
+let prop_streaming_stats_random =
+  QCheck.Test.make ~name:"streaming stats = materialised stats (random STT)"
+    ~count:50 arbitrary_matrix (fun m ->
+      let stmt = Workloads.gemm ~m:7 ~n:6 ~k:5 in
+      let t = Transform.by_names stmt [ "m"; "n"; "k" ] ~matrix:m in
+      let d = Design.analyze t in
+      match Schedule.build d ~rows:24 ~cols:24 with
+      | exception Schedule.Unsupported _ -> true
+      | sched ->
+        Perf.tile_statistics d sched
+        = Perf.tile_statistics_streaming d (Schedule.frame d ~rows:24 ~cols:24))
+
+(* index components beyond the old 10-bit packing range: a long loop on
+   the time axis drives tensor indices past 1023, where the narrow code
+   used to collide silently; both paths must now agree exactly *)
+let test_stats_wide_indices () =
+  let stmt = Workloads.gemm ~m:1100 ~n:4 ~k:4 in
+  let t =
+    Transform.by_names stmt [ "m"; "n"; "k" ]
+      ~matrix:[ [ 0; 1; 0 ]; [ 0; 0; 1 ]; [ 1; 0; 0 ] ]
+  in
+  let d = Design.analyze t in
+  let sched = Schedule.build d ~rows:16 ~cols:16 in
+  check_stats_equal "wide" (Perf.tile_statistics d sched)
+    (Perf.tile_statistics_streaming d (Schedule.frame d ~rows:16 ~cols:16))
+
+(* pruned tile search + streaming stats must reproduce the exhaustive +
+   materialised reference bit-for-bit, over whole evaluation records *)
+let test_pruned_equals_exhaustive () =
+  let checked = ref 0 in
+  List.iter
+    (fun stmt ->
+      List.iter
+        (fun (dname, d) ->
+          match
+            Perf.evaluate ~tile_search:`Exhaustive ~stats:`Materialised
+              ~cache:false d
+          with
+          | exception Invalid_argument _ -> ()
+          | reference ->
+            let fast =
+              Perf.evaluate ~tile_search:`Pruned ~stats:`Streaming ~cache:false
+                d
+            in
+            incr checked;
+            Alcotest.(check bool) (dname ^ " identical result") true
+              (reference = fast))
+        (List.filteri (fun i _ -> i < 8) (Search.all_designs stmt)))
+    [ Workloads.gemm ~m:256 ~n:256 ~k:256;
+      Workloads.conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3 ];
+  Alcotest.(check bool) "checked some designs" true (!checked > 6)
+
+(* a cache hit returns the same record as the cold computation *)
+let test_cache_hit_equals_cold () =
+  Par.Cache.clear_all ();
+  let stmt = Workloads.gemm ~m:256 ~n:256 ~k:256 in
+  let designs =
+    List.filteri (fun i _ -> i < 6) (Search.all_designs stmt)
+    |> List.map snd
+  in
+  let cold = List.map (fun d -> Perf.evaluate d) designs in
+  let before =
+    List.find (fun s -> s.Par.Cache.name = "perf.evaluate")
+      (Par.Cache.all_stats ())
+  in
+  let warm = List.map (fun d -> Perf.evaluate d) designs in
+  let after =
+    List.find (fun s -> s.Par.Cache.name = "perf.evaluate")
+      (Par.Cache.all_stats ())
+  in
+  Alcotest.(check bool) "hit = cold" true (cold = warm);
+  Alcotest.(check bool) "cache was hit" true
+    (after.Par.Cache.hits >= before.Par.Cache.hits + List.length designs)
+
+(* the cache is shared and mutex-guarded: a multi-domain sweep over the
+   same designs returns exactly the sequential results *)
+let test_cache_multi_domain () =
+  Par.Cache.clear_all ();
+  let stmt = Workloads.gemm ~m:256 ~n:256 ~k:256 in
+  let designs =
+    List.filteri (fun i _ -> i < 8) (Search.all_designs stmt)
+    |> List.map snd
+  in
+  let seq = List.map (fun d -> Perf.evaluate d) designs in
+  let par = Par.map ~domains:2 (fun d -> Perf.evaluate d) designs in
+  Alcotest.(check bool) "par = seq" true (seq = par)
+
+(* design analysis through the prepared-reuse fast path must match the
+   from-scratch analysis on random transforms *)
+let prop_analyzer_equals_analyze =
+  QCheck.Test.make ~name:"Design.analyzer = Design.analyze" ~count:60
+    arbitrary_matrix (fun m ->
+      let stmt = Workloads.gemm ~m:8 ~n:8 ~k:8 in
+      let t = Transform.by_names stmt [ "m"; "n"; "k" ] ~matrix:m in
+      let analyzer =
+        Design.analyzer stmt ~selected:t.Transform.selected
+      in
+      Design.analyze t = analyzer t)
+
+(* Pareto: the sweep must agree with the quadratic reference, preserving
+   input order and keeping duplicate projections *)
+let pareto_reference project items =
+  let dominated (x1, y1) (x2, y2) =
+    x2 <= x1 && y2 <= y1 && (x2 < x1 || y2 < y1)
+  in
+  List.filter
+    (fun a ->
+      let pa = project a in
+      not (List.exists (fun b -> b != a && dominated pa (project b)) items))
+    items
+
+let prop_pareto_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 60)
+        (pair (int_range 0 8) (int_range 0 8)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun l ->
+        String.concat ";"
+          (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+      gen
+  in
+  QCheck.Test.make ~name:"pareto_min = quadratic reference" ~count:200 arb
+    (fun pts ->
+      let project (a, b) = (float_of_int a, float_of_int b) in
+      Enumerate.pareto_min project pts = pareto_reference project pts)
+
+let test_evaluate_name_deterministic () =
+  let stmt = Workloads.gemm ~m:256 ~n:256 ~k:256 in
+  let a = Perf.evaluate_name stmt "MNK-SST" in
+  let b = Perf.evaluate_name stmt "MNK-SST" in
+  Alcotest.(check bool) "some result" true (a <> None);
+  Alcotest.(check bool) "repeat = first" true (a = b)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ Alcotest.test_case "streaming stats on 4 workloads" `Quick
+      test_streaming_stats_workloads;
+    Alcotest.test_case "streaming stats, wide indices" `Quick
+      test_stats_wide_indices;
+    Alcotest.test_case "pruned = exhaustive evaluate" `Slow
+      test_pruned_equals_exhaustive;
+    Alcotest.test_case "cache hit = cold" `Quick test_cache_hit_equals_cold;
+    Alcotest.test_case "cache under Tl_par domains" `Quick
+      test_cache_multi_domain;
+    Alcotest.test_case "evaluate_name deterministic" `Quick
+      test_evaluate_name_deterministic ]
+  @ qsuite
+      [ prop_streaming_stats_random; prop_analyzer_equals_analyze;
+        prop_pareto_matches_reference ]

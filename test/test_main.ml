@@ -11,6 +11,7 @@ let () =
       ("workloads-ext", Test_workloads_ext.suite);
       ("metrics", Test_metrics.suite);
       ("parse", Test_parse.suite);
+      ("dse-fast", Test_dse_fast.suite);
       ("misc", Test_misc.suite);
       ("lint", Test_lint.suite);
       ("coverage", Test_coverage.suite) ]
