@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick fault-smoke examples fuzz doc clean
 
 all: build
 
@@ -15,6 +15,12 @@ bench:
 # (schema and fields: docs/PERF.md).
 bench-quick:
 	dune exec bench/main.exe -- bench-quick
+
+# Resilience gate: 1000-trial fault campaigns on the baseline and the
+# TMR+parity+ABFT-hardened 4x4 GEMM accelerator; writes BENCH_fault.json
+# (fault models and outcome taxonomy: docs/RESILIENCE.md).
+fault-smoke:
+	dune exec bench/main.exe -- bench-fault
 
 examples:
 	dune exec examples/quickstart.exe

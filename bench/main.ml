@@ -878,6 +878,87 @@ let bench_quick () =
   bench_dse ~quick:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark gate: fault-injection campaign.  Baseline 4x4 GEMM vs the
+   fully hardened (TMR + parity + ABFT) variant of the same dataflow,
+   each under a 1000-trial seeded campaign; writes BENCH_fault.json with
+   outcome counts, SDC rates and the ASIC-model hardening overhead.     *)
+
+let bench_fault () =
+  section "Benchmark gate: fault campaigns (baseline vs TMR+parity+ABFT)";
+  let trials = 1000 in
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let base = Accel.generate ~rows:4 ~cols:4 design env in
+  let config = { Campaign.default_config with trials } in
+  let base_rep, base_s = wall (fun () -> Campaign.run ~config base) in
+  let stmt_a, env_a =
+    match Abft.augment stmt env with
+    | Some x -> x
+    | None -> failwith "GEMM must be ABFT-supported"
+  in
+  let design_a = Search.find_design_exn stmt_a "MNK-SST" in
+  let plain_a = Accel.generate ~rows:5 ~cols:5 design_a env_a in
+  let hard =
+    Accel.generate ~rows:5 ~cols:5 ~harden:Harden.full design_a env_a
+  in
+  let hconfig = { config with abft = true } in
+  let hard_rep, hard_s = wall (fun () -> Campaign.run ~config:hconfig hard) in
+  let show tag (r : Campaign.report) s =
+    Printf.printf
+      "  %-9s %-10s trials=%d masked=%d detected=%d hang=%d sdc=%d  \
+       (SDC %.4f)  %.2fs\n"
+      tag r.Campaign.hardening r.Campaign.trials r.Campaign.masked
+      r.Campaign.detected r.Campaign.hang r.Campaign.sdc r.Campaign.sdc_rate
+      s
+  in
+  show "baseline" base_rep base_s;
+  show "hardened" hard_rep hard_s;
+  let unclassified (r : Campaign.report) =
+    r.Campaign.trials
+    - (r.Campaign.masked + r.Campaign.sdc + r.Campaign.detected
+       + r.Campaign.hang)
+  in
+  if unclassified base_rep <> 0 || unclassified hard_rep <> 0 then
+    failwith "fault campaign left unclassified trials";
+  let cb = Asic.evaluate_netlist base.Accel.circuit in
+  let ca = Asic.evaluate_netlist plain_a.Accel.circuit in
+  let ch = Asic.evaluate_netlist hard.Accel.circuit in
+  let pct f b = 100. *. (f -. b) /. b in
+  let tmr_area = pct ch.Asic.area ca.Asic.area in
+  let tmr_power = pct ch.Asic.power_mw ca.Asic.power_mw in
+  let abft_area = pct ca.Asic.area cb.Asic.area in
+  let abft_cycles =
+    pct
+      (float_of_int hard.Accel.total_cycles)
+      (float_of_int base.Accel.total_cycles)
+  in
+  Printf.printf
+    "  TMR+parity overhead (same array):  area %+.2f%%  power %+.2f%%\n"
+    tmr_area tmr_power;
+  Printf.printf
+    "  ABFT problem overhead (5x5 array): area %+.2f%%  cycles %+.2f%%\n"
+    abft_area abft_cycles;
+  let oc = open_out "BENCH_fault.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"tensorlib-bench-fault/1\",\n\
+    \  \"domains\": %d,\n\
+    \  \"baseline\": %s,\n\
+    \  \"hardened\": %s,\n\
+    \  \"overhead\": {\"tmr_parity_area_pct\": %.2f, \
+     \"tmr_parity_power_pct\": %.2f, \"abft_area_pct\": %.2f, \
+     \"abft_cycles_pct\": %.2f},\n\
+    \  \"wall_s\": {\"baseline\": %.3f, \"hardened\": %.3f}\n\
+     }\n"
+    (Par.n_domains ())
+    (Campaign.to_json base_rep)
+    (Campaign.to_json hard_rep)
+    tmr_area tmr_power abft_area abft_cycles base_s hard_s;
+  close_out oc;
+  print_endline "\n  (machine-readable results written to BENCH_fault.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("verify", verify);
@@ -890,7 +971,9 @@ let all_sections =
     ("bench-sim", fun () -> bench_sim ~quick:false ());
     ("bench-dse", fun () -> bench_dse ~quick:false ()) ]
 
-let dispatch = all_sections @ [ ("bench-quick", bench_quick) ]
+let dispatch =
+  all_sections
+  @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -7,28 +7,68 @@
    tensorlib explore  -w gemm                     design-space sweep + cost
    tensorlib list     -w mttkrp                   letter-distinct dataflows
    tensorlib lint     -w gemm-small               static analysis gate
-                                                  (exit 1 on any error) *)
+                                                  (exit 1 on any error)
+   tensorlib fault    -w gemm-small -d MNK-SST    fault-injection campaign
+                                                  (--harden / --abft) *)
 
 open Tensorlib
 
-let workload_of_string = function
-  | "gemm" -> Workloads.gemm ~m:64 ~n:64 ~k:64
-  | "gemm-small" -> Workloads.gemm ~m:4 ~n:4 ~k:4
-  | "batched-gemv" -> Workloads.batched_gemv ~m:16 ~n:64 ~k:64
-  | "conv2d" -> Workloads.conv2d ~k:16 ~c:16 ~y:14 ~x:14 ~p:3 ~q:3
-  | "conv2d-small" -> Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3
-  | "conv2d-strided" ->
-    Workloads.conv2d_strided ~stride:2 ~k:8 ~c:8 ~y:7 ~x:7 ~p:3 ~q:3
-  | "pointwise" -> Workloads.pointwise_conv ~k:16 ~c:16 ~y:14 ~x:14
-  | "resnet-l2" -> Workloads.resnet_layer2
-  | "resnet-l5" -> Workloads.resnet_layer5
-  | "depthwise" -> Workloads.depthwise_conv ~k:32 ~y:14 ~x:14 ~p:3 ~q:3
-  | "depthwise-small" -> Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3
-  | "mttkrp" -> Workloads.mttkrp ~i:32 ~j:16 ~k:16 ~l:16
-  | "mttkrp-small" -> Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4
-  | "ttmc" -> Workloads.ttmc ~i:16 ~j:8 ~k:8 ~l:16 ~m:16
-  | "ttmc-small" -> Workloads.ttmc ~i:4 ~j:4 ~k:3 ~l:4 ~m:4
-  | s -> failwith ("unknown workload: " ^ s)
+let workloads =
+  [ ("gemm", fun () -> Workloads.gemm ~m:64 ~n:64 ~k:64);
+    ("gemm-small", fun () -> Workloads.gemm ~m:4 ~n:4 ~k:4);
+    ("batched-gemv", fun () -> Workloads.batched_gemv ~m:16 ~n:64 ~k:64);
+    ("conv2d", fun () -> Workloads.conv2d ~k:16 ~c:16 ~y:14 ~x:14 ~p:3 ~q:3);
+    ("conv2d-small",
+     fun () -> Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3);
+    ("conv2d-strided",
+     fun () -> Workloads.conv2d_strided ~stride:2 ~k:8 ~c:8 ~y:7 ~x:7 ~p:3 ~q:3);
+    ("pointwise", fun () -> Workloads.pointwise_conv ~k:16 ~c:16 ~y:14 ~x:14);
+    ("resnet-l2", fun () -> Workloads.resnet_layer2);
+    ("resnet-l5", fun () -> Workloads.resnet_layer5);
+    ("depthwise", fun () -> Workloads.depthwise_conv ~k:32 ~y:14 ~x:14 ~p:3 ~q:3);
+    ("depthwise-small",
+     fun () -> Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3);
+    ("mttkrp", fun () -> Workloads.mttkrp ~i:32 ~j:16 ~k:16 ~l:16);
+    ("mttkrp-small", fun () -> Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4);
+    ("ttmc", fun () -> Workloads.ttmc ~i:16 ~j:8 ~k:8 ~l:16 ~m:16);
+    ("ttmc-small", fun () -> Workloads.ttmc ~i:4 ~j:4 ~k:3 ~l:4 ~m:4) ]
+
+let workload_of_string s =
+  match List.assoc_opt s workloads with
+  | Some f -> f ()
+  | None ->
+    failwith
+      (Printf.sprintf "unknown workload %S; valid names: %s" s
+         (String.concat ", " (List.map fst workloads)))
+
+(* Argument validation: fail with an actionable message (and exit code 2,
+   via [guard]) instead of a backtrace or a confusing elaboration error. *)
+
+let validate_grid ~rows ~cols =
+  if rows < 1 || cols < 1 then
+    failwith
+      (Printf.sprintf "PE array must be at least 1x1; got --rows %d --cols %d"
+         rows cols)
+
+let validate_widths ~data_width ~acc_width =
+  let check flag w =
+    if w < 1 || w > 62 then
+      failwith
+        (Printf.sprintf
+           "%s must be between 1 and 62 bits (the simulator models signals \
+            in 63-bit native ints); got %d"
+           flag w)
+  in
+  check "--data-width" data_width;
+  check "--acc-width" acc_width
+
+(* Run a command body, turning [Failure] (our validation / lookup errors)
+   into a one-line message on stderr and exit code 2. *)
+let guard f =
+  try f () with
+  | Failure msg ->
+    Printf.eprintf "tensorlib: error: %s\n" msg;
+    exit 2
 
 open Cmdliner
 
@@ -48,6 +88,14 @@ let rows_arg =
 
 let cols_arg =
   Arg.(value & opt int 8 & info [ "cols" ] ~doc:"PE array columns.")
+
+let data_width_arg =
+  Arg.(value & opt int 16
+       & info [ "data-width" ] ~doc:"Input operand width in bits (1-62).")
+
+let acc_width_arg =
+  Arg.(value & opt int 32
+       & info [ "acc-width" ] ~doc:"Accumulator width in bits (1-62).")
 
 let out_arg =
   Arg.(value & opt (some string) None
@@ -116,6 +164,7 @@ let resolve ?expr ?extents ?select ?matrix w d =
 
 let analyze_cmd =
   let run w d expr extents select matrix =
+    guard @@ fun () ->
     let _, design = resolve ?expr ?extents ?select ?matrix w d in
     Format.printf "%a@." Design.pp_report design;
     let inv = Inventory.of_design design in
@@ -132,10 +181,15 @@ let testbench_arg =
            ~doc:"Also emit a self-checking testbench (<output>_tb.v).")
 
 let generate_cmd =
-  let run w d rows cols out testbench expr extents =
+  let run w d rows cols dw aw out testbench expr extents =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
+    validate_widths ~data_width:dw ~acc_width:aw;
     let stmt, design = resolve ?expr ?extents w d in
     let env = Exec.alloc_inputs stmt in
-    let acc = Accel.generate ~rows ~cols design env in
+    let acc =
+      Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw design env
+    in
     let v = Accel.verilog acc in
     (match out with
      | Some path ->
@@ -166,18 +220,24 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the accelerator and emit Verilog")
     Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
-          $ out_arg $ testbench_arg $ expr_arg $ extents_arg)
+          $ data_width_arg $ acc_width_arg $ out_arg $ testbench_arg
+          $ expr_arg $ extents_arg)
 
 let vcd_arg =
   Arg.(value & opt (some string) None
        & info [ "vcd" ] ~doc:"Dump a VCD waveform of the run to this file.")
 
 let simulate_cmd =
-  let run w d rows cols vcd_out expr extents select matrix =
+  let run w d rows cols dw aw vcd_out expr extents select matrix =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
+    validate_widths ~data_width:dw ~acc_width:aw;
     let stmt, design = resolve ?expr ?extents ?select ?matrix w d in
     let env = Exec.alloc_inputs stmt in
     let golden = Exec.run stmt env in
-    let acc = Accel.generate ~rows ~cols design env in
+    let acc =
+      Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw design env
+    in
     (match vcd_out with
      | None -> ()
      | Some path ->
@@ -202,10 +262,12 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Cycle-accurate simulation checked against the golden executor")
     Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
-          $ vcd_arg $ expr_arg $ extents_arg $ select_arg $ matrix_arg)
+          $ data_width_arg $ acc_width_arg $ vcd_arg $ expr_arg
+          $ extents_arg $ select_arg $ matrix_arg)
 
 let perf_cmd =
   let run w d expr extents =
+    guard @@ fun () ->
     let stmt = workload_of expr extents w in
     match Perf.evaluate_name stmt d with
     | Some r ->
@@ -220,6 +282,7 @@ let perf_cmd =
 
 let list_cmd =
   let run w =
+    guard @@ fun () ->
     let stmt = workload_of_string w in
     let all = Search.all_designs stmt in
     Printf.printf "%d letter-distinct dataflows for %s:\n" (List.length all) w;
@@ -231,6 +294,7 @@ let list_cmd =
 
 let explore_cmd =
   let run w =
+    guard @@ fun () ->
     let stmt = workload_of_string w in
     let points = Enumerate.design_space stmt in
     Printf.printf "%d distinct architectures\n" (List.length points);
@@ -295,8 +359,17 @@ let lint_rows_arg =
 let lint_cols_arg =
   Arg.(value & opt int 16 & info [ "cols" ] ~doc:"PE array columns.")
 
+let hardened_arg =
+  Arg.(value & flag
+       & info [ "hardened" ]
+           ~doc:"Lint the hardened (TMR + parity) variant of each design \
+                 and check every writable memory bank has a parity \
+                 companion (rule L015).")
+
 let lint_cmd =
-  let run w rows cols json all suppress fanout d select matrix =
+  let run w rows cols json all suppress fanout d select matrix hardened =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
     let stmt = workload_of_string w in
     let suppress =
       if suppress = "" then []
@@ -306,9 +379,10 @@ let lint_cmd =
     let findings = ref [] and checked = ref 0 and generated = ref 0 in
     let add fs = findings := !findings @ fs in
     let env = Exec.alloc_inputs stmt in
+    let harden = if hardened then Harden.full else Harden.none in
     let lint_netlist (design : Design.t) =
       if Design.netlist_supported design then begin
-        match Accel.generate ~rows ~cols design env with
+        match Accel.generate ~rows ~cols ~harden design env with
         | exception Accel.Unsupported msg ->
           add
             (Lint.Finding.suppress ~rules:suppress
@@ -316,7 +390,24 @@ let lint_cmd =
                    ~subject:"generator" msg ])
         | acc ->
           incr generated;
-          add (Lint.Netlist.check_circuit ~config:nconfig acc.Accel.circuit)
+          add (Lint.Netlist.check_circuit ~config:nconfig acc.Accel.circuit);
+          let table = Fault.table acc.Accel.circuit in
+          add
+            (Lint.Netlist.check_fault_surface ~config:nconfig
+               ~injectable:(Fault.injectable_reg table) acc.Accel.circuit);
+          if hardened then begin
+            let pairs = acc.Accel.hardening.Harden.parity_pairs in
+            let protected (r : Signal.ram) =
+              List.exists
+                (fun ((d : Signal.ram), (p : Signal.ram)) ->
+                  d.Signal.ram_id = r.Signal.ram_id
+                  || p.Signal.ram_id = r.Signal.ram_id)
+                pairs
+            in
+            add
+              (Lint.Netlist.check_hardening ~config:nconfig ~protected
+                 acc.Accel.circuit)
+          end
       end
     in
     let lint_design design =
@@ -381,7 +472,128 @@ let lint_cmd =
              accelerators; exits non-zero on any error-severity finding")
     Term.(const run $ workload_arg $ lint_rows_arg $ lint_cols_arg
           $ json_arg $ all_designs_arg $ suppress_arg $ fanout_arg
-          $ lint_dataflow_arg $ select_arg $ matrix_arg)
+          $ lint_dataflow_arg $ select_arg $ matrix_arg $ hardened_arg)
+
+(* ---------------- fault ---------------- *)
+
+let harden_of_string = function
+  | "none" -> Harden.none
+  | "tmr" -> Harden.tmr_only
+  | "parity" -> Harden.parity_only
+  | "full" -> Harden.full
+  | s ->
+    failwith
+      (Printf.sprintf
+         "unknown hardening level %S; valid: none, tmr, parity, full" s)
+
+let backend_of_string = function
+  | "tape" -> `Tape
+  | "closure" -> `Closure
+  | s ->
+    failwith
+      (Printf.sprintf "unknown simulator backend %S; valid: tape, closure" s)
+
+let trials_arg =
+  Arg.(value & opt int 1000
+       & info [ "trials" ] ~doc:"Number of fault injections.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+
+let harden_arg =
+  Arg.(value & opt string "none"
+       & info [ "harden" ]
+           ~doc:"Hardening level: none, tmr, parity or full (tmr+parity).")
+
+let abft_arg =
+  Arg.(value & flag
+       & info [ "abft" ]
+           ~doc:"Run the checksum-augmented (ABFT) problem and verify \
+                 row/column checksums of faulty outputs (GEMM-class \
+                 workloads only).")
+
+let backend_arg =
+  Arg.(value & opt string "tape"
+       & info [ "backend" ] ~doc:"Simulator backend: tape or closure.")
+
+let fault_cmd =
+  let run w d rows cols dw aw trials seed harden_s abft backend_s json =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
+    validate_widths ~data_width:dw ~acc_width:aw;
+    if trials < 1 then
+      failwith (Printf.sprintf "--trials must be >= 1; got %d" trials);
+    let harden = harden_of_string harden_s in
+    let backend = backend_of_string backend_s in
+    let stmt = workload_of_string w in
+    let env = Exec.alloc_inputs stmt in
+    let stmt, env =
+      if not abft then (stmt, env)
+      else
+        match Abft.augment stmt env with
+        | Some (s, e) -> (s, e)
+        | None ->
+          failwith
+            (Printf.sprintf
+               "--abft: workload %s is not a GEMM-class statement \
+                (C[m,n] += A[m,k] * B[n,k])"
+               w)
+    in
+    let design =
+      match Search.find_design stmt d with
+      | Some design -> design
+      | None -> failwith (Printf.sprintf "dataflow %s not realisable for %s" d w)
+    in
+    let generate harden =
+      Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw ~harden design
+        env
+    in
+    let acc = generate harden in
+    let config =
+      { Campaign.default_config with trials; seed; backend; abft }
+    in
+    let report = Campaign.run ~config acc in
+    let overhead =
+      if Harden.is_none harden then None
+      else begin
+        let base = generate Harden.none in
+        let cb = Asic.evaluate_netlist base.Accel.circuit in
+        let ch = Asic.evaluate_netlist acc.Accel.circuit in
+        let pct f b = 100.0 *. (f -. b) /. b in
+        Some (pct ch.Asic.area cb.Asic.area, pct ch.Asic.power_mw cb.Asic.power_mw)
+      end
+    in
+    if json then begin
+      let extra =
+        match overhead with
+        | None -> []
+        | Some (area, power) ->
+          [ ("hardening_overhead",
+             Printf.sprintf "{\"area_pct\": %.2f, \"power_pct\": %.2f}" area
+               power) ]
+      in
+      print_string (Campaign.to_json ~extra report);
+      print_newline ()
+    end
+    else begin
+      Format.printf "%a" Campaign.pp report;
+      match overhead with
+      | None -> ()
+      | Some (area, power) ->
+        Format.printf "hardening overhead vs baseline: area %+.2f%%, \
+                       power %+.2f%%@."
+          area power
+    end
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Fault-injection campaign: inject seeded bit-flips / stuck-at \
+             faults into the simulated accelerator, classify each trial \
+             as masked, detected, hang or SDC, and report per-module \
+             vulnerability (plus ASIC-model overhead when hardened)")
+    Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
+          $ data_width_arg $ acc_width_arg $ trials_arg $ seed_arg
+          $ harden_arg $ abft_arg $ backend_arg $ json_arg)
 
 let () =
   let info =
@@ -392,4 +604,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
-            explore_cmd; lint_cmd ]))
+            explore_cmd; lint_cmd; fault_cmd ]))

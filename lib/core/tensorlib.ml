@@ -56,6 +56,12 @@ module Reduce_tree = Tl_templates.Reduce_tree
 module Schedule = Tl_templates.Schedule
 module Topology = Tl_templates.Topology
 module Accel = Tl_templates.Accel
+module Harden = Tl_templates.Harden
+
+(* Fault injection and resilience *)
+module Fault = Tl_fault.Fault
+module Abft = Tl_fault.Abft
+module Campaign = Tl_fault.Campaign
 
 (* Parallel work pool *)
 module Par = Tl_par

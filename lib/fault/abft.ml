@@ -1,0 +1,88 @@
+open Tl_ir
+
+let is_unit_row ~depth row i =
+  Array.length row = depth
+  && Array.for_all (fun v -> v = 0 || v = 1) row
+  && Array.to_list row = List.init depth (fun j -> if j = i then 1 else 0)
+
+let matrix_is m rows =
+  Array.length m.Access.matrix = List.length rows
+  && List.for_all2
+       (fun row i -> is_unit_row ~depth:3 row i)
+       (Array.to_list m.Access.matrix)
+       rows
+
+(* C[i0,i1] += A[i0,i2] * B[i1,i2] with 3 iterators. *)
+let gemm_shape (stmt : Stmt.t) =
+  match stmt.Stmt.iters, stmt.Stmt.inputs with
+  | [ im; inn; ik ], [ a; b ]
+    when matrix_is stmt.Stmt.output [ 0; 1 ]
+         && matrix_is a [ 0; 2 ]
+         && matrix_is b [ 1; 2 ] ->
+    Some (im, inn, ik, a, b)
+  | _ -> None
+
+let supported stmt = gemm_shape stmt <> None
+
+let augment stmt env =
+  match gemm_shape stmt with
+  | None -> None
+  | Some (im, inn, ik, a, b) ->
+    let m = im.Iter.extent and n = inn.Iter.extent and k = ik.Iter.extent in
+    let stmt' =
+      Stmt.v
+        (stmt.Stmt.name ^ "_abft")
+        ~iters:
+          [ Iter.v im.Iter.name (m + 1);
+            Iter.v inn.Iter.name (n + 1);
+            Iter.v ik.Iter.name k ]
+        ~output:stmt.Stmt.output ~inputs:stmt.Stmt.inputs
+    in
+    let checksum_rows rows base =
+      (* base is rows×k; result is (rows+1)×k with a column-sum last row *)
+      Dense.init [| rows + 1; k |] (fun ix ->
+          if ix.(0) < rows then Dense.get base ix
+          else begin
+            let s = ref 0 in
+            for i = 0 to rows - 1 do
+              s := !s + Dense.get base [| i; ix.(1) |]
+            done;
+            !s
+          end)
+    in
+    let dense_of t = List.assoc t.Access.tensor env in
+    let env' =
+      [ (a.Access.tensor, checksum_rows m (dense_of a));
+        (b.Access.tensor, checksum_rows n (dense_of b)) ]
+    in
+    Some (stmt', env')
+
+let mask_to w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+
+let check ?(acc_width = 32) out =
+  match Dense.shape out with
+  | [| m1; n1 |] when m1 >= 2 && n1 >= 2 ->
+    let mask = mask_to acc_width in
+    let ok = ref true in
+    for j = 0 to n1 - 1 do
+      let s = ref 0 in
+      for i = 0 to m1 - 2 do
+        s := !s + Dense.get out [| i; j |]
+      done;
+      if mask !s <> mask (Dense.get out [| m1 - 1; j |]) then ok := false
+    done;
+    for i = 0 to m1 - 1 do
+      let s = ref 0 in
+      for j = 0 to n1 - 2 do
+        s := !s + Dense.get out [| i; j |]
+      done;
+      if mask !s <> mask (Dense.get out [| i; n1 - 1 |]) then ok := false
+    done;
+    !ok
+  | _ -> invalid_arg "Abft.check: expected a checksum-augmented matrix"
+
+let strip out =
+  match Dense.shape out with
+  | [| m1; n1 |] when m1 >= 2 && n1 >= 2 ->
+    Dense.init [| m1 - 1; n1 - 1 |] (fun ix -> Dense.get out ix)
+  | _ -> invalid_arg "Abft.strip: expected a checksum-augmented matrix"

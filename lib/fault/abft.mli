@@ -1,0 +1,35 @@
+(** Algorithm-based fault tolerance (row/column checksums) for
+    GEMM-class workloads.
+
+    For [C\[m,n\] += A\[m,k\] * B\[n,k\]] (the canonical
+    {!Tl_ir.Workloads.gemm} shape), augment the operands with checksum
+    rows — [A' (m+1)×k] whose last row is the column sums of [A], and
+    [B' (n+1)×k] likewise — and run the {e same} design on the
+    [(m+1)×(n+1)] problem.  The fault-free result then satisfies, for
+    every column [j], [Σ_{i<m} C'\[i,j\] = C'\[m,j\]], and for every row
+    [i], [Σ_{j<n} C'\[i,j\] = C'\[i,n\]] (both modulo [2^acc_width]).
+    Any single corrupted output element breaks at least one of these
+    identities — a transient fault inside the array corrupts entries in
+    at most one accumulation chain's row or column, so the corresponding
+    checksum equation catches it at the array boundary, with zero extra
+    hardware: the cost is the larger [(m+1)×(n+1)] problem. *)
+
+val supported : Tl_ir.Stmt.t -> bool
+(** True iff the statement has the canonical 3-deep GEMM access pattern
+    ([C\[i0,i1\] += A\[i0,i2\] * B\[i1,i2\]]). *)
+
+val augment :
+  Tl_ir.Stmt.t -> Tl_ir.Exec.env -> (Tl_ir.Stmt.t * Tl_ir.Exec.env) option
+(** Checksum-augmented statement (extents [m+1], [n+1], same iterator
+    and tensor names, name suffixed ["_abft"]) and matching operand
+    environment.  [None] if the statement is not {!supported}. *)
+
+val check : ?acc_width:int -> Tl_ir.Dense.t -> bool
+(** Verify every row/column checksum identity of an augmented output
+    (modulo [2^acc_width], default 32 — the accumulator width the
+    accelerator wrapped its sums at).
+    @raise Invalid_argument if the tensor is not a matrix with both
+    dimensions at least 2. *)
+
+val strip : Tl_ir.Dense.t -> Tl_ir.Dense.t
+(** Drop the checksum row and column, recovering the [m×n] result. *)

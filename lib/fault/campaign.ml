@@ -1,0 +1,229 @@
+open Tl_hw
+module Accel = Tl_templates.Accel
+module Harden = Tl_templates.Harden
+module Dense = Tl_ir.Dense
+
+type outcome = Masked | Sdc | Detected | Hang
+
+let outcome_label = function
+  | Masked -> "masked"
+  | Sdc -> "sdc"
+  | Detected -> "detected"
+  | Hang -> "hang"
+
+type config = {
+  trials : int;
+  seed : int;
+  kinds : Fault.kind list;
+  classes : Fault.module_class list option;
+  backend : Sim.backend;
+  abft : bool;
+  domains : int option;
+}
+
+let default_config =
+  { trials = 1000;
+    seed = 42;
+    kinds = [ Fault.Transient; Fault.Stuck_at ];
+    classes = None;
+    backend = `Tape;
+    abft = false;
+    domains = None }
+
+type trial = {
+  fault : Fault.fault;
+  outcome : outcome;
+  detected_by : string option;
+}
+
+type class_stats = {
+  cls : Fault.module_class;
+  total : int;
+  masked : int;
+  sdc : int;
+  detected : int;
+  hang : int;
+}
+
+type report = {
+  design : string;
+  hardening : string;
+  backend : string;
+  trials : int;
+  seed : int;
+  masked : int;
+  sdc : int;
+  detected : int;
+  hang : int;
+  sdc_rate : float;
+  per_class : class_stats list;
+  results : trial list;
+}
+
+(* End-of-run sweep over the hardened (data ram, parity ram) pairs:
+   catches corrupted cells whose parity mismatch never crossed a
+   scheduled read (e.g. a bank cell flipped after its last accumulate). *)
+let parity_sweep_ok sim (acc : Accel.t) =
+  List.for_all
+    (fun (r, p) ->
+      let data = Sim.ram_contents sim r in
+      let par = Sim.ram_contents sim p in
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if Harden.parity_bit v <> par.(i) then ok := false)
+        data;
+      !ok)
+    acc.Accel.hardening.Harden.parity_pairs
+
+let run_one (acc : Accel.t) sim config golden fault =
+  Sim.reset sim;
+  Fault.install sim fault;
+  let planned = Accel.planned_cycles acc in
+  (match Fault.trigger_cycle fault with
+  | None -> Sim.cycles sim planned
+  | Some tc ->
+    for c = 0 to planned - 1 do
+      if c = tc then Fault.trigger sim fault;
+      Sim.cycle sim
+    done);
+  let outcome, detected_by =
+    if Sim.output sim "done" <> 1 then (Hang, Some "watchdog")
+    else begin
+      let out = Accel.read_output acc sim in
+      if Dense.equal out golden then (Masked, None)
+      else begin
+        let parity_flag =
+          try Sim.output sim "error_detected" <> 0 with Not_found -> false
+        in
+        if parity_flag then (Detected, Some "parity")
+        else if
+          acc.Accel.hardening.Harden.parity_pairs <> []
+          && not (parity_sweep_ok sim acc)
+        then (Detected, Some "parity-sweep")
+        else if
+          config.abft && not (Abft.check ~acc_width:acc.Accel.acc_width out)
+        then (Detected, Some "abft")
+        else (Sdc, None)
+      end
+    end
+  in
+  { fault; outcome; detected_by }
+
+(* Contiguous chunks preserving order; one simulator per chunk. *)
+let chunk n lst =
+  let len = List.length lst in
+  let n = max 1 (min n len) in
+  let per = (len + n - 1) / n in
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = per then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  if len = 0 then [] else go [] [] 0 lst
+
+let summarize (acc : Accel.t) (config : config) results =
+  let count p = List.length (List.filter p results) in
+  let of_outcome o = count (fun t -> t.outcome = o) in
+  let masked = of_outcome Masked
+  and sdc = of_outcome Sdc
+  and detected = of_outcome Detected
+  and hang = of_outcome Hang in
+  let trials = List.length results in
+  let per_class =
+    List.filter_map
+      (fun cls ->
+        let hits = List.filter (fun t -> Fault.fault_class t.fault = cls) results in
+        if hits = [] then None
+        else
+          let n o = List.length (List.filter (fun t -> t.outcome = o) hits) in
+          Some
+            { cls;
+              total = List.length hits;
+              masked = n Masked;
+              sdc = n Sdc;
+              detected = n Detected;
+              hang = n Hang })
+      Fault.all_classes
+  in
+  { design = acc.Accel.design.Tl_stt.Design.name;
+    hardening = Harden.label acc.Accel.hardening.Harden.config;
+    backend = (match config.backend with `Tape -> "tape" | `Closure -> "closure");
+    trials;
+    seed = config.seed;
+    masked;
+    sdc;
+    detected;
+    hang;
+    sdc_rate = (if trials = 0 then 0.0 else float_of_int sdc /. float_of_int trials);
+    per_class;
+    results }
+
+let golden_of (config : config) golden acc =
+  match golden with
+  | Some g -> g
+  | None -> Accel.execute ~backend:config.backend acc
+
+let run_faults ?(config = default_config) ?golden (acc : Accel.t) faults =
+  let golden = golden_of config golden acc in
+  let domains =
+    match config.domains with Some d -> max 1 d | None -> Tl_par.n_domains ()
+  in
+  let chunks = chunk domains faults in
+  Tl_par.map ~domains
+    (fun chunk ->
+      let sim = Sim.create ~backend:config.backend acc.Accel.circuit in
+      List.map (run_one acc sim config golden) chunk)
+    chunks
+  |> List.concat
+  |> summarize acc config
+
+let run ?(config = default_config) ?golden (acc : Accel.t) =
+  let table = Fault.table ?classes:config.classes acc.Accel.circuit in
+  let faults =
+    Fault.plan ~seed:config.seed ~trials:config.trials ~kinds:config.kinds
+      ~cycles:(Accel.planned_cycles acc) table
+  in
+  run_faults ~config ?golden acc faults
+
+let pp ppf r =
+  Format.fprintf ppf
+    "fault campaign: %s (hardening=%s, backend=%s)@\n\
+     trials=%d seed=%d@\n\
+     masked=%d detected=%d hang=%d sdc=%d  (SDC rate %.4f)@\n"
+    r.design r.hardening r.backend r.trials r.seed r.masked r.detected
+    r.hang r.sdc r.sdc_rate;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-12s total=%-5d masked=%-5d detected=%-5d hang=%-4d sdc=%d@\n"
+        (Fault.class_label c.cls) c.total c.masked c.detected c.hang c.sdc)
+    r.per_class
+
+let to_json ?(extra = []) r =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{";
+  add "\"design\": %S, " r.design;
+  add "\"hardening\": %S, " r.hardening;
+  add "\"backend\": %S, " r.backend;
+  add "\"trials\": %d, " r.trials;
+  add "\"seed\": %d, " r.seed;
+  add
+    "\"outcomes\": {\"masked\": %d, \"sdc\": %d, \"detected\": %d, \"hang\": \
+     %d}, "
+    r.masked r.sdc r.detected r.hang;
+  add "\"sdc_rate\": %.6f, " r.sdc_rate;
+  add "\"per_class\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then add ", ";
+      add
+        "{\"class\": %S, \"total\": %d, \"masked\": %d, \"sdc\": %d, \
+         \"detected\": %d, \"hang\": %d}"
+        (Fault.class_label c.cls) c.total c.masked c.sdc c.detected c.hang)
+    r.per_class;
+  add "]";
+  List.iter (fun (k, v) -> add ", %S: %s" k v) extra;
+  add "}";
+  Buffer.contents b

@@ -1,0 +1,187 @@
+open Tl_hw
+
+type module_class = Controller | Pe | Interconnect | Memory | Rom
+
+let class_label = function
+  | Controller -> "controller"
+  | Pe -> "pe"
+  | Interconnect -> "interconnect"
+  | Memory -> "memory"
+  | Rom -> "rom"
+
+let all_classes = [ Controller; Pe; Interconnect; Memory; Rom ]
+
+let has_prefix p n =
+  String.length n >= String.length p && String.sub n 0 (String.length p) = p
+
+let has_suffix suf n =
+  let ls = String.length suf and ln = String.length n in
+  ln >= ls && String.sub n (ln - ls) ls = suf
+
+let contains sub n =
+  let ls = String.length sub and ln = String.length n in
+  let rec go i = i + ls <= ln && (String.sub n i ls = sub || go (i + 1)) in
+  go 0
+
+let controller_prefixes =
+  [ "cycle_ctr"; "in_pass"; "pass_ctr"; "stage_start"; "drain_ctr";
+    "stage_load"; "parity_sticky" ]
+
+let classify_reg (s : Signal.t) =
+  match s.Signal.name with
+  | None -> Pe
+  | Some n ->
+    if List.exists (fun p -> has_prefix p n) controller_prefixes then
+      Controller
+    else if contains "_sysin" n || contains "_sysout" n then Interconnect
+    else Pe
+
+let classify_ram (r : Signal.ram) =
+  let n = r.Signal.ram_name in
+  (* schedule tables attached to a bank (write-address / write-enable /
+     stage-address ROMs) are control state, not data state: their
+     corruption misdirects writes, which data parity cannot see *)
+  if has_suffix "_addr" n || has_suffix "_we" n || has_suffix "_saddr" n then
+    Rom
+  else if contains "bank" n || has_suffix "_mem" n || contains "parity" n
+  then Memory
+  else Rom
+
+type target = Reg of Signal.t | Mem of Signal.ram
+type site = { target : target; cls : module_class }
+
+let site_name s =
+  match s.target with
+  | Reg r -> (
+    match r.Signal.name with
+    | Some n -> n
+    | None -> Printf.sprintf "reg#%d" r.Signal.id)
+  | Mem m -> m.Signal.ram_name
+
+let site_bits s =
+  match s.target with
+  | Reg r -> r.Signal.width
+  | Mem m -> m.Signal.size * m.Signal.ram_width
+
+type table = { circuit : Circuit.t; sites : site list; total_bits : int }
+
+let table ?classes circuit =
+  let keep cls =
+    match classes with None -> true | Some l -> List.mem cls l
+  in
+  let sites = ref [] in
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Reg _ ->
+        let cls = classify_reg s in
+        if keep cls then sites := { target = Reg s; cls } :: !sites
+      | _ -> ())
+    (Circuit.nodes circuit);
+  List.iter
+    (fun (r : Signal.ram) ->
+      let cls = classify_ram r in
+      if keep cls then sites := { target = Mem r; cls } :: !sites)
+    (Circuit.rams circuit);
+  let sites = List.rev !sites in
+  { circuit; sites;
+    total_bits = List.fold_left (fun acc s -> acc + site_bits s) 0 sites }
+
+let injectable_reg t (s : Signal.t) =
+  List.exists
+    (fun site ->
+      match site.target with
+      | Reg r -> r.Signal.id = s.Signal.id
+      | Mem _ -> false)
+    t.sites
+
+type kind = Transient | Stuck_at
+
+type fault =
+  | Flip_reg of { reg : Signal.t; cls : module_class; bit : int; cycle : int }
+  | Stuck_reg of { reg : Signal.t; cls : module_class; bit : int; value : int }
+  | Flip_mem of
+      { ram : Signal.ram;
+        cls : module_class;
+        addr : int;
+        bit : int;
+        cycle : int }
+
+let fault_class = function
+  | Flip_reg { cls; _ } | Stuck_reg { cls; _ } | Flip_mem { cls; _ } -> cls
+
+let reg_name (r : Signal.t) =
+  match r.Signal.name with
+  | Some n -> n
+  | None -> Printf.sprintf "reg#%d" r.Signal.id
+
+let fault_label = function
+  | Flip_reg { reg; bit; cycle; _ } ->
+    Printf.sprintf "flip reg %s bit %d @ cycle %d" (reg_name reg) bit cycle
+  | Stuck_reg { reg; bit; value; _ } ->
+    Printf.sprintf "stuck-at-%d reg %s bit %d" value (reg_name reg) bit
+  | Flip_mem { ram; addr; bit; cycle; _ } ->
+    Printf.sprintf "flip mem %s[%d] bit %d @ cycle %d" ram.Signal.ram_name
+      addr bit cycle
+
+(* Locate the site covering global state-bit [b] (uniform over bits). *)
+let locate sites b =
+  let rec go b = function
+    | [] -> invalid_arg "Fault.locate: bit out of range"
+    | s :: rest ->
+      let w = site_bits s in
+      if b < w then (s, b) else go (b - w) rest
+  in
+  go b sites
+
+let plan ~seed ~trials ?(kinds = [ Transient; Stuck_at ]) ~cycles t =
+  if trials < 0 then invalid_arg "Fault.plan: trials < 0";
+  if t.sites = [] || t.total_bits = 0 then
+    invalid_arg "Fault.plan: empty fault site table";
+  if kinds = [] then invalid_arg "Fault.plan: empty kind list";
+  let kinds = Array.of_list kinds in
+  let horizon = max 1 cycles in
+  List.init trials (fun i ->
+      let rng = Random.State.make [| seed; i |] in
+      let site, off = locate t.sites (Random.State.int rng t.total_bits) in
+      let kind = kinds.(Random.State.int rng (Array.length kinds)) in
+      match site.target with
+      | Reg reg -> (
+        let bit = off in
+        match kind with
+        | Transient ->
+          Flip_reg
+            { reg; cls = site.cls; bit; cycle = Random.State.int rng horizon }
+        | Stuck_at ->
+          Stuck_reg
+            { reg; cls = site.cls; bit; value = Random.State.int rng 2 })
+      | Mem ram ->
+        let w = ram.Signal.ram_width in
+        let addr = off / w and bit = off mod w in
+        let cycle =
+          (* stuck-at on a memory: the cell is corrupted before the run
+             starts and stays corrupted until something overwrites it *)
+          match kind with
+          | Transient -> Random.State.int rng horizon
+          | Stuck_at -> 0
+        in
+        Flip_mem { ram; cls = site.cls; addr; bit; cycle })
+
+let install sim = function
+  | Stuck_reg { reg; bit; value; _ } ->
+    if value = 0 then
+      Sim.force sim reg ~and_mask:(lnot (1 lsl bit)) ~or_mask:0
+    else Sim.force sim reg ~and_mask:(-1) ~or_mask:(1 lsl bit)
+  | Flip_reg _ | Flip_mem _ -> ()
+
+let trigger_cycle = function
+  | Flip_reg { cycle; _ } | Flip_mem { cycle; _ } -> Some cycle
+  | Stuck_reg _ -> None
+
+let trigger sim = function
+  | Flip_reg { reg; bit; _ } ->
+    Sim.poke sim reg (Sim.peek sim reg lxor (1 lsl bit))
+  | Flip_mem { ram; addr; bit; _ } ->
+    let cur = (Sim.ram_contents sim ram).(addr) in
+    Sim.poke_ram sim ram addr (cur lxor (1 lsl bit))
+  | Stuck_reg _ -> ()

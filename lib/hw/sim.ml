@@ -63,6 +63,9 @@ type t = {
       (** [values] as first constructed (constants, folded slots, register
           init values) — [reset] restores it with one blit *)
   mutable clock : int;
+  mutable forces : (int * int * int) array;
+      (** (register slot, and_mask, or_mask) stuck-at forces, re-applied
+          around every settle/latch; empty in fault-free operation *)
 }
 
 let backend t = t.backend
@@ -838,7 +841,8 @@ let create ?(backend = `Tape) circuit =
     reg_next = Array.make (max 1 (Array.length cregs)) 0;
     cwports; reg_state; ram_state; writable_inits; ram_init_of;
     dirty_rams = Hashtbl.create 4;
-    input_slots; input_slot_of; out_slot_of; init_image; clock = 0 }
+    input_slots; input_slot_of; out_slot_of; init_image; clock = 0;
+    forces = [||] }
 
 (* The compiled programs (tape and closures) read state only through
    [values], [input_slots] and the ram contents arrays, all of which are
@@ -858,7 +862,8 @@ let reset t =
     t.dirty_rams;
   Hashtbl.reset t.dirty_rams;
   Array.fill t.input_slots 0 (Array.length t.input_slots) 0;
-  t.clock <- 0
+  t.clock <- 0;
+  t.forces <- [||]
 
 let set_input t name v =
   match Hashtbl.find_opt t.input_slot_of name with
@@ -867,7 +872,18 @@ let set_input t name v =
 
 let value t (s : Signal.t) = t.values.(Hashtbl.find t.index_of s.Signal.id)
 
+(* Stuck-at forces target register slots only, which nothing writes
+   during the combinational phase in either backend — applying them just
+   before settle and just after latch keeps every reader consistent. *)
+let apply_forces t =
+  let forces = t.forces in
+  if Array.length forces > 0 then
+    Array.iter
+      (fun (i, am, om) -> t.values.(i) <- t.values.(i) land am lor om)
+      forces
+
 let settle t =
+  apply_forces t;
   match t.backend with
   | `Tape -> exec_tape t
   | `Closure ->
@@ -942,9 +958,10 @@ let latch_reference t =
   t.clock <- t.clock + 1
 
 let latch t =
-  match t.backend with
+  (match t.backend with
   | `Tape -> latch_compiled t
-  | `Closure -> latch_reference t
+  | `Closure -> latch_reference t);
+  apply_forces t
 
 let cycle t =
   settle t;
@@ -987,3 +1004,34 @@ let load_ram t (r : Signal.ram) data =
     data
 
 let cycle_count t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection hooks.                                              *)
+
+let poke t (s : Signal.t) v =
+  match Hashtbl.find_opt t.index_of s.Signal.id with
+  | Some i -> t.values.(i) <- Signal.mask_to_width s.Signal.width v
+  | None -> raise Not_found
+
+let poke_ram t (r : Signal.ram) addr v =
+  if addr < 0 || addr >= r.Signal.size then
+    invalid_arg "Sim.poke_ram: address out of range";
+  let contents = Hashtbl.find t.ram_state r.Signal.ram_id in
+  (* a corrupted read-only ram must be restored by [reset], exactly like
+     one rewritten through [load_ram] *)
+  (match r.Signal.write_port with
+  | None -> Hashtbl.replace t.dirty_rams r.Signal.ram_id ()
+  | Some _ -> ());
+  contents.(addr) <- Signal.mask_to_width r.Signal.ram_width v
+
+let force t (s : Signal.t) ~and_mask ~or_mask =
+  (match s.Signal.node with
+  | Signal.Reg _ -> ()
+  | _ -> invalid_arg "Sim.force: only registers can carry stuck-at forces");
+  let i = Hashtbl.find t.index_of s.Signal.id in
+  let full = mask_of s.Signal.width in
+  let entry = (i, and_mask land full, or_mask land full) in
+  t.forces <- Array.append t.forces [| entry |];
+  apply_forces t
+
+let clear_forces t = t.forces <- [||]

@@ -68,3 +68,39 @@ val load_ram : t -> Signal.ram -> int array -> unit
     @raise Not_found if the ram is not part of the circuit. *)
 
 val cycle_count : t -> int
+
+(** {1 Fault-injection hooks}
+
+    Backdoors used by {!Tl_fault} to corrupt architectural state.  They
+    operate on the shared [values] array / ram contents, so the two
+    backends observe identical injection semantics: register slots are
+    never aliased or CSE-merged by the tape compiler (a [Reg] node emits
+    no instruction), hence a register's dense slot is the same storage
+    the closure backend latches into.  Only registers and memory cells
+    are injectable for this reason — arbitrary combinational wires may
+    be aliased away by the tape backend. *)
+
+val poke : t -> Signal.t -> int -> unit
+(** Overwrite the current value of a signal's slot (masked to its
+    width).  Intended for {e register} slots, where the write models a
+    transient bit upset that persists until the register next latches.
+    @raise Not_found if the signal is not part of the circuit. *)
+
+val poke_ram : t -> Signal.ram -> int -> int -> unit
+(** [poke_ram t ram addr v] corrupts one memory cell (masked to the ram
+    width).  Read-only rams are marked dirty so {!reset} restores them.
+    @raise Invalid_argument on an out-of-range address,
+    @raise Not_found if the ram is not part of the circuit. *)
+
+val force : t -> Signal.t -> and_mask:int -> or_mask:int -> unit
+(** Install a persistent stuck-at force on a register's output:
+    every {!settle} and {!latch} re-applies
+    [(value land and_mask) lor or_mask] to the register's slot, so all
+    readers in either backend observe the stuck bits.  Stuck-at-0 on bit
+    [b] is [~and_mask:(lnot (1 lsl b)) ~or_mask:0]; stuck-at-1 is
+    [~and_mask:(-1) ~or_mask:(1 lsl b)].  Forces accumulate until
+    {!clear_forces} or {!reset}.
+    @raise Invalid_argument if the signal is not a register. *)
+
+val clear_forces : t -> unit
+(** Remove all forces installed by {!force}. *)

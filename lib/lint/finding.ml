@@ -45,6 +45,11 @@ let catalog =
       summary = "signal fanout above the configured threshold" };
     { id = "L013"; title = "unused-input"; default_severity = Warning;
       summary = "declared input is not read by any output cone" };
+    { id = "L014"; title = "fault-surface-gap"; default_severity = Warning;
+      summary = "register excluded from the fault-injectable signal table" };
+    { id = "L015"; title = "unprotected-memory"; default_severity = Warning;
+      summary =
+        "writable memory bank without a parity companion under hardening" };
     { id = "L100"; title = "stt-malformed"; default_severity = Error;
       summary = "iterator selection or matrix shape is invalid" };
     { id = "L101"; title = "stt-singular"; default_severity = Error;

@@ -295,3 +295,46 @@ let check_source ?(config = default_config) src =
           ~used:(Circuit.inputs circuit) src.declared_inputs
     in
     (fs @ Finding.suppress ~rules:config.suppress extra, Some circuit)
+
+(* ------------------------------------------------------------------ *)
+(* Resilience rules (fault-injection / hardening support).             *)
+
+let describe_reg (s : Signal.t) =
+  match s.Signal.name with
+  | Some n -> n
+  | None -> Printf.sprintf "reg #%d" s.Signal.id
+
+let check_fault_surface ?(config = default_config) ~injectable circuit =
+  let target = Circuit.name circuit in
+  let findings = ref [] in
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.node with
+      | Signal.Reg _ when not (injectable s) ->
+        findings :=
+          Finding.v ~rule:"L014" ~target ~subject:(describe_reg s)
+            "register is excluded from the fault-injectable signal table; \
+             campaign coverage has a blind spot"
+          :: !findings
+      | _ -> ())
+    (Circuit.nodes circuit);
+  Finding.suppress ~rules:config.suppress (List.rev !findings)
+
+let check_hardening ?(config = default_config) ~protected circuit =
+  let target = Circuit.name circuit in
+  let findings =
+    List.filter_map
+      (fun (r : Signal.ram) ->
+        match r.Signal.write_port with
+        | Some _ when not (protected r) ->
+          Some
+            (Finding.v ~rule:"L015" ~target
+               ~subject:
+                 (Printf.sprintf "%s (ram %d)" r.Signal.ram_name
+                    r.Signal.ram_id)
+               "writable memory bank has no parity companion although \
+                hardening was requested")
+        | Some _ | None -> None)
+      (Circuit.rams circuit)
+  in
+  Finding.suppress ~rules:config.suppress findings

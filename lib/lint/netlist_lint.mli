@@ -42,3 +42,21 @@ val check_source : ?config:config -> source ->
   Finding.t list * Tl_hw.Circuit.t option
 (** The circuit is [None] exactly when elaboration failed (the findings
     then contain the L001/L002 explanation). *)
+
+(** {2 Resilience rules}
+
+    Generic over predicates so the lint layer stays independent of
+    {!Tl_fault} / {!Tl_templates}; callers build them from a fault-site
+    table and an accelerator's hardening metadata. *)
+
+val check_fault_surface : ?config:config ->
+  injectable:(Tl_hw.Signal.t -> bool) -> Tl_hw.Circuit.t -> Finding.t list
+(** L014: one warning per register for which [injectable] is false —
+    state a restricted fault-injection campaign can never corrupt, i.e.
+    a coverage blind spot. *)
+
+val check_hardening : ?config:config ->
+  protected:(Tl_hw.Signal.ram -> bool) -> Tl_hw.Circuit.t -> Finding.t list
+(** L015: one warning per ram with a write port for which [protected] is
+    false — intended for designs where parity hardening was requested;
+    parity companions themselves count as protected. *)

@@ -2,6 +2,8 @@ open Tl_hw
 
 exception Unsupported of string
 
+exception Simulation_timeout of { design : string; cycles : int }
+
 type t = {
   design : Tl_stt.Design.t;
   rows : int;
@@ -16,6 +18,7 @@ type t = {
   input_rams : (string * Signal.ram) list;
       (** per-tensor linear data memories; rewrite them to re-run the same
           accelerator on fresh data *)
+  hardening : Harden.applied;
 }
 
 let bits_for n =
@@ -44,7 +47,38 @@ type ctx = {
   mutable bank_list : (string * Signal.ram) list;
   mutable probe_outputs : (string * Signal.t) list;
   probe_addr : Signal.t;
+  harden : Harden.config;
+  parity_of_ram : (int, Signal.ram) Hashtbl.t;  (* ram id → parity ram *)
+  mutable parity_pairs : (Signal.ram * Signal.ram) list;
+  mutable parity_errs : Signal.t list;  (* comb parity-mismatch strobes *)
 }
+
+(* Parity companion of a ram: created on demand when parity hardening is
+   on.  Read-only rams get a read-only companion initialised to the
+   parity of their image; writable banks get a writable companion whose
+   write port the caller hooks up alongside the data write. *)
+let parity_ram ctx (r : Signal.ram) =
+  match Hashtbl.find_opt ctx.parity_of_ram r.Signal.ram_id with
+  | Some p -> p
+  | None ->
+    let name = r.Signal.ram_name ^ "_parity" in
+    let p =
+      Signal.ram ~name ~read_only:r.Signal.read_only ~size:r.Signal.size
+        ~width:1
+        ~init:(Array.map Harden.parity_bit r.Signal.init_data)
+        ()
+    in
+    Hashtbl.add ctx.parity_of_ram r.Signal.ram_id p;
+    ctx.parity_pairs <- (r, p) :: ctx.parity_pairs;
+    p
+
+(* Re-check a scheduled read: data parity vs stored parity bit. *)
+let parity_check ctx ram ~addr ~data =
+  if ctx.harden.Harden.parity_banks then begin
+    let p = parity_ram ctx ram in
+    let err = Signal.(Harden.parity_of data ^: Signal.ram_read p addr) in
+    ctx.parity_errs <- err :: ctx.parity_errs
+  end
 
 let grid_iter rows cols f =
   for r = 0 to rows - 1 do
@@ -95,7 +129,10 @@ let value_rom ctx access name pairs =
   let data = Array.make ctx.total 0 in
   List.iter (fun (cycle, off) -> data.(cycle) <- off) pairs;
   let rom = Signal.rom ~name:(name ^ "_addr") ~width:abits data in
-  Signal.ram_read mem (Signal.ram_read rom ctx.cycle)
+  let addr = Signal.ram_read rom ctx.cycle in
+  let value = Signal.ram_read mem addr in
+  parity_check ctx mem ~addr ~data:value;
+  value
 
 let bitmap_rom ctx name cycles =
   let data = Array.make ctx.total 0 in
@@ -110,7 +147,10 @@ let stage_rom ctx access name per_pass =
   let data = Array.make (ctx.sched.Schedule.passes + 1) 0 in
   List.iter (fun (pass, off) -> data.(pass) <- off) per_pass;
   let rom = Signal.rom ~name:(name ^ "_saddr") ~width:abits data in
-  Signal.ram_read mem (Signal.ram_read rom ctx.stage_load_addr)
+  let addr = Signal.ram_read rom ctx.stage_load_addr in
+  let value = Signal.ram_read mem addr in
+  parity_check ctx mem ~addr ~data:value;
+  value
 
 let pos_name prefix (r, c) = Printf.sprintf "%s_%d_%d" prefix r c
 
@@ -166,6 +206,14 @@ let finalize_collector ctx name col value =
   let addr = ram_read addr_rom ctx.cycle in
   let old = ram_read col.bank addr in
   Signal.ram_write col.bank ~we ~addr ~data:(old +: value);
+  if ctx.harden.Harden.parity_banks then begin
+    (* parity companion follows every accumulate; the read-modify-write
+       path re-checks the parity of the accumulator value it consumes *)
+    let p = parity_ram ctx col.bank in
+    Signal.ram_write p ~we ~addr ~data:(Harden.parity_of (old +: value));
+    let err = we &: (Harden.parity_of old ^: ram_read p addr) in
+    ctx.parity_errs <- err :: ctx.parity_errs
+  end;
   (* probe port so the bank is observable (and reachable) *)
   let pbits = min (width ctx.probe_addr) aw_bits in
   let paddr = uresize (select ctx.probe_addr ~hi:(pbits - 1) ~lo:0) aw_bits in
@@ -220,7 +268,9 @@ let build_stationary_input ctx access uses =
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_st") p in
       let next = stage_rom ctx access name per_pass in
       set_use uses p
-        (Pe_modules.stationary_input ~load:ctx.stage_load ~next))
+        Signal.(
+          Pe_modules.stationary_input ~load:ctx.stage_load ~next
+          -- pos_name (access.Tl_ir.Access.tensor ^ "_stin") p))
     (active_pes ctx)
 
 (* Multicast and broadcast: one bus per line (or one global bus). *)
@@ -282,7 +332,11 @@ let build_multicast_stationary_input ctx access ~multicast uses =
       in
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_mcst") rep in
       let next = stage_rom ctx access name per_pass in
-      let held = Pe_modules.stationary_input ~load:ctx.stage_load ~next in
+      let held =
+        Signal.(
+          Pe_modules.stationary_input ~load:ctx.stage_load ~next
+          -- pos_name (access.Tl_ir.Access.tensor ^ "_stin") rep)
+      in
       List.iter (fun p -> set_use uses p held) members)
     (group_by_line ctx ~dir:multicast (active_pes ctx))
 
@@ -327,6 +381,10 @@ let build_systolic_chains ctx access ~dp ~dt ~entry_bus uses =
         end
       in
       let use, dout = Pe_modules.systolic_input ~dt ~din in
+      if dt > 0 then
+        (* the chain register carrying data to the neighbour: interconnect *)
+        ignore
+          Signal.(dout -- pos_name (access.Tl_ir.Access.tensor ^ "_sysin") p);
       (match wires.(r).(c) with
        | Some w -> Signal.assign w dout
        | None -> assert false);
@@ -457,6 +515,8 @@ let build_stationary_output ctx access ~prods ~valids =
             ~capture:ctx.tick ~drain_shift:ctx.drain_shift
             ~contribution:prod ~shadow_in:!shadow_above
         in
+        ignore Signal.(m.Pe_modules.acc -- pos_name "acc" (r, c));
+        ignore Signal.(m.Pe_modules.shadow -- pos_name "shadow" (r, c));
         shadow_above := m.Pe_modules.shadow;
         (* schedule the drain writes for this PE *)
         let seen_pass = Hashtbl.create 8 in
@@ -542,6 +602,9 @@ let build_systolic_output ctx access ~dp ~dt ~prods ~valids =
       in
       let contribution = Pe_modules.tree_contribution ~valid ~contribution:prod in
       let out = Pe_modules.systolic_output ~dt ~psum_in ~contribution in
+      if dt > 0 then
+        ignore
+          Signal.(out -- pos_name (access.Tl_ir.Access.tensor ^ "_sysout") p);
       match wires.(r).(c) with
       | Some w -> Signal.assign w out
       | None -> assert false)
@@ -614,7 +677,7 @@ let build_multicast_stationary_output ctx access ~multicast ~prods ~valids =
       let tree = gated_tree ctx members ~prods ~valids in
       let accw = wire ctx.aw in
       let acc_d = mux2 ctx.stage_start tree (accw +: tree) in
-      let acc = reg acc_d in
+      let acc = reg acc_d -- pos_name "acc" rep in
       assign accw acc;
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_tsbank") rep in
       let per_pass = Hashtbl.create 8 in
@@ -690,7 +753,7 @@ let build_output ctx (ti : Tl_stt.Design.tensor_info) ~prods ~valids =
 (* ------------------------------------------------------------------ *)
 
 let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
-    design env =
+    ?(harden = Harden.none) design env =
   let sched =
     try Schedule.build design ~rows ~cols
     with Schedule.Unsupported msg -> raise (Unsupported msg)
@@ -713,11 +776,22 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
   let total = sched.Schedule.compute_end + rows + max_dt + 4 in
   let cw = bits_for total in
   let open Signal in
-  (* controller *)
+  (* controller: [creg] builds each state register, triplicated with a
+     majority vote when TMR hardening is on — all copies latch the same
+     next state computed from the voted feedback, so a single upset copy
+     self-heals at the next edge *)
+  let tmr_names = ref [] in
+  let creg name ?enable d =
+    if harden.Harden.tmr_controller then begin
+      tmr_names := name :: !tmr_names;
+      Harden.tmr_reg ~name ?enable d -- name
+    end
+    else reg ?enable d -- name
+  in
   let cycle_w = wire cw in
   let done_ = eq cycle_w (const ~width:cw (total - 1)) -- "done" in
   let cycle =
-    reg (mux2 done_ cycle_w (cycle_w +: const ~width:cw 1)) -- "cycle_ctr"
+    creg "cycle_ctr" (mux2 done_ cycle_w (cycle_w +: const ~width:cw 1))
   in
   assign cycle_w cycle;
   let preload_c = const ~width:cw sched.Schedule.preload in
@@ -732,18 +806,17 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
     (compute_active &: eq in_pass_w (const ~width:ipw (span - 1))) -- "tick"
   in
   let in_pass =
-    reg ~enable:compute_active
+    creg "in_pass" ~enable:compute_active
       (mux2 tick (const ~width:ipw 0) (in_pass_w +: const ~width:ipw 1))
-    -- "in_pass"
   in
   assign in_pass_w in_pass;
   let pw = bits_for (sched.Schedule.passes + 1) in
   let pass_w = wire pw in
   let pass_sig =
-    reg ~enable:tick (pass_w +: const ~width:pw 1) -- "pass_ctr"
+    creg "pass_ctr" ~enable:tick (pass_w +: const ~width:pw 1)
   in
   assign pass_w pass_sig;
-  let stage_start = reg tick -- "stage_start" in
+  let stage_start = creg "stage_start" tick in
   let preload_tick = eq cycle (const ~width:cw 0) -- "preload_tick" in
   let stage_load = (preload_tick |: tick) -- "stage_load" in
   let stage_load_addr =
@@ -754,10 +827,9 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
   let dc_w = wire dcw in
   let dc_nonzero = ne dc_w (const ~width:dcw 0) in
   let dc =
-    reg
+    creg "drain_ctr"
       (mux2 tick (const ~width:dcw rows)
          (mux2 dc_nonzero (dc_w -: const ~width:dcw 1) (const ~width:dcw 0)))
-    -- "drain_ctr"
   in
   assign dc_w dc;
   let drain_shift = dc_nonzero -- "drain_shift" in
@@ -766,7 +838,9 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
     { sched; dw = data_width; aw = acc_width; total; cw; cycle; tick;
       stage_start; stage_load; stage_load_addr; drain_shift; pass_sig;
       env; data_rams = Hashtbl.create 8; out_locs = Hashtbl.create 64;
-      bank_list = []; probe_outputs = []; probe_addr }
+      bank_list = []; probe_outputs = []; probe_addr; harden;
+      parity_of_ram = Hashtbl.create 8; parity_pairs = [];
+      parity_errs = [] }
   in
   (* input tensors *)
   let inputs = Tl_stt.Design.input_infos design in
@@ -810,10 +884,26 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
     (active_pes ctx);
   (* output tensor *)
   build_output ctx (Tl_stt.Design.output_info design) ~prods ~valids;
+  (* parity hardening: fold all comb parity-mismatch strobes into one
+     sticky flag exported as [error_detected] *)
+  let error_outputs =
+    if not harden.Harden.parity_banks then []
+    else begin
+      let comb =
+        match ctx.parity_errs with
+        | [] -> gnd
+        | e :: rest -> List.fold_left ( |: ) e rest
+      in
+      let sw = wire 1 in
+      let sticky = reg (sw |: comb) -- "parity_sticky" in
+      assign sw sticky;
+      [ ("error_detected", (sticky |: comb) -- "error_detected") ]
+    end
+  in
   let outputs =
     ("done", done_) :: ("cycle", cycle)
     :: ("pass", pass_sig)
-    :: List.rev ctx.probe_outputs
+    :: (error_outputs @ List.rev ctx.probe_outputs)
   in
   let circuit =
     Circuit.create ~name:("tensorlib_" ^ design.Tl_stt.Design.name) ~outputs
@@ -823,10 +913,15 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
     banks = List.rev ctx.bank_list;
     input_rams =
       Hashtbl.fold (fun name r acc -> (name, r) :: acc) ctx.data_rams []
-      |> List.sort compare }
+      |> List.sort compare;
+    hardening =
+      { Harden.config = harden;
+        tmr_regs = List.rev !tmr_names;
+        parity_pairs = List.rev ctx.parity_pairs } }
 
-let run_sim t sim =
-  Sim.cycles sim (t.total_cycles + 1);
+let planned_cycles t = t.total_cycles + 1
+
+let read_output t sim =
   let stmt = t.design.Tl_stt.Design.transform.Tl_stt.Transform.stmt in
   let out = Tl_ir.Exec.alloc_output stmt in
   let contents = Hashtbl.create 8 in
@@ -842,21 +937,50 @@ let run_sim t sim =
     t.out_locs;
   out
 
-let execute ?backend t = run_sim t (Sim.create ?backend t.circuit)
+(* Watchdog: the schedule is finite, so the run is bounded by
+   construction — but a corrupted (or malformed) controller can fail to
+   reach the terminal count, in which case the outputs are meaningless.
+   The [done] flag is asserted iff the cycle counter reached its
+   terminal value, so checking it after the bounded run classifies a
+   wedged controller as a timeout instead of returning garbage. *)
+let check_done t sim =
+  if Sim.output sim "done" <> 1 then
+    raise
+      (Simulation_timeout
+         { design = t.design.Tl_stt.Design.name;
+           cycles = Sim.cycle_count sim })
 
-let execute_with ?backend t env =
-  let sim = Sim.create ?backend t.circuit in
+let run_sim ?max_cycles t sim =
+  let n =
+    match max_cycles with
+    | None -> planned_cycles t
+    | Some m ->
+      if m < 1 then invalid_arg "Accel: max_cycles must be >= 1";
+      min m (planned_cycles t)
+  in
+  Sim.cycles sim n;
+  check_done t sim;
+  read_output t sim
+
+let execute ?backend ?max_cycles t =
+  run_sim ?max_cycles t (Sim.create ?backend t.circuit)
+
+let load_env t sim env =
   List.iter
     (fun (name, ram) ->
       match List.assoc_opt name env with
-      | None -> invalid_arg ("Accel.execute_with: missing tensor " ^ name)
+      | None -> invalid_arg ("Accel.load_env: missing tensor " ^ name)
       | Some dense ->
         if Tl_ir.Dense.size dense <> ram.Signal.size then
-          invalid_arg ("Accel.execute_with: shape mismatch for " ^ name);
+          invalid_arg ("Accel.load_env: shape mismatch for " ^ name);
         Sim.load_ram sim ram
           (Array.init (Tl_ir.Dense.size dense) (Tl_ir.Dense.flat_get dense)))
-    t.input_rams;
-  run_sim t sim
+    t.input_rams
+
+let execute_with ?backend ?max_cycles t env =
+  let sim = Sim.create ?backend t.circuit in
+  load_env t sim env;
+  run_sim ?max_cycles t sim
 
 let verilog t = Verilog.to_string t.circuit
 

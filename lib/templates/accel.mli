@@ -22,6 +22,14 @@
 
 exception Unsupported of string
 
+exception Simulation_timeout of { design : string; cycles : int }
+(** Raised by {!execute} / {!execute_with} when, after the bounded run,
+    the controller's [done] flag is not asserted — either the caller's
+    [max_cycles] cut the schedule short, or (under fault injection) a
+    corrupted controller failed to reach its terminal count.  The
+    simulation itself is always bounded, so a wedged controller is
+    reported as a clean timeout instead of garbage output. *)
+
 type t = {
   design : Tl_stt.Design.t;
   rows : int;
@@ -38,25 +46,58 @@ type t = {
       (** per-tensor linear data memories (row-major, as a DMA engine would
           fill them); the schedule-table feeders read through these, so the
           same accelerator re-runs on fresh data via {!execute_with} *)
+  hardening : Harden.applied;
+      (** which resilience options were elaborated in, plus the parity
+          ram pairs and voted register names they created *)
 }
 
 val generate : ?rows:int -> ?cols:int -> ?data_width:int -> ?acc_width:int ->
-  Tl_stt.Design.t -> Tl_ir.Exec.env -> t
-(** Defaults: 4×4 array, 16-bit data, 32-bit accumulators.
+  ?harden:Harden.config -> Tl_stt.Design.t -> Tl_ir.Exec.env -> t
+(** Defaults: 4×4 array, 16-bit data, 32-bit accumulators, no hardening.
+    With [harden], controller registers are TMR-voted and/or every
+    memory gains a parity companion plus an [error_detected] output (see
+    {!Harden}); fault-free behaviour is bit-identical either way.
     @raise Unsupported when the design needs an unimplemented template
     (see {!Tl_stt.Design.netlist_supported}), the footprint exceeds the
     array, or a stationary output's stage is shorter than the drain chain. *)
 
-val execute : ?backend:Tl_hw.Sim.backend -> t -> Tl_ir.Dense.t
+val execute : ?backend:Tl_hw.Sim.backend -> ?max_cycles:int -> t ->
+  Tl_ir.Dense.t
 (** Simulate the netlist to completion and reassemble the output tensor
     from the collector banks.  [backend] selects the simulator backend
-    (default the compiled instruction tape; see {!Tl_hw.Sim}). *)
+    (default the compiled instruction tape; see {!Tl_hw.Sim}).
+    [max_cycles] caps the run at [min max_cycles (planned_cycles t)]
+    cycles; if the controller has not asserted [done] by then —
+    impossible for a healthy design given the full budget, but routine
+    under fault injection — {!Simulation_timeout} is raised.
+    @raise Simulation_timeout as above,
+    @raise Invalid_argument if [max_cycles < 1]. *)
 
-val execute_with : ?backend:Tl_hw.Sim.backend -> t -> Tl_ir.Exec.env ->
-  Tl_ir.Dense.t
+val execute_with : ?backend:Tl_hw.Sim.backend -> ?max_cycles:int -> t ->
+  Tl_ir.Exec.env -> Tl_ir.Dense.t
 (** Re-run the {i same} generated accelerator on different input data by
     rewriting the input data memories (no re-elaboration).
+    @raise Invalid_argument on a missing tensor or shape mismatch.
+    @raise Simulation_timeout (see {!execute}). *)
+
+(** {2 Campaign-runner hooks}
+
+    Lower-level pieces of {!execute_with}, exposed so fault-injection
+    campaigns ({!Tl_fault}) can drive the cycle loop themselves. *)
+
+val planned_cycles : t -> int
+(** Number of cycles {!execute} simulates ([total_cycles + 1]). *)
+
+val load_env : t -> Tl_hw.Sim.t -> Tl_ir.Exec.env -> unit
+(** Rewrite the input data memories of a live simulator instance.
     @raise Invalid_argument on a missing tensor or shape mismatch. *)
+
+val check_done : t -> Tl_hw.Sim.t -> unit
+(** @raise Simulation_timeout if the [done] output is not asserted. *)
+
+val read_output : t -> Tl_hw.Sim.t -> Tl_ir.Dense.t
+(** Reassemble the output tensor from the collector banks of a live
+    simulator instance (no cycling, no [done] check). *)
 
 val verilog : t -> string
 

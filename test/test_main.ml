@@ -14,4 +14,5 @@ let () =
       ("dse-fast", Test_dse_fast.suite);
       ("misc", Test_misc.suite);
       ("lint", Test_lint.suite);
+      ("fault", Test_fault.suite);
       ("coverage", Test_coverage.suite) ]
