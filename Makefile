@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick fault-smoke examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick fault-smoke bench-obs obs-smoke examples fuzz doc clean
 
 all: build
 
@@ -21,6 +21,26 @@ bench-quick:
 # (fault models and outcome taxonomy: docs/RESILIENCE.md).
 fault-smoke:
 	dune exec bench/main.exe -- bench-fault
+
+# Observability gate: counter-vs-model validation and measured-activity
+# power over the four tier-1 workloads, plus a traced DSE sweep and fault
+# campaign; writes BENCH_obs.json and TRACE_obs.json (counter catalog and
+# trace schema: docs/OBSERVABILITY.md).
+bench-obs:
+	dune exec bench/main.exe -- bench-obs
+
+# Smoke check: CLI profile run on the 4x4 GEMM (exit 1 on any counter
+# mismatch), then the bench-obs gate, then validate the emitted JSON
+# artifacts carry the expected schemata.
+obs-smoke:
+	dune build bin/tensorlib_cli.exe
+	dune exec bin/tensorlib_cli.exe -- profile -w gemm-small -d MNK-SST \
+	  --rows 4 --cols 4 --json --trace TRACE_obs.json > /dev/null
+	grep -q '"traceEvents"' TRACE_obs.json
+	dune exec bench/main.exe -- bench-obs
+	grep -q '"schema": "tensorlib-bench-obs/1"' BENCH_obs.json
+	grep -q '"traceEvents"' TRACE_obs.json
+	@echo "obs-smoke: OK"
 
 examples:
 	dune exec examples/quickstart.exe

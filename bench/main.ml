@@ -959,6 +959,101 @@ let bench_fault () =
   print_endline "\n  (machine-readable results written to BENCH_fault.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark gate: observability.  Counter-vs-model validation and the
+   assumed-vs-measured power comparison over the four tier-1 workloads,
+   plus a traced DSE sweep and fault campaign with the Tl_par pool
+   observer installed; writes BENCH_obs.json and TRACE_obs.json.        *)
+
+let bench_obs () =
+  section "Benchmark gate: observability (counters vs model, traced pools)";
+  let cases =
+    [ ("gemm", Workloads.gemm ~m:4 ~n:4 ~k:5, "MNK-SST");
+      ("conv2d", Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3, "KCX-SST");
+      ("depthwise", Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3,
+       "XYP-MMM");
+      ("mttkrp", Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4, "IKL-UBBB") ]
+  in
+  let results =
+    List.map
+      (fun (tag, stmt, dname) ->
+        let design = Search.find_design_exn stmt dname in
+        let env = Exec.alloc_inputs stmt in
+        let acc =
+          Accel.generate ~rows:4 ~cols:4 ~counters:true design env
+        in
+        let v, v_s = wall (fun () -> Obs.Counters.validate acc) in
+        let p, p_s = wall (fun () -> Obs.Power.measure acc) in
+        Printf.printf
+          "  %-10s %-9s counters %-8s power modeled=%.2f mW measured=%.2f \
+           mW  (%.2fs + %.2fs)\n"
+          tag dname
+          (if v.Obs.Counters.v_ok then "OK" else "MISMATCH")
+          p.Obs.Power.modeled.Asic.power_mw
+          p.Obs.Power.measured.Asic.power_mw v_s p_s;
+        (tag, v, p, v_s, p_s))
+      cases
+  in
+  List.iter
+    (fun (tag, v, _, _, _) ->
+      if not v.Obs.Counters.v_ok then
+        failwith (Printf.sprintf "counter validation failed for %s" tag))
+    results;
+  (* Traced pool work: a DSE sweep and a small fault campaign run under
+     the trace_event pool observer, attributing every task to its
+     worker.  The wrapper is uninstalled before writing the files. *)
+  let trace = Obs.Trace.create () in
+  let clock = Unix.gettimeofday in
+  Par.set_wrapper (Some (Obs.Trace.pool_wrapper trace ~clock));
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let explored, dse_s =
+    wall (fun () ->
+        Obs.Trace.span trace ~clock ~name:"dse-explore" (fun () ->
+            List.length (Explore.explore ~limit:16 stmt)))
+  in
+  let campaign_rep, fault_s =
+    wall (fun () ->
+        Obs.Trace.span trace ~clock ~name:"fault-campaign" (fun () ->
+            let design = Search.find_design_exn stmt "MNK-SST" in
+            let env = Exec.alloc_inputs stmt in
+            let acc = Accel.generate ~rows:4 ~cols:4 design env in
+            Campaign.run
+              ~config:{ Campaign.default_config with trials = 100 }
+              acc))
+  in
+  Par.set_wrapper None;
+  Printf.printf
+    "  traced: %d DSE designs (%.2fs), %d fault trials (%.2fs), %d spans\n"
+    explored dse_s campaign_rep.Campaign.trials fault_s
+    (Obs.Trace.length trace);
+  Obs.Trace.write_file "TRACE_obs.json" trace;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"tensorlib-bench-obs/1\",\n";
+  Printf.fprintf oc "  \"domains\": %d,\n  \"workloads\": [\n"
+    (Par.n_domains ());
+  List.iteri
+    (fun i (tag, v, p, v_s, p_s) ->
+      Printf.fprintf oc
+        "    { \"workload\": \"%s\",\n      \"counters\": %s,\n\
+        \      \"power\": %s,\n\
+        \      \"wall_s\": {\"validate\": %.3f, \"power\": %.3f} }%s\n"
+        tag
+        (Obs.Counters.to_json v)
+        (Obs.Power.to_json p) v_s p_s
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"traced\": {\"dse_designs\": %d, \"fault_trials\": %d, \
+     \"spans\": %d, \"trace_file\": \"TRACE_obs.json\",\n\
+    \             \"wall_s\": {\"dse\": %.3f, \"fault\": %.3f}}\n}\n"
+    explored campaign_rep.Campaign.trials
+    (Obs.Trace.length trace) dse_s fault_s;
+  close_out oc;
+  print_endline
+    "\n  (machine-readable results written to BENCH_obs.json; Chrome \
+     trace in TRACE_obs.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("verify", verify);
@@ -973,7 +1068,8 @@ let all_sections =
 
 let dispatch =
   all_sections
-  @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault) ]
+  @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault);
+      ("bench-obs", bench_obs) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -9,7 +9,10 @@
    tensorlib lint     -w gemm-small               static analysis gate
                                                   (exit 1 on any error)
    tensorlib fault    -w gemm-small -d MNK-SST    fault-injection campaign
-                                                  (--harden / --abft) *)
+                                                  (--harden / --abft)
+   tensorlib profile  -w gemm-small -d MNK-SST    hardware counters vs model
+                                                  + measured-activity power
+                                                  (--trace chrome.json) *)
 
 open Tensorlib
 
@@ -595,6 +598,65 @@ let fault_cmd =
           $ data_width_arg $ acc_width_arg $ trials_arg $ seed_arg
           $ harden_arg $ abft_arg $ backend_arg $ json_arg)
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ]
+           ~doc:"Write a Chrome trace_event JSON file (chrome://tracing / \
+                 Perfetto) spanning the generate / simulate / probe phases.")
+
+let profile_cmd =
+  let run w d rows cols dw aw backend_s json trace_file =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
+    validate_widths ~data_width:dw ~acc_width:aw;
+    let backend = backend_of_string backend_s in
+    let stmt = workload_of_string w in
+    let env = Exec.alloc_inputs stmt in
+    let design =
+      match Search.find_design stmt d with
+      | Some design -> design
+      | None -> failwith (Printf.sprintf "dataflow %s not realisable for %s" d w)
+    in
+    let trace = Obs.Trace.create () in
+    let clock = Unix.gettimeofday in
+    let span name f = Obs.Trace.span trace ~clock ~cat:"profile" ~name f in
+    let acc =
+      span "generate" @@ fun () ->
+      Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw ~counters:true
+        design env
+    in
+    let validation =
+      span "validate-counters" @@ fun () -> Obs.Counters.validate ~backend acc
+    in
+    let power =
+      span "measure-power" @@ fun () -> Obs.Power.measure ~backend acc
+    in
+    (match trace_file with
+     | None -> ()
+     | Some path -> Obs.Trace.write_file path trace);
+    if json then
+      Printf.printf
+        "{ \"schema\": \"tensorlib-profile/1\",\n\
+        \  \"counters\": %s,\n\
+        \  \"power\": %s }\n"
+        (Obs.Counters.to_json validation)
+        (Obs.Power.to_json power)
+    else begin
+      Format.printf "%a@." Obs.Counters.pp validation;
+      Format.printf "%a@." Obs.Power.pp power
+    end;
+    if not validation.Obs.Counters.v_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Observability run: generate with hardware performance counters, \
+             simulate to completion, cross-check every counter read-out \
+             against the analytic performance model, and report power under \
+             assumed vs measured activity (exit 1 on any counter mismatch)")
+    Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
+          $ data_width_arg $ acc_width_arg $ backend_arg $ json_arg
+          $ trace_arg)
+
 let () =
   let info =
     Cmd.info "tensorlib" ~version:Tensorlib.version
@@ -604,4 +666,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
-            explore_cmd; lint_cmd; fault_cmd ]))
+            explore_cmd; lint_cmd; fault_cmd; profile_cmd ]))

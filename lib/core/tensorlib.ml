@@ -41,6 +41,7 @@ module Circuit = Tl_hw.Circuit
 module Verilog = Tl_hw.Verilog
 module Sim = Tl_hw.Sim
 module Vcd = Tl_hw.Vcd
+module Activity = Tl_hw.Activity
 module Rewrite = Tl_hw.Rewrite
 
 (* Static analysis (lint) *)
@@ -65,6 +66,13 @@ module Campaign = Tl_fault.Campaign
 
 (* Parallel work pool *)
 module Par = Tl_par
+
+(* Observability: counter validation, measured-activity power, tracing *)
+module Obs = struct
+  module Counters = Tl_obs.Counters
+  module Power = Tl_obs.Power
+  module Trace = Tl_obs.Trace
+end
 
 (* Models and exploration *)
 module Perf = Tl_perf.Perf_model

@@ -108,20 +108,34 @@ let evaluate ?(params = default_params) ?rows ?cols ?data_width ?acc_width
         evaluate_uncached ~params:default_params ?rows ?cols ?data_width
           ?acc_width design)
 
-let evaluate_netlist ?(params = default_params) circuit =
+type activity = {
+  alpha_compute : float;
+  alpha_reg : float;
+  alpha_mem : float;
+}
+
+let full_activity = { alpha_compute = 1.; alpha_reg = 1.; alpha_mem = 1. }
+
+let evaluate_netlist ?(params = default_params) ?(activity = full_activity)
+    circuit =
   let st = Tl_hw.Circuit.stats circuit in
   let f = float_of_int in
   let p = params in
+  (* dynamic categories scale with their measured (or assumed) switching
+     activity; the control/base term is treated as static *)
   let breakdown =
     [ ("compute",
-       (f st.Tl_hw.Circuit.multipliers *. p.p_mult)
-       +. (f st.Tl_hw.Circuit.adders *. p.p_mac_adder));
+       activity.alpha_compute
+       *. ((f st.Tl_hw.Circuit.multipliers *. p.p_mult)
+           +. (f st.Tl_hw.Circuit.adders *. p.p_mac_adder)));
       ("registers",
-       (f st.Tl_hw.Circuit.reg_bits *. p.p_reg_bit)
-       +. (f st.Tl_hw.Circuit.muxes *. 16. *. p.p_mux_bit));
+       activity.alpha_reg
+       *. ((f st.Tl_hw.Circuit.reg_bits *. p.p_reg_bit)
+           +. (f st.Tl_hw.Circuit.muxes *. 16. *. p.p_mux_bit)));
       ("memory",
-       (f st.Tl_hw.Circuit.rams *. p.p_bank)
-       +. (f st.Tl_hw.Circuit.ram_bits *. 0.00001));
+       activity.alpha_mem
+       *. ((f st.Tl_hw.Circuit.rams *. p.p_bank)
+           +. (f st.Tl_hw.Circuit.ram_bits *. 0.00001)));
       ("control", p.p_base) ]
   in
   let power_mw = List.fold_left (fun acc (_, v) -> acc +. v) 0. breakdown in

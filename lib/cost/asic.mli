@@ -41,11 +41,28 @@ type report = {
 val evaluate : ?params:params -> ?rows:int -> ?cols:int -> ?data_width:int ->
   ?acc_width:int -> Tl_stt.Design.t -> report
 
-val evaluate_netlist : ?params:params -> Tl_hw.Circuit.t -> report
+type activity = {
+  alpha_compute : float;  (** MAC datapath activity (multipliers, adders) *)
+  alpha_reg : float;      (** register/mux switching activity *)
+  alpha_mem : float;      (** memory port access activity *)
+}
+(** Per-category switching-activity factors scaling the dynamic terms of
+    {!evaluate_netlist}; the control/base term is treated as static.
+    Measured factors come from a {!Tl_hw.Activity} probe run
+    (see [Tl_obs.Power]); the default assumes full activity. *)
+
+val full_activity : activity
+(** All factors 1.0 — the assumption the un-instrumented model makes. *)
+
+val evaluate_netlist : ?params:params -> ?activity:activity ->
+  Tl_hw.Circuit.t -> report
 (** Cost an {i elaborated} circuit from its actual cell counts (registers,
     adders, multipliers, muxes, memory bits) with the same coefficients —
     a cross-check of the analytic {!Inventory}-based model against the
     generated netlist (interconnect length is not recoverable from a flat
-    netlist and is priced at zero here). *)
+    netlist and is priced at zero here).  With [activity] (default
+    {!full_activity}, numerically identical to the historical behaviour)
+    the compute / register / memory power categories are scaled by their
+    measured activity factors; area is unaffected. *)
 
 val pp_report : Format.formatter -> report -> unit

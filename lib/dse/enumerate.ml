@@ -68,7 +68,7 @@ let design_space ?max_unselected ?(exclude_unicast = false)
      output order are unchanged. *)
   let seen_id : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-  Tl_par.map ?domains per_selection selections
+  Tl_par.map ?domains ~label:"dse-enumerate" per_selection selections
   |> List.concat
   |> List.filter_map (fun (d, id_sig) ->
       if Hashtbl.mem seen_id id_sig then None

@@ -13,7 +13,7 @@ let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64)
      evaluate and cost that design directly instead of re-resolving the
      whole candidate-matrix space per name (the costed design is by
      construction the evaluated one). *)
-  Tl_par.map ?domains
+  Tl_par.map ?domains ~label:"dse-explore"
     (fun (_, design) ->
       match Tl_perf.Perf_model.evaluate ~config design with
       | exception Invalid_argument _ -> None

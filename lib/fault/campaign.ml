@@ -170,7 +170,7 @@ let run_faults ?(config = default_config) ?golden (acc : Accel.t) faults =
     match config.domains with Some d -> max 1 d | None -> Tl_par.n_domains ()
   in
   let chunks = chunk domains faults in
-  Tl_par.map ~domains
+  Tl_par.map ~domains ~label:"fault-campaign"
     (fun chunk ->
       let sim = Sim.create ~backend:config.backend acc.Accel.circuit in
       List.map (run_one acc sim config golden) chunk)

@@ -979,6 +979,9 @@ let peek t s =
 
 let peek_signed t s = Signal.to_signed s.Signal.width (peek t s)
 
+let slot t (s : Signal.t) = Hashtbl.find_opt t.index_of s.Signal.id
+let read_slot t i = t.values.(i)
+
 let output t name =
   match Hashtbl.find_opt t.out_slot_of name with
   | Some (i, _) -> t.values.(i)

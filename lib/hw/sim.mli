@@ -42,6 +42,12 @@ val settle : t -> unit
 val cycle : t -> unit
 (** {!settle} then latch: one full clock cycle. *)
 
+val latch : t -> unit
+(** The sequential half of {!cycle} alone: registers and ram write ports
+    capture the values computed by the last {!settle}.  Exposed so probes
+    (waveform dumpers, {!Activity} counters) can observe the settled
+    combinational state {e before} it is clocked away. *)
+
 val cycles : t -> int -> unit
 
 val output : t -> string -> int
@@ -57,6 +63,17 @@ val peek : t -> Signal.t -> int
     @raise Not_found if the signal is not part of the circuit. *)
 
 val peek_signed : t -> Signal.t -> int
+
+val slot : t -> Signal.t -> int option
+(** The canonical dense storage slot a signal resolves to, {e after} the
+    tape compiler's alias redirection and CSE merging — i.e. the slot
+    {!peek} reads.  [None] when the signal is not part of the circuit.
+    Two signals the tape backend merged share a slot; under the closure
+    backend every signal keeps its own.  Stable for the lifetime of [t]. *)
+
+val read_slot : t -> int -> int
+(** Value currently held in a dense slot returned by {!slot}.  Cheaper
+    than {!peek} in per-cycle probe loops (no hashing). *)
 
 val ram_contents : t -> Signal.ram -> int array
 (** Snapshot of a ram's current contents. *)

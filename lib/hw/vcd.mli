@@ -9,7 +9,15 @@ type t
 
 val create : ?signals:Signal.t list -> Sim.t -> Circuit.t -> t
 (** Trace the circuit's inputs, outputs, and named signals (or exactly
-    [signals] when given). *)
+    [signals] when given).  Labels are sanitised to legal VCD identifiers
+    (mirroring the Verilog namer: non-alphanumerics become ['_'], leading
+    digits are prefixed) and colliding labels are uniquified with [_1],
+    [_2], … suffixes.  Each traced signal is resolved once through the
+    backend's canonical storage slot ({!Sim.slot}), so wires the tape
+    compiler aliased or CSE-merged dump the correct merged value; signals
+    not present in the simulated circuit are silently dropped.  The first
+    {!record} emits a full [$dumpvars] snapshot at its timestamp, so
+    signals that hold their reset value for the whole run still appear. *)
 
 val cycle : t -> unit
 (** Advance the simulator one clock cycle, recording changes. *)

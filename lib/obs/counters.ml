@@ -1,0 +1,159 @@
+(* Measured-vs-modeled cross-check: read the hardware performance
+   counters of an instrumented accelerator after a full run and compare
+   them, count for count, against Perf_model's streaming schedule
+   statistics.  The two sides share nothing below the Schedule frame —
+   the hardware counts real valid strobes, write enables and feeder
+   fetches; the model counts events analytically — so equality is a
+   genuine validation of both. *)
+
+open Tl_hw
+open Tl_templates
+
+type expected = {
+  e_cycles : int;
+  e_active_pe_cycles : int;
+  e_reads : (string * int) list;   (* per input memory *)
+  e_writes_total : int;            (* aggregate over collector banks *)
+}
+
+(* same fold as the generator's drain margin: the model-side prediction
+   of the total cycle count is f_compute_end + rows + max_dt + 4 *)
+let max_dt (design : Tl_stt.Design.t) =
+  List.fold_left
+    (fun acc (ti : Tl_stt.Design.tensor_info) ->
+      match ti.Tl_stt.Design.dataflow with
+      | Tl_stt.Dataflow.Systolic { dt; _ } -> max acc dt
+      | Tl_stt.Dataflow.Reuse2d
+          (Tl_stt.Dataflow.Systolic_multicast { systolic; _ }) ->
+        max acc systolic.Tl_stt.Dataflow.dt
+      | _ -> acc)
+    1 design.Tl_stt.Design.tensors
+
+let iround f = int_of_float (Float.round f)
+
+let expected (acc : Accel.t) =
+  let design = acc.Accel.design in
+  let fr = Schedule.frame design ~rows:acc.Accel.rows ~cols:acc.Accel.cols in
+  let stats = Tl_perf.Perf_model.tile_statistics_streaming design fr in
+  let passes = fr.Schedule.f_passes in
+  let per_tensor name =
+    match List.assoc_opt name stats.Tl_perf.Perf_model.per_tensor with
+    | Some words -> iround (words *. float_of_int passes)
+    | None -> 0
+  in
+  let e_reads =
+    List.map
+      (fun (ti : Tl_stt.Design.tensor_info) ->
+        let t = ti.Tl_stt.Design.access.Tl_ir.Access.tensor in
+        (t, per_tensor t))
+      (Tl_stt.Design.input_infos design)
+  in
+  let out =
+    (Tl_stt.Design.output_info design).Tl_stt.Design.access
+      .Tl_ir.Access.tensor
+  in
+  { e_cycles = fr.Schedule.f_compute_end + acc.Accel.rows + max_dt design + 4;
+    e_active_pe_cycles =
+      passes * stats.Tl_perf.Perf_model.active_pe_cycles;
+    e_reads;
+    e_writes_total = per_tensor out }
+
+type check = { c_name : string; measured : int; modeled : int }
+
+type validation = {
+  v_design : string;
+  v_backend : string;
+  v_counters : (string * int) list;  (** every raw counter read-out *)
+  v_checks : check list;
+  v_ok : bool;
+}
+
+let backend_label = function `Tape -> "tape" | `Closure -> "closure"
+
+(* Compare a finished run's counters against the model.  The caller owns
+   the simulator: it must have completed the full bounded run. *)
+let validate_sim ?(backend = `Tape) (acc : Accel.t) sim =
+  if acc.Accel.counter_ports = [] then
+    invalid_arg "Obs.Counters: accelerator generated without ~counters";
+  let counters = Accel.read_counters acc sim in
+  let e = expected acc in
+  let get name = try List.assoc name counters with Not_found -> -1 in
+  let writes_total =
+    List.fold_left
+      (fun sum (name, v) ->
+        if String.length name >= 7 && String.sub name 0 7 = "ctr_wr_" then
+          sum + v
+        else sum)
+      0 counters
+  in
+  let checks =
+    { c_name = "cycles"; measured = get "ctr_cycles"; modeled = e.e_cycles }
+    :: { c_name = "active_pe_cycles";
+         measured = get "ctr_active_pe_cycles";
+         modeled = e.e_active_pe_cycles }
+    :: { c_name = "writes_total"; measured = writes_total;
+         modeled = e.e_writes_total }
+    :: List.map
+         (fun (t, exp) ->
+           { c_name = "reads_" ^ t; measured = get ("ctr_rd_" ^ t);
+             modeled = exp })
+         e.e_reads
+  in
+  { v_design = acc.Accel.design.Tl_stt.Design.name;
+    v_backend = backend_label backend;
+    v_counters = counters;
+    v_checks = checks;
+    v_ok = List.for_all (fun c -> c.measured = c.modeled) checks }
+
+let validate ?(backend = `Tape) (acc : Accel.t) =
+  let sim = Sim.create ~backend acc.Accel.circuit in
+  Sim.cycles sim (Accel.planned_cycles acc);
+  Accel.check_done acc sim;
+  validate_sim ~backend acc sim
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json v =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{ \"design\": \"%s\", \"backend\": \"%s\", \"ok\": %b,\n"
+    (json_escape v.v_design) v.v_backend v.v_ok;
+  add "  \"counters\": { %s },\n"
+    (String.concat ", "
+       (List.map
+          (fun (n, x) -> Printf.sprintf "\"%s\": %d" (json_escape n) x)
+          v.v_counters));
+  add "  \"checks\": [ %s ] }"
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf
+              "{ \"name\": \"%s\", \"measured\": %d, \"modeled\": %d, \
+               \"ok\": %b }"
+              (json_escape c.c_name) c.measured c.modeled
+              (c.measured = c.modeled))
+          v.v_checks));
+  Buffer.contents b
+
+let pp ppf v =
+  Fmt.pf ppf "@[<v>%s (%s) counters %s@," v.v_design v.v_backend
+    (if v.v_ok then "OK" else "MISMATCH");
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %-24s measured=%-8d modeled=%-8d %s@," c.c_name
+        c.measured c.modeled
+        (if c.measured = c.modeled then "ok" else "MISMATCH"))
+    v.v_checks;
+  Fmt.pf ppf "@]"

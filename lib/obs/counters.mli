@@ -1,0 +1,50 @@
+(** Measured-vs-modeled counter validation.
+
+    Reads the hardware performance counters of an accelerator generated
+    with [Accel.generate ~counters:true] after a full simulated run and
+    compares them against {!Tl_perf.Perf_model}'s streaming schedule
+    statistics.  The hardware side counts real valid strobes, write
+    enables and feeder fetches; the model side counts events
+    analytically from the schedule frame — equality validates both. *)
+
+type expected = {
+  e_cycles : int;
+      (** model-side total cycles: [f_compute_end + rows + max_dt + 4] *)
+  e_active_pe_cycles : int;
+      (** [f_passes x active_pe_cycles] from the streaming statistics *)
+  e_reads : (string * int) list;
+      (** useful reads per input memory: [per_tensor x passes] *)
+  e_writes_total : int;
+      (** aggregate collector-bank writes: output [per_tensor x passes] *)
+}
+
+val expected : Tl_templates.Accel.t -> expected
+(** Model-side prediction of every cross-checked counter, computed from
+    the streaming statistics only (no netlist involved). *)
+
+type check = { c_name : string; measured : int; modeled : int }
+
+type validation = {
+  v_design : string;
+  v_backend : string;
+  v_counters : (string * int) list;  (** every raw counter read-out *)
+  v_checks : check list;
+  v_ok : bool;  (** all checks measured = modeled *)
+}
+
+val validate : ?backend:Tl_hw.Sim.backend -> Tl_templates.Accel.t ->
+  validation
+(** Run the accelerator to completion on a fresh simulator and
+    cross-check (default backend: the compiled tape).
+    @raise Invalid_argument if the accelerator was generated without
+    [~counters],
+    @raise Tl_templates.Accel.Simulation_timeout if [done] never rises. *)
+
+val validate_sim : ?backend:Tl_hw.Sim.backend -> Tl_templates.Accel.t ->
+  Tl_hw.Sim.t -> validation
+(** Same cross-check against a caller-owned simulator that has already
+    completed the full bounded run ([backend] only labels the report). *)
+
+val to_json : validation -> string
+
+val pp : Format.formatter -> validation -> unit

@@ -1,0 +1,84 @@
+(* Measured-activity power: run the accelerator under an Activity probe,
+   convert the observed toggle/access counts into per-category activity
+   factors, and report the ASIC power model's answer under assumed
+   (full) and measured activity side by side. *)
+
+open Tl_hw
+open Tl_templates
+
+type comparison = {
+  p_design : string;
+  p_backend : string;
+  p_cycles : int;
+  probe : Activity.report;
+  alpha : Tl_cost.Asic.activity;
+  modeled : Tl_cost.Asic.report;   (* assumed full activity *)
+  measured : Tl_cost.Asic.report;  (* measured activity factors *)
+}
+
+let backend_label = function `Tape -> "tape" | `Closure -> "closure"
+
+let measure ?(backend = `Tape) ?params (acc : Accel.t) =
+  let sim = Sim.create ~backend acc.Accel.circuit in
+  let probe = Activity.create sim acc.Accel.circuit in
+  Activity.cycles probe (Accel.planned_cycles acc);
+  Accel.check_done acc sim;
+  let rep = Activity.report probe in
+  (* MAC activity from the schedule: events per PE-cycle over the whole
+     array and run — the same quantity the hardware's active-PE-cycle
+     counter accumulates, normalised by capacity *)
+  let fr =
+    Schedule.frame acc.Accel.design ~rows:acc.Accel.rows ~cols:acc.Accel.cols
+  in
+  let capacity = acc.Accel.rows * acc.Accel.cols * acc.Accel.total_cycles in
+  let alpha =
+    { Tl_cost.Asic.alpha_compute =
+        (if capacity = 0 then 0.
+         else float_of_int fr.Schedule.f_event_count /. float_of_int capacity);
+      alpha_reg = Activity.alpha_reg rep;
+      alpha_mem = Activity.alpha_mem rep }
+  in
+  { p_design = acc.Accel.design.Tl_stt.Design.name;
+    p_backend = backend_label backend;
+    p_cycles = rep.Activity.cycles;
+    probe = rep;
+    alpha;
+    modeled = Tl_cost.Asic.evaluate_netlist ?params acc.Accel.circuit;
+    measured = Tl_cost.Asic.evaluate_netlist ?params ~activity:alpha
+        acc.Accel.circuit }
+
+let to_json c =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let breakdown (r : Tl_cost.Asic.report) =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %.4f" k v)
+         r.Tl_cost.Asic.breakdown)
+  in
+  add "{ \"design\": \"%s\", \"backend\": \"%s\", \"cycles\": %d,\n"
+    c.p_design c.p_backend c.p_cycles;
+  add
+    "  \"probe\": { \"reg_bits\": %d, \"reg_toggles\": %d, \"ram_reads\": \
+     %d, \"ram_writes\": %d, \"read_ports\": %d, \"write_ports\": %d },\n"
+    c.probe.Activity.reg_bits c.probe.Activity.reg_toggles
+    c.probe.Activity.ram_reads c.probe.Activity.ram_writes
+    c.probe.Activity.read_ports c.probe.Activity.write_ports;
+  add
+    "  \"alpha\": { \"compute\": %.6f, \"reg\": %.6f, \"mem\": %.6f },\n"
+    c.alpha.Tl_cost.Asic.alpha_compute c.alpha.Tl_cost.Asic.alpha_reg
+    c.alpha.Tl_cost.Asic.alpha_mem;
+  add "  \"modeled_power_mw\": %.4f, \"measured_power_mw\": %.4f,\n"
+    c.modeled.Tl_cost.Asic.power_mw c.measured.Tl_cost.Asic.power_mw;
+  add "  \"modeled_breakdown\": { %s },\n" (breakdown c.modeled);
+  add "  \"measured_breakdown\": { %s } }" (breakdown c.measured);
+  Buffer.contents b
+
+let pp ppf c =
+  Fmt.pf ppf
+    "@[<v>%s (%s): %d cycles@,\
+     activity: compute=%.3f reg=%.3f mem=%.3f@,\
+     power: modeled=%.2f mW, measured=%.2f mW@]"
+    c.p_design c.p_backend c.p_cycles c.alpha.Tl_cost.Asic.alpha_compute
+    c.alpha.Tl_cost.Asic.alpha_reg c.alpha.Tl_cost.Asic.alpha_mem
+    c.modeled.Tl_cost.Asic.power_mw c.measured.Tl_cost.Asic.power_mw

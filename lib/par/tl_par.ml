@@ -15,27 +15,49 @@ let n_domains () =
     | Some _ | None -> max 1 (Domain.recommended_domain_count ()))
   | None -> max 1 (Domain.recommended_domain_count ())
 
-let map_array ?domains f xs =
+(* Optional task observer: a polymorphic wrapper invoked around every
+   pool task with (pool label, worker ordinal, item index).  Installed
+   globally (observability tooling — the Chrome-trace exporter), read
+   atomically by every worker; the wrapper itself must be domain-safe.
+   [None] (the default) adds no per-task overhead beyond one atomic
+   load. *)
+type wrapper = {
+  wrap : 'a. label:string -> domain:int -> index:int -> (unit -> 'a) -> 'a;
+}
+
+let observer : wrapper option Atomic.t = Atomic.make None
+
+let set_wrapper w = Atomic.set observer w
+
+let run_task label domain index f x =
+  match Atomic.get observer with
+  | None -> f x
+  | Some w -> w.wrap ~label ~domain ~index (fun () -> f x)
+
+let map_array ?domains ?(label = "tl_par") f xs =
   let n = Array.length xs in
   let d =
     min (match domains with Some d -> max 1 d | None -> n_domains ()) n
   in
-  if d <= 1 || n <= 1 then Array.map f xs
+  if d <= 1 || n <= 1 then Array.mapi (fun i x -> run_task label 0 i f x) xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker who () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else
           results.(i) <-
-            Some (match f xs.(i) with v -> Ok v | exception e -> Error e)
+            Some
+              (match run_task label who i f xs.(i) with
+              | v -> Ok v
+              | exception e -> Error e)
       done
     in
-    let helpers = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let helpers = List.init (d - 1) (fun h -> Domain.spawn (worker (h + 1))) in
+    worker 0 ();
     List.iter Domain.join helpers;
     (* commit in index order: the first (lowest-index) failure is the one
        re-raised, regardless of which domain hit it *)
@@ -47,7 +69,8 @@ let map_array ?domains f xs =
       results
   end
 
-let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
+let map ?domains ?label f xs =
+  Array.to_list (map_array ?domains ?label f (Array.of_list xs))
 
 (* ------------------------------------------------------------------ *)
 (* String-keyed memoisation shared across the pool.                    *)
@@ -133,10 +156,10 @@ module Cache = struct
   let clear_all () = List.iter (fun r -> r.r_clear ()) (Atomic.get registry)
 end
 
-let mapi ?domains f xs =
+let mapi ?domains ?label f xs =
   Array.to_list
-    (map_array ?domains
+    (map_array ?domains ?label
        (fun (i, x) -> f i x)
        (Array.of_list (List.mapi (fun i x -> (i, x)) xs)))
 
-let iter ?domains f xs = ignore (map ?domains f xs)
+let iter ?domains ?label f xs = ignore (map ?domains ?label f xs)

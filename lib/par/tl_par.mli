@@ -17,10 +17,30 @@ val n_domains : unit -> int
     [Domain.recommended_domain_count ()], overridable with the
     [TL_DOMAINS] environment variable (clamped to at least 1). *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+val map : ?domains:int -> ?label:string -> ('a -> 'b) -> 'a list -> 'b list
+val mapi : ?domains:int -> ?label:string -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val map_array : ?domains:int -> ?label:string -> ('a -> 'b) -> 'a array -> 'b array
+val iter : ?domains:int -> ?label:string -> ('a -> unit) -> 'a list -> unit
+(** [label] names the pool for the task observer (default ["tl_par"]);
+    it has no effect on scheduling or results. *)
+
+(** {1 Task observer}
+
+    Observability hook: when installed, the wrapper is invoked around
+    {e every} pool task — including the sequential [domains = 1] fast
+    path — with the pool's [label], the worker ordinal [domain]
+    (0 = the calling domain) and the item [index].  The span exporter in
+    [Tl_obs.Trace] uses it to attribute DSE / fault-campaign work to
+    pool workers.  The wrapper runs concurrently on all workers and must
+    be domain-safe; it must call the thunk exactly once and return its
+    value. *)
+
+type wrapper = {
+  wrap : 'a. label:string -> domain:int -> index:int -> (unit -> 'a) -> 'a;
+}
+
+val set_wrapper : wrapper option -> unit
+(** Install (or, with [None], remove) the global task observer. *)
 
 (** String-keyed memoisation safe to share across the pool.
 

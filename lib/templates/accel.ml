@@ -19,6 +19,9 @@ type t = {
       (** per-tensor linear data memories; rewrite them to re-run the same
           accelerator on fresh data *)
   hardening : Harden.applied;
+  counter_ports : string list;
+      (** output-port names of the performance counters elaborated by
+          [~counters]; empty when counters are off *)
 }
 
 let bits_for n =
@@ -51,6 +54,15 @@ type ctx = {
   parity_of_ram : (int, Signal.ram) Hashtbl.t;  (* ram id → parity ram *)
   mutable parity_pairs : (Signal.ram * Signal.ram) list;
   mutable parity_errs : Signal.t list;  (* comb parity-mismatch strobes *)
+  (* observability bookkeeping: the builders tally, per cycle, how many
+     useful reads each input memory serves and how many values cross
+     systolic hops / multicast buses; [generate ~counters] compiles the
+     tallies into increment ROMs + accumulator registers.  Tallies are
+     pure metadata — no hardware is created unless counters are on. *)
+  tally_reads : (string, int array) Hashtbl.t;  (* tensor → per-cycle *)
+  tally_sys_link : int array;
+  tally_mc_link : int array;
+  mutable write_strobes : (string * Signal.t) list;  (* bank name → we *)
 }
 
 (* Parity companion of a ram: created on demand when parity hardening is
@@ -155,6 +167,57 @@ let stage_rom ctx access name per_pass =
 let pos_name prefix (r, c) = Printf.sprintf "%s_%d_%d" prefix r c
 
 (* ------------------------------------------------------------------ *)
+(* Observability tallies (see the ctx comment).  The counting rules
+   mirror Perf_model's per-tensor traffic accounting so the compiled
+   counters can be cross-checked against the analytical model:
+   - unicast: one read per PE event;
+   - multicast / broadcast: one read per distinct bus cycle, one link
+     delivery per member event;
+   - stationary (and multicast-stationary): one read per port per useful
+     stage load — the preload tick plus every pass tick except the last,
+     whose load fetches the trailing dummy entry and is not counted;
+   - systolic: one read per chain-entry injection, one link transfer per
+     event served by a neighbour hop. *)
+
+let tally arr cycle = arr.(cycle) <- arr.(cycle) + 1
+
+let tally_read ctx tensor cycle =
+  let a =
+    match Hashtbl.find_opt ctx.tally_reads tensor with
+    | Some a -> a
+    | None ->
+      let a = Array.make ctx.total 0 in
+      Hashtbl.add ctx.tally_reads tensor a;
+      a
+  in
+  tally a cycle
+
+(* useful stage loads of one stationary port: preload tick + the pass
+   ticks of passes 0..passes-2 (the final tick loads the dummy entry) *)
+let stage_load_cycles ctx =
+  let sched = ctx.sched in
+  0
+  :: List.init
+       (max 0 (sched.Schedule.passes - 1))
+       (fun p ->
+         sched.Schedule.preload + ((p + 1) * sched.Schedule.span) - 1)
+
+let tally_stage_loads ctx tensor =
+  List.iter (fun cycle -> tally_read ctx tensor cycle) (stage_load_cycles ctx)
+
+let distinct_cycles pairs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (cycle, _) ->
+      if Hashtbl.mem seen cycle then false
+      else begin
+        Hashtbl.add seen cycle ();
+        true
+      end)
+    pairs
+  |> List.map fst
+
+(* ------------------------------------------------------------------ *)
 (* Collector banks: accumulate-in-place output memories.               *)
 
 type collector = {
@@ -205,6 +268,7 @@ let finalize_collector ctx name col value =
   let we = ram_read we_rom ctx.cycle in
   let addr = ram_read addr_rom ctx.cycle in
   let old = ram_read col.bank addr in
+  ctx.write_strobes <- (name, we) :: ctx.write_strobes;
   Signal.ram_write col.bank ~we ~addr ~data:(old +: value);
   if ctx.harden.Harden.parity_banks then begin
     (* parity companion follows every accumulate; the read-modify-write
@@ -253,6 +317,8 @@ let build_unicast_input ctx access uses =
           (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
           (events_of ctx p)
       in
+      List.iter (fun (cycle, _) -> tally_read ctx access.Tl_ir.Access.tensor cycle)
+        pairs;
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_uni") p in
       set_use uses p (value_rom ctx access name pairs))
     (active_pes ctx)
@@ -265,6 +331,7 @@ let build_stationary_input ctx access uses =
           (fun ev -> (ev.Schedule.pass, tensor_offset ctx access ev))
           (events_of ctx p)
       in
+      tally_stage_loads ctx access.Tl_ir.Access.tensor;
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_st") p in
       let next = stage_rom ctx access name per_pass in
       set_use uses p
@@ -300,6 +367,9 @@ let build_multicast_input ctx access ~dp uses =
               (events_of ctx p))
           members
       in
+      List.iter (fun cycle -> tally_read ctx access.Tl_ir.Access.tensor cycle)
+        (distinct_cycles pairs);
+      List.iter (fun (cycle, _) -> tally ctx.tally_mc_link cycle) pairs;
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_mc") rep in
       let bus = value_rom ctx access name pairs in
       List.iter (fun p -> set_use uses p (Pe_modules.direct_input ~bus))
@@ -315,6 +385,9 @@ let build_broadcast_input ctx access uses =
           (events_of ctx p))
       (active_pes ctx)
   in
+  List.iter (fun cycle -> tally_read ctx access.Tl_ir.Access.tensor cycle)
+    (distinct_cycles pairs);
+  List.iter (fun (cycle, _) -> tally ctx.tally_mc_link cycle) pairs;
   let bus = value_rom ctx access (access.Tl_ir.Access.tensor ^ "_bc") pairs in
   List.iter (fun p -> set_use uses p (Pe_modules.direct_input ~bus))
     (active_pes ctx)
@@ -330,6 +403,10 @@ let build_multicast_stationary_input ctx access ~multicast uses =
               (events_of ctx p))
           members
       in
+      tally_stage_loads ctx access.Tl_ir.Access.tensor;
+      (* each useful stage load travels the line bus once *)
+      List.iter (fun cycle -> tally ctx.tally_mc_link cycle)
+        (stage_load_cycles ctx);
       let name = pos_name (access.Tl_ir.Access.tensor ^ "_mcst") rep in
       let next = stage_rom ctx access name per_pass in
       let held =
@@ -360,6 +437,13 @@ let build_systolic_chains ctx access ~dp ~dt ~entry_bus uses =
             not (has_peer tbl (Geometry.back p dp) (ev.Schedule.cycle - dt) idx))
           (events_of ctx p)
       in
+      (* every event not served by an injection rides a neighbour hop *)
+      let entry_cycles = List.map (fun ev -> ev.Schedule.cycle) entries in
+      List.iter
+        (fun ev ->
+          if not (List.mem ev.Schedule.cycle entry_cycles) then
+            tally ctx.tally_sys_link ev.Schedule.cycle)
+        (events_of ctx p);
       let neighbor =
         let pr, pc = Geometry.back p dp in
         if Geometry.in_grid ~rows ~cols (pr, pc) then
@@ -398,6 +482,8 @@ let build_systolic_input ctx access ~dp ~dt uses =
         (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
         entries
     in
+    List.iter (fun (cycle, _) -> tally_read ctx access.Tl_ir.Access.tensor cycle)
+      pairs;
     value_rom ctx access
       (pos_name (access.Tl_ir.Access.tensor ^ "_feed") p)
       pairs
@@ -422,6 +508,8 @@ let build_systolic_multicast_input ctx access ~multicast ~dp ~dt uses =
         (fun ev -> (ev.Schedule.cycle, tensor_offset ctx access ev))
         entries
     in
+    (* each injected entry is a delivery over the shared line feed bus *)
+    List.iter (fun (cycle, _) -> tally ctx.tally_mc_link cycle) pairs;
     (match Hashtbl.find_opt line_pairs rep with
      | Some l -> l := pairs @ !l
      | None -> Hashtbl.add line_pairs rep (ref pairs));
@@ -440,6 +528,8 @@ let build_systolic_multicast_input ctx access ~multicast ~dp ~dt uses =
         | Some l -> !l
         | None -> []
       in
+      List.iter (fun cycle -> tally_read ctx access.Tl_ir.Access.tensor cycle)
+        (distinct_cycles pairs);
       let v =
         value_rom ctx access
           (pos_name (access.Tl_ir.Access.tensor ^ "_lfeed") rep)
@@ -753,7 +843,7 @@ let build_output ctx (ti : Tl_stt.Design.tensor_info) ~prods ~valids =
 (* ------------------------------------------------------------------ *)
 
 let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
-    ?(harden = Harden.none) design env =
+    ?(harden = Harden.none) ?(counters = false) design env =
   let sched =
     try Schedule.build design ~rows ~cols
     with Schedule.Unsupported msg -> raise (Unsupported msg)
@@ -840,7 +930,9 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
       env; data_rams = Hashtbl.create 8; out_locs = Hashtbl.create 64;
       bank_list = []; probe_outputs = []; probe_addr; harden;
       parity_of_ram = Hashtbl.create 8; parity_pairs = [];
-      parity_errs = [] }
+      parity_errs = []; tally_reads = Hashtbl.create 4;
+      tally_sys_link = Array.make total 0;
+      tally_mc_link = Array.make total 0; write_strobes = [] }
   in
   (* input tensors *)
   let inputs = Tl_stt.Design.input_infos design in
@@ -900,16 +992,68 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
       [ ("error_detected", (sticky |: comb) -- "error_detected") ]
     end
   in
+  (* performance counters: synthesizable read-out ports, elaborated only
+     on request so the default netlist stays bit-identical (the [~harden]
+     discipline).  Every accumulator is enabled by [ctr_live] — a sticky
+     not-finished flag — so each of the [total] live cycles is counted
+     exactly once even though the bounded run settles the saturated
+     terminal cycle twice. *)
+  let counter_outputs =
+    if not counters then []
+    else begin
+      let fw = wire 1 in
+      let fin = reg (fw |: done_) -- "ctr_finished" in
+      assign fw fin;
+      let live = not_ fin -- "ctr_live" in
+      let acc32 name inc =
+        let w = wire 32 in
+        let a = reg ~enable:live (w +: uresize inc 32) -- name in
+        assign w a;
+        (name, a)
+      in
+      let rom_counter name tally =
+        let m = Array.fold_left max 1 tally in
+        let rom = Signal.rom ~name:(name ^ "_inc") ~width:(bits_for m) tally in
+        acc32 name (ram_read rom cycle)
+      in
+      (* MAC-enable popcount: the same per-PE valid bitmaps that gate the
+         datapath feed a balanced adder tree *)
+      let vs =
+        List.filter_map (fun (r, c) -> valids.(r).(c)) (active_pes ctx)
+      in
+      let pcw = bits_for (List.length vs + 1) in
+      let popcount =
+        match vs with
+        | [] -> const ~width:pcw 0
+        | _ -> Reduce_tree.build (List.map (fun v -> uresize v pcw) vs)
+      in
+      let reads =
+        Hashtbl.fold (fun t a acc -> (t, a) :: acc) ctx.tally_reads []
+        |> List.sort compare
+        |> List.map (fun (t, a) -> rom_counter ("ctr_rd_" ^ t) a)
+      in
+      let writes =
+        List.rev ctx.write_strobes
+        |> List.map (fun (n, we) -> acc32 ("ctr_wr_" ^ n) we)
+      in
+      (acc32 "ctr_cycles" vdd :: acc32 "ctr_active_pe_cycles" popcount
+       :: reads)
+      @ writes
+      @ [ rom_counter "ctr_link_systolic" ctx.tally_sys_link;
+          rom_counter "ctr_link_multicast" ctx.tally_mc_link ]
+    end
+  in
   let outputs =
     ("done", done_) :: ("cycle", cycle)
     :: ("pass", pass_sig)
-    :: (error_outputs @ List.rev ctx.probe_outputs)
+    :: (error_outputs @ counter_outputs @ List.rev ctx.probe_outputs)
   in
   let circuit =
     Circuit.create ~name:("tensorlib_" ^ design.Tl_stt.Design.name) ~outputs
   in
   { design; rows; cols; data_width; acc_width; schedule = sched;
     circuit; total_cycles = total; out_locs = ctx.out_locs;
+    counter_ports = List.map fst counter_outputs;
     banks = List.rev ctx.bank_list;
     input_rams =
       Hashtbl.fold (fun name r acc -> (name, r) :: acc) ctx.data_rams []
@@ -920,6 +1064,9 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
         parity_pairs = List.rev ctx.parity_pairs } }
 
 let planned_cycles t = t.total_cycles + 1
+
+let read_counters t sim =
+  List.map (fun name -> (name, Sim.output sim name)) t.counter_ports
 
 let read_output t sim =
   let stmt = t.design.Tl_stt.Design.transform.Tl_stt.Transform.stmt in

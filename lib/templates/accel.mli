@@ -49,14 +49,31 @@ type t = {
   hardening : Harden.applied;
       (** which resilience options were elaborated in, plus the parity
           ram pairs and voted register names they created *)
+  counter_ports : string list;
+      (** read-out port names of the performance counters elaborated by
+          [~counters] (see {!generate}), in output order: [ctr_cycles],
+          [ctr_active_pe_cycles], one [ctr_rd_<tensor>] per input memory,
+          one [ctr_wr_<bank>] per collector bank, [ctr_link_systolic] and
+          [ctr_link_multicast].  Empty when counters are off. *)
 }
 
 val generate : ?rows:int -> ?cols:int -> ?data_width:int -> ?acc_width:int ->
-  ?harden:Harden.config -> Tl_stt.Design.t -> Tl_ir.Exec.env -> t
-(** Defaults: 4×4 array, 16-bit data, 32-bit accumulators, no hardening.
+  ?harden:Harden.config -> ?counters:bool -> Tl_stt.Design.t ->
+  Tl_ir.Exec.env -> t
+(** Defaults: 4×4 array, 16-bit data, 32-bit accumulators, no hardening,
+    no counters.
     With [harden], controller registers are TMR-voted and/or every
     memory gains a parity companion plus an [error_detected] output (see
     {!Harden}); fault-free behaviour is bit-identical either way.
+    With [counters], synthesizable performance counters are elaborated
+    alongside the datapath and exposed as extra output ports
+    ({!field-counter_ports}): a total-cycle counter, a MAC-enable popcount
+    accumulator (active-PE-cycles), per-input-memory useful-read and
+    per-collector-bank write counters (increment-ROM + accumulator,
+    cross-checkable against {!Tl_perf}'s streaming statistics), and
+    aggregate systolic-hop / multicast-bus link-transfer counters.  With
+    [counters] off the generated netlist is bit-identical to one built
+    without the option (same discipline as [harden]).
     @raise Unsupported when the design needs an unimplemented template
     (see {!Tl_stt.Design.netlist_supported}), the footprint exceeds the
     array, or a stationary output's stage is shorter than the drain chain. *)
@@ -87,6 +104,11 @@ val execute_with : ?backend:Tl_hw.Sim.backend -> ?max_cycles:int -> t ->
 
 val planned_cycles : t -> int
 (** Number of cycles {!execute} simulates ([total_cycles + 1]). *)
+
+val read_counters : t -> Tl_hw.Sim.t -> (string * int) list
+(** Read every counter port of a live simulator instance (normally after
+    the full bounded run), in {!field-counter_ports} order.  Empty when
+    the accelerator was generated without [~counters]. *)
 
 val load_env : t -> Tl_hw.Sim.t -> Tl_ir.Exec.env -> unit
 (** Rewrite the input data memories of a live simulator instance.

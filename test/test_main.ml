@@ -15,4 +15,5 @@ let () =
       ("misc", Test_misc.suite);
       ("lint", Test_lint.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
       ("coverage", Test_coverage.suite) ]
