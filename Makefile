@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick fault-smoke bench-obs obs-smoke examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick fault-smoke bench-obs obs-smoke analyze-smoke bench-absint examples fuzz doc clean
 
 all: build
 
@@ -42,6 +42,28 @@ obs-smoke:
 	grep -q '"traceEvents"' TRACE_obs.json
 	@echo "obs-smoke: OK"
 
+# Abstract-interpretation gate: every tier-1 workload's generated netlist
+# must statically prove the L200/L201/L202 safety rules — no simulation —
+# via the CLI netlist analyzer (exit 1 on any unproven rule; engine and
+# rule family: docs/ANALYSIS.md).
+analyze-smoke:
+	dune build bin/tensorlib_cli.exe
+	dune exec bin/tensorlib_cli.exe -- analyze -w gemm-small -d MNK-SST \
+	  --netlist --rows 4 --cols 4 > /dev/null
+	dune exec bin/tensorlib_cli.exe -- analyze -w conv2d-small -d KCX-SST \
+	  --netlist --rows 4 --cols 4 > /dev/null
+	dune exec bin/tensorlib_cli.exe -- analyze -w depthwise-small -d XYP-MMM \
+	  --netlist --rows 4 --cols 4 > /dev/null
+	dune exec bin/tensorlib_cli.exe -- analyze -w mttkrp-small -d IKL-UBBB \
+	  --netlist --rows 4 --cols 4 > /dev/null
+	@echo "analyze-smoke: OK"
+
+# Proof + narrowing benchmark over the four tier-1 workloads; writes
+# BENCH_absint.json (fails if any safety rule is unproven).
+bench-absint:
+	dune exec bench/main.exe -- bench-absint
+	grep -q '"schema": "tensorlib-bench-absint/1"' BENCH_absint.json
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/conv2d_explorer.exe
@@ -60,8 +82,10 @@ lint:
 	dune exec bin/tensorlib_cli.exe -- lint -w depthwise-small
 	dune exec bin/tensorlib_cli.exe -- lint -w mttkrp-small
 
-# Random designs vs the golden executor, plus the lint differential
-# oracle over random netlists (Rewrite must never introduce findings).
+# Random designs vs the golden executor, the lint differential oracle over
+# random netlists (Rewrite must never introduce findings), and the absint
+# soundness oracle (simulated values stay inside the abstract fixpoint on
+# both sim backends; narrowing stays output-equivalent).
 fuzz:
 	dune exec bin/fuzz.exe -- 500
 

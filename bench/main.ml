@@ -1054,6 +1054,78 @@ let bench_obs () =
      trace in TRACE_obs.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark gate: abstract interpretation.  Runs the Tl_absint proof
+   campaign over the four tier-1 workloads — every safety rule (L200
+   overflow, L201 addresses, L202 write schedules) must be proven without
+   simulation — and prices the analysis-driven width narrowing; writes
+   BENCH_absint.json.                                                   *)
+
+let bench_absint () =
+  section "Benchmark gate: abstract interpretation (proofs + narrowing)";
+  let cases =
+    [ ("gemm", Workloads.gemm ~m:4 ~n:4 ~k:5, "MNK-SST");
+      ("conv2d", Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3, "KCX-SST");
+      ("depthwise", Workloads.depthwise_conv ~k:4 ~y:4 ~x:4 ~p:3 ~q:3,
+       "XYP-MMM");
+      ("mttkrp", Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4, "IKL-UBBB") ]
+  in
+  let results =
+    List.map
+      (fun (tag, stmt, dname) ->
+        let design = Search.find_design_exn stmt dname in
+        let env = Exec.alloc_inputs stmt in
+        let acc =
+          Accel.generate ~rows:4 ~cols:4 ~counters:true design env
+        in
+        let r, a_s = wall (fun () -> Absint.Report.of_accel acc) in
+        let open Absint.Report in
+        let sv = r.savings in
+        Printf.printf
+          "  %-10s %-9s %-6s %3d proofs  reg bits %4d -> %4d  area %6.1f \
+           -> %6.1f (%.2fs)\n"
+          tag dname
+          (if r.safe then "SAFE" else "UNSAFE")
+          (List.length r.proofs) sv.Absint.Narrow.reg_bits_before
+          sv.Absint.Narrow.reg_bits_after r.area_before r.area_after a_s;
+        (tag, r, a_s))
+      cases
+  in
+  List.iter
+    (fun (tag, (r : Absint.Report.t), _) ->
+      if not r.Absint.Report.safe then
+        failwith
+          (Printf.sprintf
+             "absint gate failed for %s: unproven safety rule\n%s" tag
+             (Format.asprintf "%a" Lint.Finding.pp_report
+                r.Absint.Report.findings)))
+    results;
+  let oc = open_out "BENCH_absint.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"tensorlib-bench-absint/1\",\n";
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i (tag, (r : Absint.Report.t), a_s) ->
+      let sv = r.Absint.Report.savings in
+      Printf.fprintf oc
+        "    { \"workload\": \"%s\", \"target\": \"%s\", \"safe\": %b,\n\
+        \      \"cycles\": %d, \"proofs\": %d, \"findings\": %d,\n\
+        \      \"reg_bits_before\": %d, \"reg_bits_after\": %d,\n\
+        \      \"cells_before\": %d, \"cells_after\": %d,\n\
+        \      \"area_before\": %.2f, \"area_after\": %.2f,\n\
+        \      \"wall_s\": %.3f }%s\n"
+        tag r.Absint.Report.target r.Absint.Report.safe
+        r.Absint.Report.cycles
+        (List.length r.Absint.Report.proofs)
+        (List.length r.Absint.Report.findings)
+        sv.Absint.Narrow.reg_bits_before sv.Absint.Narrow.reg_bits_after
+        sv.Absint.Narrow.cells_before sv.Absint.Narrow.cells_after
+        r.Absint.Report.area_before r.Absint.Report.area_after a_s
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "\n  (machine-readable results written to BENCH_absint.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("verify", verify);
@@ -1069,7 +1141,7 @@ let all_sections =
 let dispatch =
   all_sections
   @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault);
-      ("bench-obs", bench_obs) ]
+      ("bench-obs", bench_obs); ("bench-absint", bench_absint) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -3,7 +3,7 @@
    golden executor.  A standing end-to-end soundness harness for the
    generator (the CI-style long-running counterpart of the property tests).
 
-   Two phases:
+   Three phases:
    - designs: random stmt x random STT; generated accelerators must match
      the golden executor, and the lint must report no error-severity
      finding on the generated netlist, before or after [Rewrite].  Trials
@@ -13,6 +13,12 @@
      never grow).  A slice of deliberately broken netlists checks that
      unassigned wires and combinational cycles surface as L001/L002
      findings instead of exceptions.
+   - absint: abstract-interpretation soundness.  The Tl_absint engine's
+     abstract value for every node must contain the node's simulated value
+     on every cycle of a random stimulus, on BOTH simulator backends
+     ([`Tape] and [`Closure]); and the analysis-narrowed circuit
+     ([Absint.Narrow.circuit]) must stay cycle-for-cycle output-equivalent
+     to the original under the same stimulus.
 
    Usage: dune exec bin/fuzz.exe -- [iterations] [seed] *)
 
@@ -273,4 +279,90 @@ let () =
   done;
   Printf.printf "fuzz lint oracle: %d netlists linted, %d violations\n" !linted
     !violations;
-  if !failed > 0 || !violations > 0 then exit 1
+  (* phase 3: abstract-interpretation soundness oracle *)
+  let absint_checked = ref 0 and absint_violations = ref 0 in
+  let sim_cycles = 8 in
+  for i = 1 to iterations do
+    let src = random_netlist rng in
+    match Lint.Netlist.check_source ~config:fuzz_lint_config src with
+    | _, None -> ()
+    | _, Some circuit -> (
+      match Absint.Engine.run circuit with
+      | exception e ->
+        incr absint_violations;
+        Printf.printf "ABSINT FAIL at netlist %d: engine raised %s\n" i
+          (Printexc.to_string e)
+      | engine ->
+        incr absint_checked;
+        let inputs = Circuit.inputs circuit in
+        (* same stimulus for every backend and for the narrowed circuit *)
+        let stimulus =
+          Array.init sim_cycles (fun _ ->
+              List.map
+                (fun (name, w) ->
+                  (name, Random.State.int rng (1 lsl min w 30)))
+                inputs)
+        in
+        let narrowed, _, _ = Absint.Narrow.circuit ~engine circuit in
+        (* constant folding may leave an input entirely unread, in which
+           case it disappears from the narrowed circuit's input list *)
+        let narrowed_inputs = List.map fst (Circuit.inputs narrowed) in
+        List.iter
+          (fun backend ->
+            let sim = Sim.create ~backend circuit in
+            let sim_n = Sim.create ~backend narrowed in
+            Array.iter
+              (fun bindings ->
+                List.iter
+                  (fun (name, v) ->
+                    Sim.set_input sim name v;
+                    if List.mem name narrowed_inputs then
+                      Sim.set_input sim_n name v)
+                  bindings;
+                Sim.settle sim;
+                Sim.settle sim_n;
+                (* soundness: every settled node value must be a member of
+                   its abstract value *)
+                Array.iter
+                  (fun node ->
+                    match Sim.slot sim node with
+                    | None -> ()
+                    | Some _ ->
+                      let v = Sim.peek sim node in
+                      let av = Absint.Engine.value engine node in
+                      if not (Absint.Av.mem v av) then begin
+                        incr absint_violations;
+                        Printf.printf
+                          "ABSINT FAIL at netlist %d (%s): node #%d value \
+                           %d outside %s\n"
+                          i
+                          (match backend with
+                           | `Tape -> "tape"
+                           | `Closure -> "closure")
+                          node.Signal.id v
+                          (Format.asprintf "%a" Absint.Av.pp av)
+                      end)
+                  (Circuit.nodes circuit);
+                (* rewrite equivalence: narrowed outputs must agree *)
+                List.iter
+                  (fun (name, _) ->
+                    let a = Sim.output sim name
+                    and b = Sim.output sim_n name in
+                    if a <> b then begin
+                      incr absint_violations;
+                      Printf.printf
+                        "ABSINT FAIL at netlist %d: narrowed output %s \
+                         disagrees (%d vs %d)\n"
+                        i name a b
+                    end)
+                  (Circuit.outputs circuit);
+                Sim.latch sim;
+                Sim.latch sim_n)
+              stimulus)
+          [ `Tape; `Closure ])
+  done;
+  Printf.printf
+    "fuzz absint oracle: %d netlists checked on both backends, %d \
+     violations\n"
+    !absint_checked !absint_violations;
+  if !failed > 0 || !violations > 0 || !absint_violations > 0 then exit 1

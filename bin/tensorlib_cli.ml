@@ -165,18 +165,74 @@ let resolve ?expr ?extents ?select ?matrix w d =
     | None ->
       failwith (Printf.sprintf "dataflow %s not realisable for %s" d w))
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit findings as JSON instead of text.")
+
+let sarif_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sarif" ]
+           ~doc:"Also write the findings as a SARIF 2.1.0 document to FILE."
+           ~docv:"FILE")
+
+let write_sarif ~tool path findings =
+  let oc = open_out path in
+  output_string oc (Lint.Finding.to_sarif ~tool findings);
+  close_out oc
+
+let netlist_arg =
+  Arg.(value & flag
+       & info [ "netlist" ]
+           ~doc:"Run the abstract-interpretation proof engine over the \
+                 generated netlist (overflow / address / write-schedule \
+                 proofs and a width-narrowing estimate) instead of the \
+                 dataflow report; exits 1 if any safety rule is unproven.")
+
+let data_bound_arg =
+  Arg.(value & opt (some int) None
+       & info [ "data-bound" ]
+           ~doc:"With --netlist: assume input elements lie in [-N, N] \
+                 instead of using the pre-loaded data memories, so proofs \
+                 transfer to any DMA-loaded data within that bound.")
+
 let analyze_cmd =
-  let run w d expr extents select matrix =
+  let run w d expr extents select matrix netlist rows cols dw aw data_bound
+      json sarif =
     guard @@ fun () ->
-    let _, design = resolve ?expr ?extents ?select ?matrix w d in
-    Format.printf "%a@." Design.pp_report design;
-    let inv = Inventory.of_design design in
-    Format.printf "inventory (16x16): %a@.@." Inventory.pp inv;
-    Format.printf "%a@." Topology.pp (Topology.describe design)
+    let stmt, design = resolve ?expr ?extents ?select ?matrix w d in
+    if netlist then begin
+      validate_grid ~rows ~cols;
+      validate_widths ~data_width:dw ~acc_width:aw;
+      let env = Exec.alloc_inputs stmt in
+      let acc =
+        Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw design env
+      in
+      let r = Absint.Report.of_accel ?data_bound acc in
+      if json then print_string (Absint.Report.to_json r)
+      else Format.printf "%a@." Absint.Report.pp r;
+      Option.iter
+        (fun path ->
+          write_sarif ~tool:"tensorlib-analyze" path
+            r.Absint.Report.findings)
+        sarif;
+      if not r.Absint.Report.safe then exit 1
+    end
+    else begin
+      Format.printf "%a@." Design.pp_report design;
+      let inv = Inventory.of_design design in
+      Format.printf "inventory (16x16): %a@.@." Inventory.pp inv;
+      Format.printf "%a@." Topology.pp (Topology.describe design)
+    end
   in
-  Cmd.v (Cmd.info "analyze" ~doc:"Dataflow analysis report for a design")
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Dataflow analysis report for a design; with --netlist, an \
+             abstract-interpretation proof report over the generated \
+             accelerator")
     Term.(const run $ workload_arg $ dataflow_arg $ expr_arg $ extents_arg
-          $ select_arg $ matrix_arg)
+          $ select_arg $ matrix_arg $ netlist_arg $ rows_arg $ cols_arg
+          $ data_width_arg $ acc_width_arg $ data_bound_arg $ json_arg
+          $ sarif_arg)
 
 let testbench_arg =
   Arg.(value & flag
@@ -330,10 +386,6 @@ let explore_cmd =
 
 (* ---------------- lint ---------------- *)
 
-let json_arg =
-  Arg.(value & flag
-       & info [ "json" ] ~doc:"Emit findings as JSON instead of text.")
-
 let all_designs_arg =
   Arg.(value & flag
        & info [ "all" ]
@@ -370,7 +422,8 @@ let hardened_arg =
                  companion (rule L015).")
 
 let lint_cmd =
-  let run w rows cols json all suppress fanout d select matrix hardened =
+  let run w rows cols json sarif all suppress fanout d select matrix hardened
+      =
     guard @@ fun () ->
     validate_grid ~rows ~cols;
     let stmt = workload_of_string w in
@@ -466,6 +519,9 @@ let lint_cmd =
       Printf.printf "lint: %d design(s) checked, %d netlist(s) generated\n"
         !checked !generated
     end;
+    Option.iter
+      (fun path -> write_sarif ~tool:"tensorlib-lint" path !findings)
+      sarif;
     if Lint.Finding.has_errors !findings then exit 1
   in
   Cmd.v
@@ -474,8 +530,9 @@ let lint_cmd =
              STT validity rules plus netlist rules on the generated \
              accelerators; exits non-zero on any error-severity finding")
     Term.(const run $ workload_arg $ lint_rows_arg $ lint_cols_arg
-          $ json_arg $ all_designs_arg $ suppress_arg $ fanout_arg
-          $ lint_dataflow_arg $ select_arg $ matrix_arg $ hardened_arg)
+          $ json_arg $ sarif_arg $ all_designs_arg $ suppress_arg
+          $ fanout_arg $ lint_dataflow_arg $ select_arg $ matrix_arg
+          $ hardened_arg)
 
 (* ---------------- fault ---------------- *)
 

@@ -1,0 +1,565 @@
+(* Reduced product of known-bits and unsigned/signed intervals.
+
+   Widths 1..61 are represented exactly.  Width 62 fills the OCaml native
+   int, where [Signal.mask_to_width] is the identity and simulated values
+   can occupy all 63 bits (including the sign); such values are tracked
+   only as singleton-or-top, which keeps every transfer trivially sound. *)
+
+open Tl_hw
+
+type t = {
+  w : int;
+  bv : int;
+  bm : int;
+  ulo : int;
+  uhi : int;
+  slo : int;
+  shi : int;
+}
+
+let native w = w >= 62
+let msk w = if native w then -1 else (1 lsl w) - 1
+let smin w = if native w then min_int else -(1 lsl (w - 1))
+let smax w = if native w then max_int else (1 lsl (w - 1)) - 1
+
+let top w =
+  if native w then
+    { w; bv = 0; bm = -1; ulo = min_int; uhi = max_int;
+      slo = min_int; shi = max_int }
+  else
+    { w; bv = 0; bm = msk w; ulo = 0; uhi = msk w;
+      slo = smin w; shi = smax w }
+
+let const ~width v =
+  let m = Signal.mask_to_width width v in
+  let s = Signal.to_signed width v in
+  { w = width; bv = m; bm = 0; ulo = m; uhi = m; slo = s; shi = s }
+
+let is_const t = if t.bm = 0 then Some t.bv else None
+
+let top_bit_index v =
+  (* index of the highest set bit; v > 0 *)
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  go 0 v
+
+(* One mutual-reduction pass; falls back to a bits-consistent value if a
+   meet produced an empty interval (clamps are independently proven, so
+   either component alone stays sound). *)
+let reduce t =
+  if native t.w then t
+  else begin
+    let m = msk t.w and half = 1 lsl (t.w - 1) in
+    let ulo = ref (max t.bv (max t.ulo 0))
+    and uhi = ref (min (t.bv lor t.bm) (min t.uhi m)) in
+    let slo = ref (max t.slo (smin t.w)) and shi = ref (min t.shi (smax t.w)) in
+    (* signed -> unsigned *)
+    if !slo >= 0 then begin
+      ulo := max !ulo !slo;
+      uhi := min !uhi !shi
+    end
+    else if !shi < 0 then begin
+      ulo := max !ulo (!slo + (1 lsl t.w));
+      uhi := min !uhi (!shi + (1 lsl t.w))
+    end;
+    (* unsigned -> signed *)
+    if !uhi < half then begin
+      slo := max !slo !ulo;
+      shi := min !shi !uhi
+    end
+    else if !ulo >= half then begin
+      slo := max !slo (!ulo - (1 lsl t.w));
+      shi := min !shi (!uhi - (1 lsl t.w))
+    end;
+    (* unsigned interval -> common leading known bits *)
+    let bv = ref t.bv and bm = ref t.bm in
+    if !ulo <= !uhi then begin
+      let fixed, value =
+        if !ulo = !uhi then (m, !ulo)
+        else
+          let k = top_bit_index (!ulo lxor !uhi) in
+          (m land lnot ((1 lsl (k + 1)) - 1), !ulo)
+      in
+      let newly = fixed land !bm in
+      (* only adopt bits consistent with what is already known *)
+      if (value lxor !bv) land fixed land lnot !bm = 0 then begin
+        bv := !bv lor (value land newly);
+        bm := !bm land lnot newly
+      end
+    end;
+    if !ulo > !uhi || !slo > !shi then
+      (* contradictory meet: trust the bits component *)
+      let lo = !bv and hi = !bv lor !bm in
+      let s_lo, s_hi =
+        if hi < half then (lo, hi)
+        else if lo >= half then (lo - (1 lsl t.w), hi - (1 lsl t.w))
+        else (smin t.w, smax t.w)
+      in
+      { t with bv = !bv; bm = !bm; ulo = lo; uhi = hi; slo = s_lo; shi = s_hi }
+    else
+      { t with bv = !bv; bm = !bm; ulo = !ulo; uhi = !uhi;
+        slo = !slo; shi = !shi }
+  end
+
+let norm t = reduce (reduce t)
+
+let make ~w ~bv ~bm ~ulo ~uhi ~slo ~shi =
+  if native w then
+    if bm = 0 then const ~width:w bv else top w
+  else norm { w; bv = bv land lnot bm; bm; ulo; uhi; slo; shi }
+
+let of_unsigned ~width lo hi =
+  if native width then if lo = hi then const ~width lo else top width
+  else
+    make ~w:width ~bv:0 ~bm:(msk width) ~ulo:(max 0 lo)
+      ~uhi:(min (msk width) hi) ~slo:(smin width) ~shi:(smax width)
+
+let of_signed ~width lo hi =
+  if native width then if lo = hi then const ~width lo else top width
+  else
+    make ~w:width ~bv:0 ~bm:(msk width) ~ulo:0 ~uhi:(msk width)
+      ~slo:(max (smin width) lo) ~shi:(min (smax width) hi)
+
+let mem v t =
+  let m = Signal.mask_to_width t.w v in
+  let s = Signal.to_signed t.w v in
+  m land lnot t.bm = t.bv && t.ulo <= m && m <= t.uhi && t.slo <= s
+  && s <= t.shi
+
+let equal a b =
+  a.w = b.w && a.bv = b.bv && a.bm = b.bm && a.ulo = b.ulo && a.uhi = b.uhi
+  && a.slo = b.slo && a.shi = b.shi
+
+let join a b =
+  if native a.w then
+    match (is_const a, is_const b) with
+    | Some x, Some y when x = y -> a
+    | _ -> top a.w
+  else begin
+    let agree = lnot (a.bv lxor b.bv) in
+    let known = lnot a.bm land lnot b.bm land agree land msk a.w in
+    make ~w:a.w ~bv:(a.bv land known) ~bm:(msk a.w land lnot known)
+      ~ulo:(min a.ulo b.ulo) ~uhi:(max a.uhi b.uhi)
+      ~slo:(min a.slo b.slo) ~shi:(max a.shi b.shi)
+  end
+
+let meet a b =
+  if native a.w then (match is_const b with Some _ -> b | None -> a)
+  else begin
+    let both = lnot a.bm land lnot b.bm land msk a.w in
+    if (a.bv lxor b.bv) land both <> 0 then a
+    else
+      let bm = a.bm land b.bm in
+      let r =
+        make ~w:a.w ~bv:((a.bv lor b.bv) land lnot bm) ~bm
+          ~ulo:(max a.ulo b.ulo) ~uhi:(min a.uhi b.uhi)
+          ~slo:(max a.slo b.slo) ~shi:(min a.shi b.shi)
+      in
+      if max a.ulo b.ulo > min a.uhi b.uhi
+         || max a.slo b.slo > min a.shi b.shi
+      then a
+      else r
+  end
+
+(* snap a grown bound out to the next power-of-two threshold *)
+let widen_up hi cap =
+  let rec go t = if t >= hi || t >= cap then min t cap else go ((t * 2) + 1) in
+  if hi <= 0 then hi else go 1
+
+let widen_down lo floor =
+  let rec go t = if t <= lo || t <= floor then max t floor else go (t * 2) in
+  if lo >= 0 then lo else go (-1)
+
+let widen old next =
+  let j = join old next in
+  if equal j old || native old.w then j
+  else
+    make ~w:j.w ~bv:j.bv ~bm:j.bm
+      ~ulo:(if j.ulo < old.ulo then 0 else j.ulo)
+      ~uhi:(if j.uhi > old.uhi then widen_up j.uhi (msk j.w) else j.uhi)
+      ~slo:(if j.slo < old.slo then widen_down j.slo (smin j.w) else j.slo)
+      ~shi:(if j.shi > old.shi then widen_up j.shi (smax j.w) else j.shi)
+
+let known_high_bits t =
+  if native t.w then 0
+  else begin
+    let n = ref 0 in
+    (try
+       for i = t.w - 1 downto 0 do
+         if t.bm land (1 lsl i) <> 0 then raise Exit;
+         incr n
+       done
+     with Exit -> ());
+    !n
+  end
+
+let enumerate ?(limit = 64) t =
+  if native t.w && t.bm <> 0 then None
+  else begin
+    let unknown = ref 0 and bit_count = ref 0 in
+    while !bit_count < t.w && 1 lsl !bit_count <= t.bm do
+      if t.bm land (1 lsl !bit_count) <> 0 then incr unknown;
+      incr bit_count
+    done;
+    let by_bits =
+      (* enumerate submasks of bm when the combination count is small *)
+      if !unknown <= 12 && 1 lsl !unknown <= 4 * limit then begin
+        let acc = ref [] in
+        let sub = ref t.bm in
+        let continue = ref true in
+        while !continue do
+          let v = t.bv lor !sub in
+          if mem v t then acc := v :: !acc;
+          if !sub = 0 then continue := false
+          else sub := (!sub - 1) land t.bm
+        done;
+        Some (List.sort compare !acc)
+      end
+      else if t.uhi >= t.ulo && t.uhi - t.ulo < 4096 then begin
+        let acc = ref [] in
+        for v = t.uhi downto t.ulo do
+          if mem v t then acc := v :: !acc
+        done;
+        Some !acc
+      end
+      else None
+    in
+    match by_bits with
+    | Some vs when List.length vs <= limit -> Some vs
+    | _ -> None
+  end
+
+(* ---- three-valued ripple adder for the known-bits component ---- *)
+
+let add_bits w abv abm bbv bbm ~carry_v ~carry_k =
+  let bv = ref 0 and bm = ref 0 in
+  let cv = ref carry_v and ck = ref carry_k in
+  for i = 0 to w - 1 do
+    let bit m v = (m, v) in
+    let a_k, a_v = bit (abm land (1 lsl i) = 0) (abv land (1 lsl i) <> 0) in
+    let b_k, b_v = bit (bbm land (1 lsl i) = 0) (bbv land (1 lsl i) <> 0) in
+    if a_k && b_k && !ck then begin
+      let s = (if a_v then 1 else 0) + (if b_v then 1 else 0)
+              + (if !cv then 1 else 0) in
+      if s land 1 <> 0 then bv := !bv lor (1 lsl i);
+      cv := s >= 2
+    end
+    else begin
+      bm := !bm lor (1 lsl i);
+      (* majority(a,b,c): known when two inputs agree and are known *)
+      let ones =
+        (if a_k && a_v then 1 else 0) + (if b_k && b_v then 1 else 0)
+        + (if !ck && !cv then 1 else 0)
+      and zeros =
+        (if a_k && not a_v then 1 else 0)
+        + (if b_k && not b_v then 1 else 0)
+        + (if !ck && not !cv then 1 else 0)
+      in
+      if ones >= 2 then begin cv := true; ck := true end
+      else if zeros >= 2 then begin cv := false; ck := true end
+      else begin cv := false; ck := false end
+    end
+  done;
+  (!bv, !bm)
+
+let safe_mul a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = -1 then (if b = min_int then None else Some (-b))
+  else if b = -1 then (if a = min_int then None else Some (-a))
+  else
+    let p = a * b in
+    if p / a = b then Some p else None
+
+let block_u w x = x asr w
+let wrap_interval w lo hi =
+  (* exact when both mathematical bounds fall in the same 2^w block *)
+  if block_u w lo = block_u w hi then
+    Some (lo land msk w, hi land msk w)
+  else None
+
+let wrap_signed w lo hi =
+  if (lo - smin w) asr w = (hi - smin w) asr w then
+    Some (Signal.to_signed w (lo land msk w), Signal.to_signed w (hi land msk w))
+  else None
+
+let arith_make w (bv, bm) u s =
+  let ulo, uhi = match u with Some (l, h) -> (l, h) | None -> (0, msk w) in
+  let slo, shi =
+    match s with Some (l, h) -> (l, h) | None -> (smin w, smax w)
+  in
+  make ~w ~bv ~bm ~ulo ~uhi ~slo ~shi
+
+let add a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x + y)
+    | _ -> top w
+  else
+    let bits = add_bits w a.bv a.bm b.bv b.bm ~carry_v:false ~carry_k:true in
+    arith_make w bits
+      (wrap_interval w (a.ulo + b.ulo) (a.uhi + b.uhi))
+      (wrap_signed w (a.slo + b.slo) (a.shi + b.shi))
+
+let sub a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x - y)
+    | _ -> top w
+  else
+    let nbv = lnot b.bv land lnot b.bm land msk w in
+    let bits = add_bits w a.bv a.bm nbv b.bm ~carry_v:true ~carry_k:true in
+    arith_make w bits
+      (wrap_interval w (a.ulo - b.uhi) (a.uhi - b.ulo))
+      (wrap_signed w (a.slo - b.shi) (a.shi - b.slo))
+
+let trailing_known_zeros t =
+  let n = ref 0 in
+  (try
+     for i = 0 to t.w - 1 do
+       if (t.bm lor t.bv) land (1 lsl i) <> 0 then raise Exit;
+       incr n
+     done
+   with Exit -> ());
+  !n
+
+let mul a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x * y)
+    | _ -> top w
+  else begin
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x * y)
+    | _ ->
+      let tz = min w (trailing_known_zeros a + trailing_known_zeros b) in
+      let zeros = (1 lsl tz) - 1 in
+      let bits = (0, msk w land lnot zeros) in
+      let u =
+        match safe_mul a.uhi b.uhi with
+        | Some hi -> wrap_interval w (a.ulo * b.ulo) hi
+        | None -> None
+      in
+      let s =
+        let corners =
+          [ safe_mul a.slo b.slo; safe_mul a.slo b.shi;
+            safe_mul a.shi b.slo; safe_mul a.shi b.shi ]
+        in
+        if List.exists (fun c -> c = None) corners then None
+        else
+          let vs = List.filter_map Fun.id corners in
+          wrap_signed w (List.fold_left min max_int vs)
+            (List.fold_left max min_int vs)
+      in
+      arith_make w bits u s
+  end
+
+let known_zeros t = msk t.w land lnot t.bm land lnot t.bv
+let known_ones t = t.bv
+
+let bitwise_make w ~kz ~ko ?ulo ?uhi () =
+  let bm = msk w land lnot (kz lor ko) in
+  make ~w ~bv:ko ~bm
+    ~ulo:(match ulo with Some l -> l | None -> 0)
+    ~uhi:(match uhi with Some h -> h | None -> msk w)
+    ~slo:(smin w) ~shi:(smax w)
+
+let logand a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x land y)
+    | _ -> top w
+  else
+    bitwise_make w
+      ~kz:(known_zeros a lor known_zeros b)
+      ~ko:(known_ones a land known_ones b)
+      ~uhi:(min a.uhi b.uhi) ()
+
+let logor a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x lor y)
+    | _ -> top w
+  else
+    bitwise_make w
+      ~kz:(known_zeros a land known_zeros b)
+      ~ko:(known_ones a lor known_ones b)
+      ~ulo:(max a.ulo b.ulo) ()
+
+let logxor a b =
+  let w = a.w in
+  if native w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const ~width:w (x lxor y)
+    | _ -> top w
+  else
+    let kz_a = known_zeros a and kz_b = known_zeros b in
+    let ko_a = known_ones a and ko_b = known_ones b in
+    bitwise_make w
+      ~kz:((kz_a land kz_b) lor (ko_a land ko_b))
+      ~ko:((kz_a land ko_b) lor (ko_a land kz_b))
+      ()
+
+let lognot a =
+  let w = a.w in
+  if native w then
+    match is_const a with
+    | Some x -> const ~width:w (lnot x)
+    | None -> top w
+  else
+    make ~w ~bv:(known_zeros a) ~bm:a.bm ~ulo:(msk w - a.uhi)
+      ~uhi:(msk w - a.ulo) ~slo:(smin w) ~shi:(smax w)
+
+let bool_av p = const ~width:1 (if p then 1 else 0)
+
+let disjoint a b =
+  (not (native a.w))
+  && (a.uhi < b.ulo || b.uhi < a.ulo || a.shi < b.slo || b.shi < a.slo
+      || (a.bv lxor b.bv) land lnot a.bm land lnot b.bm land msk a.w <> 0)
+
+let eq a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> bool_av (x = y)
+  | _ -> if disjoint a b then bool_av false else top 1
+
+let ult a b =
+  if native a.w then
+    match (is_const a, is_const b) with
+    | Some x, Some y -> bool_av (x < y)
+    | _ -> top 1
+  else if a.uhi < b.ulo then bool_av true
+  else if a.ulo >= b.uhi then bool_av false
+  else top 1
+
+let slt a b =
+  if native a.w then
+    match (is_const a, is_const b) with
+    | Some x, Some y ->
+      bool_av (Signal.to_signed a.w x < Signal.to_signed a.w y)
+    | _ -> top 1
+  else if a.shi < b.slo then bool_av true
+  else if a.slo >= b.shi then bool_av false
+  else top 1
+
+let shl a n =
+  let w = a.w in
+  if n = 0 then a
+  else if n >= w || n >= 62 then const ~width:w 0
+  else if native w then
+    match is_const a with
+    | Some x -> const ~width:w (x lsl n)
+    | None -> top w
+  else
+    let u =
+      if a.uhi <= max_int asr n then wrap_interval w (a.ulo lsl n) (a.uhi lsl n)
+      else None
+    in
+    arith_make w ((a.bv lsl n) land msk w, (a.bm lsl n) land msk w) u None
+
+let shr a n =
+  let w = a.w in
+  if n = 0 then a
+  else if n >= 62 then const ~width:w 0
+  else if native w then
+    match is_const a with
+    | Some x when x >= 0 -> const ~width:w (x lsr n)
+    | _ -> top w
+  else
+    arith_make w (a.bv lsr n, a.bm lsr n) (Some (a.ulo lsr n, a.uhi lsr n))
+      None
+
+let sra a n =
+  let w = a.w in
+  if n = 0 then a
+  else if native w then
+    (match is_const a with
+     | Some x when n < 62 -> const ~width:w (Signal.to_signed w x asr n)
+     | _ -> top w)
+  else begin
+    let n = min n w in
+    let high = msk w land lnot (msk w lsr n) in
+    let sign_known = a.bm land (1 lsl (w - 1)) = 0 in
+    let sign_one = a.bv land (1 lsl (w - 1)) <> 0 in
+    let bv =
+      (a.bv lsr n) lor (if sign_known && sign_one then high else 0)
+    in
+    let bm = (a.bm lsr n) lor (if sign_known then 0 else high) in
+    make ~w ~bv ~bm ~ulo:0 ~uhi:(msk w) ~slo:(a.slo asr n) ~shi:(a.shi asr n)
+  end
+
+let mux sel a b =
+  match is_const sel with
+  | Some 0 -> b
+  | Some _ -> a
+  | None -> join a b
+
+let concat hi lo =
+  let w = hi.w + lo.w in
+  if native w then
+    match (is_const hi, is_const lo) with
+    | Some h, Some l -> const ~width:w ((h lsl lo.w) lor l)
+    | _ -> top w
+  else
+    make ~w ~bv:((hi.bv lsl lo.w) lor lo.bv) ~bm:((hi.bm lsl lo.w) lor lo.bm)
+      ~ulo:((hi.ulo lsl lo.w) + lo.ulo) ~uhi:((hi.uhi lsl lo.w) + lo.uhi)
+      ~slo:(smin w) ~shi:(smax w)
+
+let repl a n =
+  let rec go acc k = if k = 0 then acc else go (concat acc a) (k - 1) in
+  go a (n - 1)
+
+(* Sign extension of [a] to [width] bits.  [concat (repl sign) a] cannot
+   see that the replicated bits equal [a]'s sign bit, so it widens bounded
+   signed values to top; here the signed interval carries over verbatim. *)
+let sext ~width a =
+  if width <= a.w then a
+  else if native a.w || native width then
+    match is_const a with
+    | Some v -> const ~width (Signal.to_signed a.w v)
+    | None -> top width
+  else
+    let ext = msk width land lnot (msk a.w) in
+    let bv, bm =
+      if a.bm land (1 lsl (a.w - 1)) = 0 then
+        (* sign bit known: the extension bits are known too *)
+        if a.bv land (1 lsl (a.w - 1)) <> 0 then (a.bv lor ext, a.bm)
+        else (a.bv, a.bm)
+      else (a.bv, a.bm lor ext)
+    in
+    make ~w:width ~bv ~bm ~ulo:0 ~uhi:(msk width) ~slo:a.slo ~shi:a.shi
+
+let select a ~hi ~lo =
+  let w = hi - lo + 1 in
+  if native a.w then
+    match is_const a with
+    | Some x -> const ~width:w (x asr lo)
+    | None -> top w
+  else begin
+    let m = msk w in
+    (* the extracted interval is only sound when no higher bits vary:
+       then x = H*2^(hi+1) + y with y spanning a contiguous range, and
+       the field is monotone in y *)
+    let u =
+      if hi >= a.w - 1 || a.uhi lsr (hi + 1) = a.ulo lsr (hi + 1) then
+        Some ((a.ulo lsr lo) land m, (a.uhi lsr lo) land m)
+      else None
+    in
+    arith_make w ((a.bv lsr lo) land m, (a.bm lsr lo) land m) u None
+  end
+
+let pp ppf t =
+  match is_const t with
+  | Some v -> Format.fprintf ppf "=%d" v
+  | None ->
+    Format.fprintf ppf "w%d u[%d..%d] s[%d..%d]" t.w t.ulo t.uhi t.slo t.shi;
+    if t.bm <> msk t.w && t.w <= 32 then begin
+      Format.fprintf ppf " bits=";
+      for i = t.w - 1 downto 0 do
+        if t.bm land (1 lsl i) <> 0 then Format.pp_print_char ppf 'x'
+        else Format.pp_print_char ppf
+            (if t.bv land (1 lsl i) <> 0 then '1' else '0')
+      done
+    end

@@ -1,0 +1,102 @@
+(** Abstract values: the reduced product of a known-bits domain and
+    unsigned/signed intervals.
+
+    An abstract value of width [w] describes a set of [w]-bit vectors
+    (1 <= w <= 62, the {!Tl_hw.Signal} width range).  Three cooperating
+    components:
+
+    - {b known bits}: [bv] holds the values of the bits proven constant,
+      [bm] masks the bits still unknown ([bv land bm = 0]); a concrete
+      value [x] is described iff [x land (lnot bm) = bv];
+    - {b unsigned interval} [ulo..uhi] over the masked representation;
+    - {b signed interval} [slo..shi] over the two's-complement reading.
+
+    After {!norm} the components are mutually reduced (interval bounds
+    tightened from the known bits and vice versa), so clients can read any
+    component and get the best information the product holds.
+
+    All transfer functions are sound w.r.t. {!Tl_hw.Sim} semantics:
+    arithmetic wraps modulo [2^w], [Mul] keeps the low bits, shifts are by
+    immediate counts.  Native-int overflow in interval arithmetic is
+    guarded; widths of 62 bits are handled exactly. *)
+
+type t = private {
+  w : int;
+  bv : int;   (** values of the known bits *)
+  bm : int;   (** mask of the unknown bits *)
+  ulo : int;
+  uhi : int;
+  slo : int;
+  shi : int;
+}
+
+val top : int -> t
+(** All values of the given width. *)
+
+val const : width:int -> int -> t
+(** Exactly one value (masked to the width). *)
+
+val of_unsigned : width:int -> int -> int -> t
+(** [of_unsigned ~width lo hi]: the unsigned interval [lo..hi] (clamped to
+    the width's range), bits reduced from the bounds. *)
+
+val of_signed : width:int -> int -> int -> t
+(** Signed interval, clamped to the width's two's-complement range. *)
+
+val is_const : t -> int option
+(** [Some v] iff the value is a proven singleton. *)
+
+val mem : int -> t -> bool
+(** Is the (masked) concrete value described?  The soundness oracle's
+    primitive: a simulated value escaping its abstract value is a bug. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+(** Intersection.  If the components become contradictory (provably empty),
+    the result falls back to the first argument — callers use [meet] only
+    to apply independently-proven clamps, so either side alone is sound. *)
+
+val widen : t -> t -> t
+(** [widen old next]: join, with interval bounds that moved pushed out to
+    the next power-of-two threshold so register chains converge quickly
+    without losing the magnitude. *)
+
+val known_high_bits : t -> int
+(** Number of contiguous known bits at the top of the word. *)
+
+val enumerate : ?limit:int -> t -> int list option
+(** Concretise small sets: [Some vs] when at most [limit] (default 64)
+    values are described, in increasing unsigned order. *)
+
+(* Transfer functions.  Binary ops require equal widths. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val eq : t -> t -> t
+val ult : t -> t -> t
+val slt : t -> t -> t
+val shl : t -> int -> t
+val shr : t -> int -> t
+val sra : t -> int -> t
+val mux : t -> t -> t -> t
+(** [mux sel on1 on0] with a 1-bit select. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]. *)
+
+val repl : t -> int -> t
+val select : t -> hi:int -> lo:int -> t
+
+val sext : width:int -> t -> t
+(** Sign-extend to [width] bits, carrying the signed interval over — the
+    precise transfer for the [concat (repl sign) x] shape {!Tl_hw.Signal}'s
+    [sresize] elaborates, which plain {!concat} widens to top. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [w8 bits=0b0000_10xx u[8,11] s[8,11]]. *)

@@ -1,0 +1,48 @@
+open Tl_hw
+
+type savings = {
+  cells_before : int;
+  cells_after : int;
+  reg_bits_before : int;
+  reg_bits_after : int;
+  nodes_before : int;
+  nodes_after : int;
+}
+
+let facts engine (s : Signal.t) =
+  if s.Signal.width >= 62 then None
+  else
+    let av = Engine.value engine s in
+    if av.Av.bm = Signal.mask_to_width s.Signal.width (-1) then None
+    else Some (av.Av.bv, av.Av.bm)
+
+let cells c =
+  let st = Circuit.stats c in
+  st.Circuit.adders + st.Circuit.multipliers + st.Circuit.muxes
+  + st.Circuit.logic_ops + st.Circuit.regs
+
+let circuit ?engine c =
+  let engine =
+    match engine with Some e -> e | None -> Engine.run c
+  in
+  let narrowed, ram_pairs =
+    Rewrite.circuit_with_facts ~facts:(facts engine) c
+  in
+  let sb = Circuit.stats c and sa = Circuit.stats narrowed in
+  ( narrowed,
+    ram_pairs,
+    { cells_before = cells c;
+      cells_after = cells narrowed;
+      reg_bits_before = sb.Circuit.reg_bits;
+      reg_bits_after = sa.Circuit.reg_bits;
+      nodes_before = sb.Circuit.nodes;
+      nodes_after = sa.Circuit.nodes } )
+
+let pp_savings fmt s =
+  Format.fprintf fmt
+    "cells %d -> %d (-%d), register bits %d -> %d (-%d), nodes %d -> %d"
+    s.cells_before s.cells_after
+    (s.cells_before - s.cells_after)
+    s.reg_bits_before s.reg_bits_after
+    (s.reg_bits_before - s.reg_bits_after)
+    s.nodes_before s.nodes_after

@@ -1,0 +1,146 @@
+open Tl_hw
+module F = Tl_lint.Finding
+
+type t = {
+  target : string;
+  findings : F.t list;
+  proofs : string list;
+  cycles : int;
+  saturation : int option;
+  safe : bool;
+  stats_before : Circuit.stats;
+  stats_after : Circuit.stats;
+  savings : Narrow.savings;
+  area_before : float;
+  area_after : float;
+}
+
+let of_circuit ?config ?cycles ?target circuit =
+  let pr = Proof.analyze ?config ?cycles ?target circuit in
+  let narrowed, _rams, savings =
+    Narrow.circuit ~engine:pr.Proof.engine circuit
+  in
+  let area c = (Tl_cost.Asic.evaluate_netlist c).Tl_cost.Asic.area in
+  { target =
+      (match target with Some t -> t | None -> Circuit.name circuit);
+    findings = pr.Proof.findings;
+    proofs = pr.Proof.proofs;
+    cycles = pr.Proof.cycles;
+    saturation = pr.Proof.saturation;
+    safe = Proof.gate pr.Proof.findings = [];
+    stats_before = Circuit.stats circuit;
+    stats_after = Circuit.stats narrowed;
+    savings;
+    area_before = area circuit;
+    area_after = area narrowed }
+
+let of_accel ?data_bound (a : Tl_templates.Accel.t) =
+  let config =
+    match data_bound with
+    | None -> Engine.default_config
+    | Some b ->
+      let b = abs b in
+      let data_ids =
+        List.map
+          (fun (_, (r : Signal.ram)) -> r.Signal.ram_id)
+          a.Tl_templates.Accel.input_rams
+      in
+      { Engine.default_config with
+        Engine.ram_override =
+          (fun r ->
+            if List.mem r.Signal.ram_id data_ids then
+              Some (Av.of_signed ~width:r.Signal.ram_width (-b) b)
+            else None) }
+  in
+  of_circuit ~config
+    ~cycles:(Tl_templates.Accel.planned_cycles a)
+    a.Tl_templates.Accel.circuit
+
+let pp fmt t =
+  let errors, warnings, infos = F.count t.findings in
+  Format.fprintf fmt "@[<v>analysis of %s (%d-cycle schedule%s)@," t.target
+    t.cycles
+    (match t.saturation with
+     | Some s -> Printf.sprintf ", controller quiesces at cycle %d" s
+     | None -> "");
+  Format.fprintf fmt "verdict: %s (%d errors, %d warnings, %d notes)@,"
+    (if t.safe then "SAFE - all overflow/address/schedule rules proven"
+     else "UNPROVEN - safety rules left open")
+    errors warnings infos;
+  if t.proofs <> [] then begin
+    Format.fprintf fmt "proofs:@,";
+    List.iter (fun p -> Format.fprintf fmt "  + %s@," p) t.proofs
+  end;
+  if t.findings <> [] then begin
+    Format.fprintf fmt "findings:@,";
+    List.iter
+      (fun f -> Format.fprintf fmt "  %a@," F.pp f)
+      (List.sort F.compare t.findings)
+  end;
+  Format.fprintf fmt
+    "narrowing: %a@,area: %.1f -> %.1f (%+.1f%%)@]" Narrow.pp_savings
+    t.savings t.area_before t.area_after
+    (if t.area_before > 0. then
+       100. *. (t.area_after -. t.area_before) /. t.area_before
+     else 0.)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  let errors, warnings, infos = F.count t.findings in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"target\": \"%s\",\n" (json_escape t.target));
+  Buffer.add_string b (Printf.sprintf "  \"cycles\": %d,\n" t.cycles);
+  Buffer.add_string b
+    (Printf.sprintf "  \"saturation\": %s,\n"
+       (match t.saturation with Some s -> string_of_int s | None -> "null"));
+  Buffer.add_string b
+    (Printf.sprintf "  \"safe\": %b,\n  \"errors\": %d,\n  \
+                     \"warnings\": %d,\n  \"infos\": %d,\n"
+       t.safe errors warnings infos);
+  Buffer.add_string b "  \"proofs\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape p)))
+    t.proofs;
+  Buffer.add_string b "],\n  \"findings\": [";
+  List.iteri
+    (fun i (f : F.t) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rule\": \"%s\", \"severity\": \"%s\", \"subject\": \"%s\", \
+            \"message\": \"%s\"}"
+           f.F.rule
+           (F.severity_label f.F.severity)
+           (json_escape f.F.subject)
+           (json_escape f.F.message)))
+    (List.sort F.compare t.findings);
+  Buffer.add_string b "],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"rewrite\": {\"cells_before\": %d, \"cells_after\": %d, \
+        \"reg_bits_before\": %d, \"reg_bits_after\": %d, \
+        \"nodes_before\": %d, \"nodes_after\": %d},\n"
+       t.savings.Narrow.cells_before t.savings.Narrow.cells_after
+       t.savings.Narrow.reg_bits_before t.savings.Narrow.reg_bits_after
+       t.savings.Narrow.nodes_before t.savings.Narrow.nodes_after);
+  Buffer.add_string b
+    (Printf.sprintf "  \"area_before\": %.3f,\n  \"area_after\": %.3f\n}"
+       t.area_before t.area_after);
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Exact evaluation of the control slice.
+
+    The {e control slice} of a circuit is the set of nodes whose value
+    never depends on an input port or on a writable memory: constants,
+    ROM reads, and registers fed only by such nodes.  In generated
+    accelerators this covers the whole controller — cycle / pass counters,
+    schedule ROMs, write-enable and address streams, validity bitmaps — so
+    the slice can be mini-simulated deterministically to give {e exact}
+    per-cycle value streams, turning schedule properties (bank-conflict
+    freedom, address bounds, termination) into decidable checks.
+
+    The slice simulation mirrors {!Tl_hw.Sim}: out-of-range ROM reads
+    return 0; registers latch with clear-priority-over-enable. *)
+
+type t
+
+val build : Tl_hw.Circuit.t -> t
+(** Classify every node of the circuit.  No simulation happens yet. *)
+
+val in_slice : t -> Tl_hw.Signal.t -> bool
+(** Is the node's value input-independent (deterministic per cycle)? *)
+
+type run = {
+  cycles : int;                    (** settles performed *)
+  streams : (int * int array) list;  (** tracked signal id -> per-cycle value *)
+  saturation : int option;
+      (** first settle index [c] such that latching after [c] left every
+          slice register unchanged — from then on the slice repeats state
+          [c] forever (the controller's terminal fixpoint) *)
+  repeat : (int * int) option;
+      (** first [(c1, c2)] such that the full slice register state entering
+          cycle [c2] equals the state entering cycle [c1 < c2]: the slice
+          is periodic from [c1] with period [c2 - c1], so every recorded
+          stream repeats that window forever.  A terminal fixpoint shows up
+          as period 1. *)
+}
+
+val record : t -> cycles:int -> track:Tl_hw.Signal.t list -> run
+(** Simulate the slice for [cycles] settle/latch steps, recording the
+    settled per-cycle values of each tracked signal.  Tracked signals must
+    be in the slice.
+    @raise Invalid_argument if a tracked signal is outside the slice. *)
+
+val values : run -> Tl_hw.Signal.t -> int array option
+(** The recorded stream of a tracked signal. *)

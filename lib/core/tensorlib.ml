@@ -51,6 +51,16 @@ module Lint = struct
   module Design = Tl_lint.Design_lint
 end
 
+(* Abstract interpretation: fixpoint engine, proof rules, narrowing *)
+module Absint = struct
+  module Av = Tl_absint.Av
+  module Engine = Tl_absint.Engine
+  module Stream = Tl_absint.Stream
+  module Proof = Tl_absint.Proof
+  module Narrow = Tl_absint.Narrow
+  module Report = Tl_absint.Report
+end
+
 (* Hardware templates and generation *)
 module Pe_modules = Tl_templates.Pe_modules
 module Reduce_tree = Tl_templates.Reduce_tree

@@ -9,9 +9,39 @@ let is_const (s : Signal.t) =
 
 let all_ones w = Signal.mask_to_width w (-1)
 
-let circuit_with_ram_map original =
+(* facts-driven narrowing: a fact [(bv, bm)] on a signal asserts that on
+   every reachable cycle the signal's value [x] satisfies
+   [x land (lnot bm) = bv] (the bits outside [bm] are constant).  A fully
+   known node folds to a constant; a node whose high bits are known can be
+   computed at the width of its lowest unknown run and re-extended with a
+   free constant concat — sound for the wrap-around ops (add/sub/mul),
+   bitwise ops, muxes and registers, whose low result bits depend only on
+   low operand bits. *)
+
+(* highest unknown bit [h] and the known bits above it, when a known high
+   run exists *)
+let narrow_info w fact =
+  match fact with
+  | Some (bv, bm) when bm <> 0 ->
+    let h = ref 0 in
+    for i = 0 to w - 1 do
+      if bm land (1 lsl i) <> 0 then h := i
+    done;
+    if !h < w - 1 then Some (!h, bv lsr (!h + 1)) else None
+  | _ -> None
+
+(* low [nw] bits of a signal, folding constants and width-preserving
+   selections *)
+let sel_low nw (s : Signal.t) =
+  if s.Signal.width = nw then s
+  else
+    match is_const s with
+    | Some c -> Signal.const ~width:nw (Signal.mask_to_width nw c)
+    | None -> Signal.select s ~hi:(nw - 1) ~lo:0
+
+let circuit_with_facts ?(facts = fun _ -> None) original =
   let memo : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
-  let reg_fixups : (Signal.t * Signal.reg) list ref = ref [] in
+  let reg_fixups : (Signal.t * Signal.reg * int) list ref = ref [] in
   let ram_map : (int, Signal.ram) Hashtbl.t = Hashtbl.create 8 in
   let ram_pairs = ref [] in
   let new_ram (r : Signal.ram) =
@@ -37,47 +67,93 @@ let circuit_with_ram_map original =
     match Hashtbl.find_opt memo s.Signal.id with
     | Some s' -> s'
     | None ->
+      let fact = facts s in
       let result =
-        match s.Signal.node with
-        | Signal.Input n -> Signal.input n s.Signal.width
-        | Signal.Const c -> Signal.const ~width:s.Signal.width c
-        | Signal.Wire _ -> walk (Signal.resolve s)
-        | Signal.Reg r ->
-          (* placeholder wires close the feedback loop *)
-          let dw = Signal.wire s.Signal.width in
-          let en = Option.map (fun _ -> Signal.wire 1) r.Signal.enable in
-          let cl = Option.map (fun _ -> Signal.wire 1) r.Signal.clear in
-          let fresh =
-            Signal.reg ?enable:en ?clear:cl ~clear_to:r.Signal.clear_to
-              ~init:r.Signal.init dw
-          in
-          Hashtbl.add memo s.Signal.id fresh;
-          reg_fixups := (fresh, r) :: !reg_fixups;
-          fresh
-        | Signal.Unop (Signal.Not, a) -> (
+        match (fact, s.Signal.node) with
+        | Some (bv, 0), node when (match node with
+                                   | Signal.Input _ -> false
+                                   | _ -> true) ->
+          (* every bit proven constant: the whole node (registers and ram
+             reads included) folds to its value *)
+          Signal.const ~width:s.Signal.width bv
+        | _, Signal.Input n -> Signal.input n s.Signal.width
+        | _, Signal.Const c -> Signal.const ~width:s.Signal.width c
+        | _, Signal.Wire _ -> walk (Signal.resolve s)
+        | _, Signal.Reg r -> (
+          match narrow_info s.Signal.width fact with
+          | Some (h, top) ->
+            (* keep only the unknown low bits in the register; the known
+               high bits come back as a free constant concat *)
+            let nw = h + 1 in
+            let dw = Signal.wire nw in
+            let en = Option.map (fun _ -> Signal.wire 1) r.Signal.enable in
+            let cl = Option.map (fun _ -> Signal.wire 1) r.Signal.clear in
+            let narrow =
+              Signal.reg ?enable:en ?clear:cl
+                ~clear_to:(Signal.mask_to_width nw r.Signal.clear_to)
+                ~init:(Signal.mask_to_width nw r.Signal.init) dw
+            in
+            let fresh =
+              Signal.concat
+                [ Signal.const ~width:(s.Signal.width - nw) top; narrow ]
+            in
+            Hashtbl.add memo s.Signal.id fresh;
+            reg_fixups := (narrow, r, nw) :: !reg_fixups;
+            fresh
+          | None ->
+            (* placeholder wires close the feedback loop *)
+            let dw = Signal.wire s.Signal.width in
+            let en = Option.map (fun _ -> Signal.wire 1) r.Signal.enable in
+            let cl = Option.map (fun _ -> Signal.wire 1) r.Signal.clear in
+            let fresh =
+              Signal.reg ?enable:en ?clear:cl ~clear_to:r.Signal.clear_to
+                ~init:r.Signal.init dw
+            in
+            Hashtbl.add memo s.Signal.id fresh;
+            reg_fixups := (fresh, r, s.Signal.width) :: !reg_fixups;
+            fresh)
+        | _, Signal.Unop (Signal.Not, a) -> (
           let a' = walk a in
           match is_const a' with
           | Some c ->
             Signal.const ~width:s.Signal.width
               (Signal.mask_to_width s.Signal.width (lnot c))
           | None -> Signal.not_ a')
-        | Signal.Binop (op, a, b) -> rebuild_binop s op (walk a) (walk b)
-        | Signal.Mux (c, t, f) -> (
+        | _, Signal.Binop (op, a, b) -> (
+          let a' = walk a and b' = walk b in
+          let w = s.Signal.width in
+          match (op, narrow_info w fact) with
+          | ( ( Signal.Add | Signal.Sub | Signal.Mul | Signal.And
+              | Signal.Or | Signal.Xor ),
+              Some (h, top) ) ->
+            let nw = h + 1 in
+            let nr = rebuild_binop nw op (sel_low nw a') (sel_low nw b') in
+            Signal.concat [ Signal.const ~width:(w - nw) top; nr ]
+          | _ -> rebuild_binop w op a' b')
+        | _, Signal.Mux (c, t, f) -> (
           let c' = walk c in
           match is_const c' with
           | Some 0 -> walk f
           | Some _ -> walk t
-          | None ->
+          | None -> (
             let t' = walk t and f' = walk f in
-            if t' == f' then t' else Signal.mux2 c' t' f')
-        | Signal.Concat (hi, lo) -> (
+            if t' == f' then t'
+            else
+              match narrow_info s.Signal.width fact with
+              | Some (h, top) ->
+                let nw = h + 1 in
+                Signal.concat
+                  [ Signal.const ~width:(s.Signal.width - nw) top;
+                    Signal.mux2 c' (sel_low nw t') (sel_low nw f') ]
+              | None -> Signal.mux2 c' t' f'))
+        | _, Signal.Concat (hi, lo) -> (
           let hi' = walk hi and lo' = walk lo in
           match (is_const hi', is_const lo') with
           | Some h, Some l ->
             Signal.const ~width:s.Signal.width
               ((h lsl lo'.Signal.width) lor l)
           | _ -> Signal.concat [ hi'; lo' ])
-        | Signal.Repl (a, n) -> (
+        | _, Signal.Repl (a, n) -> (
           let a' = walk a in
           match is_const a' with
           | Some c ->
@@ -88,20 +164,20 @@ let circuit_with_ram_map original =
             Signal.const ~width:s.Signal.width
               (Signal.mask_to_width s.Signal.width !acc)
           | None -> rebuild_repl a' n)
-        | Signal.Select (a, hi, lo) -> (
+        | _, Signal.Select (a, hi, lo) -> (
           let a' = walk a in
           match is_const a' with
           | Some c ->
             Signal.const ~width:s.Signal.width (c lsr lo)
           | None -> Signal.select a' ~hi ~lo)
-        | Signal.Ram_read (r, addr) -> Signal.ram_read (new_ram r) (walk addr)
+        | _, Signal.Ram_read (r, addr) ->
+          Signal.ram_read (new_ram r) (walk addr)
       in
       let result = keep_name s result in
       Hashtbl.replace memo s.Signal.id result;
       result
   and rebuild_repl a n = Signal.repl a n
-  and rebuild_binop (s : Signal.t) op a b =
-    let w = s.Signal.width in
+  and rebuild_binop w op a b =
     let open Signal in
     let fold f =
       match (is_const a, is_const b) with
@@ -201,10 +277,10 @@ let circuit_with_ram_map original =
      register's data cone can discover further registers and rams, so the
      fixups are drained as worklists until none remain. *)
   let done_rams : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let fix_reg ((fresh : Signal.t), (old_reg : Signal.reg)) =
+  let fix_reg ((fresh : Signal.t), (old_reg : Signal.reg), nw) =
     match fresh.Signal.node with
     | Signal.Reg nr ->
-      Signal.assign nr.Signal.d (walk old_reg.Signal.d);
+      Signal.assign nr.Signal.d (sel_low nw (walk old_reg.Signal.d));
       (match (nr.Signal.enable, old_reg.Signal.enable) with
        | Some w, Some e -> Signal.assign w (walk e)
        | None, None -> ()
@@ -243,6 +319,8 @@ let circuit_with_ram_map original =
     Circuit.create ~name:(Circuit.name original) ~outputs
   in
   (optimized, !ram_pairs)
+
+let circuit_with_ram_map original = circuit_with_facts original
 
 let circuit original = fst (circuit_with_ram_map original)
 

@@ -23,6 +23,21 @@ val circuit_with_ram_map : Circuit.t -> Circuit.t * (Signal.ram * Signal.ram) li
 (** Also returns the (old, new) pairs for the rams the optimised circuit
     duplicates, so callers holding ram handles can remap them. *)
 
+val circuit_with_facts :
+  ?facts:(Signal.t -> (int * int) option) ->
+  Circuit.t -> Circuit.t * (Signal.ram * Signal.ram) list
+(** Like {!circuit_with_ram_map}, additionally consuming externally-proven
+    bit facts about the {e original} circuit's signals.  [facts s = Some
+    (bv, bm)] asserts that on every reachable cycle [s]'s value [x]
+    satisfies [x land (lnot bm) = bv] — the bits outside the mask [bm] are
+    constant.  Fully known nodes (registers and ram reads included) fold to
+    constants; nodes with a proven-constant high run are computed at the
+    width of their unknown low bits and re-extended with a free constant
+    concat (sound for add/sub/mul, bitwise ops, muxes and registers, whose
+    low result bits depend only on low operand bits).  Facts are typically
+    produced by the abstract-interpretation engine ([Tl_absint]); unsound
+    facts yield an inequivalent circuit. *)
+
 val count_removed : before:Circuit.t -> after:Circuit.t -> int
 (** Cell-count reduction (adders, multipliers, muxes, logic, registers);
     wires and constants are free. *)

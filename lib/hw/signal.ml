@@ -68,6 +68,65 @@ let gnd = const ~width:1 0
 let width s = s.width
 let wire w = fresh w (Wire (ref None))
 
+let node_children s =
+  match s.node with
+  | Input _ | Const _ -> []
+  | Unop (_, a) | Repl (a, _) | Select (a, _, _) -> [ a ]
+  | Binop (_, a, b) | Concat (a, b) -> [ a; b ]
+  | Mux (c, a, b) -> [ c; a; b ]
+  | Reg r -> (r.d :: Option.to_list r.enable) @ Option.to_list r.clear
+  | Wire r -> ( match !r with Some d -> [ d ] | None -> [])
+  | Ram_read (_, a) -> [ a ]
+
+let own_name s =
+  match s.name with
+  | Some n -> Some n
+  | None -> ( match s.node with Input n -> Some n | _ -> None)
+
+(* breadth-first through the fan-in so width-mismatch diagnostics can
+   anchor an anonymous intermediate expression to the closest signal the
+   user actually named *)
+let nearest_named s =
+  match own_name s with
+  | Some n -> Some n
+  | None ->
+    let visited = Hashtbl.create 64 in
+    let budget = ref 10_000 in
+    let rec bfs frontier =
+      if frontier = [] || !budget <= 0 then None
+      else
+        match
+          List.find_map own_name frontier
+        with
+        | Some n -> Some n
+        | None ->
+          let next =
+            List.concat_map
+              (fun x ->
+                List.filter
+                  (fun c ->
+                    if Hashtbl.mem visited c.id then false
+                    else begin
+                      Hashtbl.replace visited c.id ();
+                      decr budget;
+                      true
+                    end)
+                  (node_children x))
+              frontier
+          in
+          bfs next
+    in
+    bfs (node_children s)
+
+(* "'acc_0_0'", or "signal #42 (near 'cycle_ctr')" for anonymous nodes *)
+let blame s =
+  match own_name s with
+  | Some n -> Printf.sprintf "'%s'" n
+  | None -> (
+    match nearest_named s with
+    | Some n -> Printf.sprintf "signal #%d (near '%s')" s.id n
+    | None -> Printf.sprintf "signal #%d" s.id)
+
 let assign w s =
   match w.node with
   | Wire r ->
@@ -75,7 +134,9 @@ let assign w s =
     if w.width <> s.width then
       raise
         (Width_mismatch
-           (Printf.sprintf "assign: wire %d vs driver %d" w.width s.width));
+           (Printf.sprintf
+              "assign: wire %s is %d bits, driver %s is %d bits" (blame w)
+              w.width (blame s) s.width));
     r := Some s
   | Input _ | Const _ | Unop _ | Binop _ | Mux _ | Concat _ | Repl _
   | Select _ | Reg _ | Ram_read _ ->
@@ -94,16 +155,18 @@ let reg ?enable ?clear ?(clear_to = 0) ?(init = 0) d =
          clear_to = mask_to_width d.width clear_to;
          init = mask_to_width d.width init })
 
+let binop_mismatch name a b =
+  raise
+    (Width_mismatch
+       (Printf.sprintf "%s: %d vs %d (%s vs %s)" name a.width b.width
+          (blame a) (blame b)))
+
 let binop name op a b =
-  if a.width <> b.width then
-    raise
-      (Width_mismatch (Printf.sprintf "%s: %d vs %d" name a.width b.width));
+  if a.width <> b.width then binop_mismatch name a b;
   fresh a.width (Binop (op, a, b))
 
 let cmp name op a b =
-  if a.width <> b.width then
-    raise
-      (Width_mismatch (Printf.sprintf "%s: %d vs %d" name a.width b.width));
+  if a.width <> b.width then binop_mismatch name a b;
   fresh 1 (Binop (op, a, b))
 
 let ( +: ) = binop "add" Add
@@ -124,8 +187,12 @@ let shift_right_l a n = fresh a.width (Binop (Shr n, a, a))
 let shift_right_a a n = fresh a.width (Binop (Sra n, a, a))
 
 let mux2 sel on1 on0 =
-  if sel.width <> 1 then raise (Width_mismatch "mux2 select must be 1 bit");
-  if on1.width <> on0.width then raise (Width_mismatch "mux2 branches");
+  if sel.width <> 1 then
+    raise
+      (Width_mismatch
+         (Printf.sprintf "mux2 select must be 1 bit, got %d (%s)" sel.width
+            (blame sel)));
+  if on1.width <> on0.width then binop_mismatch "mux2 branches" on1 on0;
   fresh on1.width (Mux (sel, on1, on0))
 
 let concat = function

@@ -80,8 +80,19 @@ val width : t -> int
 val wire : int -> t
 val assign : t -> t -> unit
 (** [assign w s] drives wire [w] with [s].
-    @raise Invalid_argument if [w] is not a wire, already assigned, or the
-    widths differ. *)
+    @raise Invalid_argument if [w] is not a wire or is already assigned.
+    @raise Width_mismatch if the widths differ; the message names the
+    nearest named signal in each operand's fan-in (see {!nearest_named}) so
+    the offending expression can be located in a large netlist. *)
+
+val nearest_named : t -> string option
+(** The signal's own name, or the name of the closest named signal in its
+    fan-in cone (breadth-first, bounded).  Used to anchor width-mismatch
+    diagnostics to something the user actually wrote. *)
+
+val blame : t -> string
+(** Human-readable identity for diagnostics: ["'acc_0_0'"] for a named
+    signal, ["signal #42 (near 'cycle_ctr')"] otherwise. *)
 
 val reg : ?enable:t -> ?clear:t -> ?clear_to:int -> ?init:int -> t -> t
 (** [reg d] is a register with input [d]; see {!type:reg} for semantics. *)

@@ -69,7 +69,27 @@ let catalog =
     { id = "L106"; title = "generation-rejected"; default_severity = Warning;
       summary =
         "the accelerator generator rejected the design at elaboration \
-         time" } ]
+         time" };
+    { id = "L200"; title = "accumulator-may-wrap"; default_severity = Warning;
+      summary =
+        "accumulating register or read-modify-write bank not proven to \
+         stay within its width over the schedule" };
+    { id = "L201"; title = "ram-address-unproven"; default_severity = Warning;
+      summary =
+        "memory address not proven in range (out-of-range writes are \
+         dropped, reads return 0)" };
+    { id = "L202"; title = "write-schedule-unproven"; default_severity = Warning;
+      summary =
+        "bank write schedule not proven to quiesce; a stuck strobe \
+         re-accumulates cells indefinitely" };
+    { id = "L203"; title = "constant-register"; default_severity = Info;
+      summary =
+        "register proven constant on every reachable cycle; it can be \
+         folded away" };
+    { id = "L204"; title = "dead-high-bits"; default_severity = Info;
+      summary =
+        "signals carry provably-constant high bits; datapath widths can \
+         be narrowed" } ]
 
 let rule_info id = List.find_opt (fun r -> String.equal r.id id) catalog
 
@@ -165,4 +185,61 @@ let to_json findings =
   let e, w, i = count findings in
   Buffer.add_string b
     (Printf.sprintf "],\"errors\":%d,\"warnings\":%d,\"infos\":%d}" e w i);
+  Buffer.contents b
+
+(* SARIF 2.1.0 static-analysis interchange: one run, the emitting rules
+   described in the driver, each finding as a result with a logical
+   location [target/subject].  Severity [Info] maps to SARIF's "note". *)
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let to_sarif ?(tool = "tensorlib-lint") findings =
+  let sorted = List.sort compare findings in
+  let rules_used =
+    List.sort_uniq String.compare (List.map (fun f -> f.rule) sorted)
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Buffer.add_string b "  \"version\": \"2.1.0\",\n";
+  Buffer.add_string b "  \"runs\": [{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"tool\": {\"driver\": {\"name\": \"%s\", \"rules\": ["
+       (json_escape tool));
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_string b ", ";
+      match rule_info id with
+      | Some r ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"id\": \"%s\", \"name\": \"%s\", \"shortDescription\": \
+              {\"text\": \"%s\"}, \"defaultConfiguration\": {\"level\": \
+              \"%s\"}}"
+             (json_escape r.id) (json_escape r.title)
+             (json_escape r.summary)
+             (sarif_level r.default_severity))
+      | None ->
+        Buffer.add_string b (Printf.sprintf "{\"id\": \"%s\"}" (json_escape id)))
+    rules_used;
+  Buffer.add_string b "]}},\n    \"results\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \
+            \"%s\"}, \"locations\": [{\"logicalLocations\": \
+            [{\"fullyQualifiedName\": \"%s/%s\"}]}]}"
+           (json_escape f.rule)
+           (sarif_level f.severity)
+           (json_escape f.message)
+           (json_escape f.target) (json_escape f.subject)))
+    sorted;
+  Buffer.add_string b "]\n  }]\n}";
   Buffer.contents b

@@ -58,3 +58,10 @@ val pp_report : Format.formatter -> t list -> unit
 val to_json : t list -> string
 (** Machine-readable report:
     [{"findings":[...],"errors":N,"warnings":N,"infos":N}]. *)
+
+val to_sarif : ?tool:string -> t list -> string
+(** SARIF 2.1.0 interchange document (one run): every emitting rule is
+    described in the tool driver, each finding becomes a result with a
+    logical location [target/subject].  [Info] maps to SARIF level
+    ["note"].  Shared by [tensorlib lint --sarif] and
+    [tensorlib analyze --sarif]. *)

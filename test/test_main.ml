@@ -16,4 +16,5 @@ let () =
       ("lint", Test_lint.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
-      ("coverage", Test_coverage.suite) ]
+      ("coverage", Test_coverage.suite);
+      ("absint", Test_absint.suite) ]
