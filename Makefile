@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick fault-smoke bench-obs obs-smoke analyze-smoke bench-absint examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint examples fuzz doc clean
 
 all: build
 
@@ -17,10 +17,19 @@ bench-quick:
 	dune exec bench/main.exe -- bench-quick
 
 # Resilience gate: 1000-trial fault campaigns on the baseline and the
-# TMR+parity+ABFT-hardened 4x4 GEMM accelerator; writes BENCH_fault.json
-# (fault models and outcome taxonomy: docs/RESILIENCE.md).
+# TMR+parity+ABFT-hardened 4x4 GEMM accelerator, plus a 10000-trial
+# tape-vs-batch throughput campaign on the 8x8 GEMM; writes
+# BENCH_fault.json (fault models and outcome taxonomy:
+# docs/RESILIENCE.md).
 fault-smoke:
 	dune exec bench/main.exe -- bench-fault
+
+# Batch-backend gate: 62-lane differential against the golden run and a
+# stuck-at campaign cross-check against the scalar tape, plus a quick
+# throughput sanity figure.  Fails (exit 1) on any lane divergence —
+# small enough for a pre-commit hook.
+batch-smoke:
+	dune exec bench/main.exe -- batch-smoke
 
 # Observability gate: counter-vs-model validation and measured-activity
 # power over the four tier-1 workloads, plus a traced DSE sweep and fault

@@ -595,10 +595,21 @@ let verify () =
         Printf.sprintf "  %-34s unsupported: %s\n" label msg
       | acc ->
         let ok = Dense.equal (Exec.run stmt env) (Accel.execute acc) in
+        (* batched re-simulation: several fresh input environments through
+           one bit-sliced pass, each lane checked against the golden
+           executor *)
+        let envs = List.init 4 (fun k -> Exec.alloc_inputs ~seed:(k + 1) stmt) in
+        let batch_ok =
+          List.for_all2
+            (fun env out -> Dense.equal (Exec.run stmt env) out)
+            envs
+            (Accel.execute_batch acc envs)
+        in
         let st = Circuit.stats acc.Accel.circuit in
-        Printf.sprintf "  %-34s %-5s %4d cycles, %4d regs, %3d rams\n" label
-          (if ok then "PASS" else "FAIL")
-          acc.Accel.total_cycles st.Circuit.regs st.Circuit.rams)
+        Printf.sprintf "  %-34s %-5s %4d cycles, %4d regs, %3d rams%s\n" label
+          (if ok && batch_ok then "PASS" else "FAIL")
+          acc.Accel.total_cycles st.Circuit.regs st.Circuit.rams
+          (if batch_ok then "" else "  [batch lanes diverged]"))
   in
   let gemm = Workloads.gemm ~m:4 ~n:4 ~k:5 in
   let conv = Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3 in
@@ -711,7 +722,7 @@ let record_fragment key json =
 let write_bench_json () =
   let oc = open_out "BENCH_sim.json" in
   Printf.fprintf oc
-    "{\n  \"schema\": \"tensorlib-bench-sim/1\",\n  \"domains\": %d%s\n}\n"
+    "{\n  \"schema\": \"tensorlib-bench-sim/2\",\n  \"domains\": %d%s\n}\n"
     (Par.n_domains ())
     (String.concat ""
        (List.map (fun (_, j) -> Printf.sprintf ",\n%s" j) !bench_fragments));
@@ -746,14 +757,40 @@ let sim_case ~quick name stmt dname rows cols reps =
   let simulated = float_of_int ((acc.Accel.total_cycles + 1) * reps) in
   let tape_cps = simulated /. tape_s in
   let closure_cps = simulated /. closure_s in
+  (* bit-sliced batch backend: one pass simulates [lanes] independent
+     trials, so throughput is trials per second — the scalar tape's
+     trials/s (one trial per pass) is the baseline *)
+  let tape_tps = float_of_int reps /. tape_s in
+  let batch_tps, packed_frac =
+    List.fold_left
+      (fun (acc_tps, _) lanes ->
+        let sim = Sim.create ~backend:`Batch ~lanes acc.Accel.circuit in
+        Sim.cycles sim n (* warm-up *);
+        let (), s = wall (run sim) in
+        let tps = float_of_int (reps * lanes) /. s in
+        (acc_tps @ [ (lanes, tps) ], Sim.packed_fraction sim))
+      ([], 0.0)
+      [ 1; 8; Sim.max_lanes ]
+  in
+  let w62 = List.assoc Sim.max_lanes batch_tps in
   Printf.printf
     "  %-10s %5d cyc/run  tape %11.3e cyc/s  closure %11.3e cyc/s  %5.2fx\n"
     name (acc.Accel.total_cycles + 1) tape_cps closure_cps
     (tape_cps /. closure_cps);
-  (name, acc.Accel.total_cycles + 1, reps, tape_cps, closure_cps)
+  Printf.printf
+    "  %-10s batched trials/s: tape %9.1f  w1 %9.1f  w8 %9.1f  w%d %9.1f  \
+     (%5.2fx, packed %4.1f%%)\n"
+    "" tape_tps
+    (List.assoc 1 batch_tps)
+    (List.assoc 8 batch_tps)
+    Sim.max_lanes w62 (w62 /. tape_tps) (100. *. packed_frac);
+  (name, acc.Accel.total_cycles + 1, reps, tape_cps, closure_cps, tape_tps,
+   batch_tps, packed_frac)
 
 let bench_sim ~quick () =
-  section "Benchmark gate: netlist simulation throughput (tape vs closure)";
+  section
+    "Benchmark gate: netlist simulation throughput (tape vs closure vs \
+     batch)";
   let cases =
     [ sim_case ~quick "gemm-4x4" (Workloads.gemm ~m:4 ~n:4 ~k:4) "MNK-SST" 4 4
         200;
@@ -764,12 +801,20 @@ let bench_sim ~quick () =
     (Printf.sprintf "  \"sim\": {%s\n  }"
        (String.concat ","
           (List.map
-             (fun (n, cyc, reps, t, c) ->
+             (fun (n, cyc, reps, t, c, tape_tps, batch_tps, packed) ->
                Printf.sprintf
                  "\n    \"%s\": {\"cycles_per_run\": %d, \"reps\": %d, \
                   \"tape_cycles_per_sec\": %.0f, \"closure_cycles_per_sec\": \
-                  %.0f, \"speedup\": %.3f}"
-                 n cyc reps t c (t /. c))
+                  %.0f, \"speedup\": %.3f, \"tape_trials_per_sec\": %.1f, \
+                  \"batch_trials_per_sec\": {%s}, \"batch_speedup_w62\": \
+                  %.2f, \"packed_fraction\": %.3f}"
+                 n cyc reps t c (t /. c) tape_tps
+                 (String.concat ", "
+                    (List.map
+                       (fun (w, tps) -> Printf.sprintf "\"w%d\": %.1f" w tps)
+                       batch_tps))
+                 (List.assoc Sim.max_lanes batch_tps /. tape_tps)
+                 packed)
              cases)));
   write_bench_json ()
 
@@ -881,7 +926,11 @@ let bench_quick () =
 (* Benchmark gate: fault-injection campaign.  Baseline 4x4 GEMM vs the
    fully hardened (TMR + parity + ABFT) variant of the same dataflow,
    each under a 1000-trial seeded campaign; writes BENCH_fault.json with
-   outcome counts, SDC rates and the ASIC-model hardening overhead.     *)
+   outcome counts, SDC rates and the ASIC-model hardening overhead.
+   A second, throughput-sized campaign (8x8 GEMM, 10000 trials — the
+   same paper-scale design bench-sim headlines) runs the identical fault
+   plan on the scalar tape and on the bit-sliced backend to measure the
+   batch wall-clock speedup at full lane width.                         *)
 
 let bench_fault () =
   section "Benchmark gate: fault campaigns (baseline vs TMR+parity+ABFT)";
@@ -904,6 +953,27 @@ let bench_fault () =
   in
   let hconfig = { config with abft = true } in
   let hard_rep, hard_s = wall (fun () -> Campaign.run ~config:hconfig hard) in
+  (* throughput campaign: one fault plan, both backends.  62 trials per
+     tape pass on the batch side; outcomes must be trial-for-trial
+     identical to the scalar run *)
+  let perf_trials = 10000 in
+  let stmt8 = Workloads.gemm ~m:8 ~n:8 ~k:8 in
+  let design8 = Search.find_design_exn stmt8 "MNK-SST" in
+  let acc8 = Accel.generate ~rows:8 ~cols:8 design8 (Exec.alloc_inputs stmt8) in
+  let pconfig = { Campaign.default_config with trials = perf_trials } in
+  let tape_rep, tape_s = wall (fun () -> Campaign.run ~config:pconfig acc8) in
+  let batch_rep, batch_s =
+    wall (fun () ->
+        Campaign.run ~config:{ pconfig with backend = `Batch } acc8)
+  in
+  let trial_sig (t : Campaign.trial) =
+    (Fault.fault_label t.Campaign.fault,
+     Campaign.outcome_label t.Campaign.outcome)
+  in
+  if
+    List.map trial_sig batch_rep.Campaign.results
+    <> List.map trial_sig tape_rep.Campaign.results
+  then failwith "batch campaign diverged from the scalar tape";
   let show tag (r : Campaign.report) s =
     Printf.printf
       "  %-9s %-10s trials=%d masked=%d detected=%d hang=%d sdc=%d  \
@@ -913,6 +983,10 @@ let bench_fault () =
       s
   in
   show "baseline" base_rep base_s;
+  show "tape-8x8" tape_rep tape_s;
+  show "batch-8x8" batch_rep batch_s;
+  Printf.printf "  batch backend: %.2fx faster than the scalar tape\n"
+    (tape_s /. batch_s);
   show "hardened" hard_rep hard_s;
   let unclassified (r : Campaign.report) =
     r.Campaign.trials
@@ -949,14 +1023,68 @@ let bench_fault () =
     \  \"overhead\": {\"tmr_parity_area_pct\": %.2f, \
      \"tmr_parity_power_pct\": %.2f, \"abft_area_pct\": %.2f, \
      \"abft_cycles_pct\": %.2f},\n\
-    \  \"wall_s\": {\"baseline\": %.3f, \"hardened\": %.3f}\n\
+    \  \"wall_s\": {\"baseline\": %.3f, \"hardened\": %.3f, \
+     \"campaign_8x8_tape\": %.3f, \"campaign_8x8_batch\": %.3f},\n\
+    \  \"batch_trials\": %d,\n\
+    \  \"batch_speedup\": %.3f\n\
      }\n"
     (Par.n_domains ())
     (Campaign.to_json base_rep)
     (Campaign.to_json hard_rep)
-    tmr_area tmr_power abft_area abft_cycles base_s hard_s;
+    tmr_area tmr_power abft_area abft_cycles base_s hard_s tape_s batch_s
+    perf_trials
+    (tape_s /. batch_s);
   close_out oc;
   print_endline "\n  (machine-readable results written to BENCH_fault.json)"
+
+(* ------------------------------------------------------------------ *)
+(* Fast batch-backend gate: lane-differential correctness plus a quick
+   throughput sanity check, small enough for a pre-commit hook.  Exits
+   non-zero (via [failwith]) on any lane divergence.                    *)
+
+let batch_smoke () =
+  section "Batch backend smoke: lane differential + throughput sanity";
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:4 ~cols:4 design env in
+  (* every lane of a full-width broadcast run must match the golden *)
+  let envs =
+    List.init Sim.max_lanes (fun k -> Exec.alloc_inputs ~seed:(k + 1) stmt)
+  in
+  let outs, batch_s = wall (fun () -> Accel.execute_batch acc envs) in
+  List.iteri
+    (fun lane (env, out) ->
+      if not (Dense.equal (Exec.run stmt env) out) then
+        failwith (Printf.sprintf "batch-smoke: lane %d diverged" lane))
+    (List.combine envs outs);
+  let _, scalar_s =
+    wall (fun () -> List.map (fun env -> Accel.execute_with acc env) envs)
+  in
+  (* a 150-trial stuck-at campaign exercises per-lane forces *)
+  let config =
+    { Campaign.default_config with
+      trials = 150;
+      kinds = [ Fault.Stuck_at ];
+      backend = `Batch }
+  in
+  let golden = Accel.execute acc in
+  let rb = Campaign.run ~config ~golden acc in
+  let rt = Campaign.run ~config:{ config with backend = `Tape } ~golden acc in
+  let sig_of (t : Campaign.trial) =
+    (Fault.fault_label t.Campaign.fault,
+     Campaign.outcome_label t.Campaign.outcome)
+  in
+  if
+    List.map sig_of rb.Campaign.results <> List.map sig_of rt.Campaign.results
+  then failwith "batch-smoke: campaign outcomes diverged from the tape";
+  Printf.printf
+    "  %d lanes vs golden: PASS   stuck-at campaign vs tape: PASS\n"
+    Sim.max_lanes;
+  Printf.printf
+    "  execute_batch %d envs: %.3fs  scalar execute_with x%d: %.3fs  \
+     (%.1fx)\n"
+    Sim.max_lanes batch_s Sim.max_lanes scalar_s (scalar_s /. batch_s)
 
 (* ------------------------------------------------------------------ *)
 (* Benchmark gate: observability.  Counter-vs-model validation and the
@@ -1141,7 +1269,8 @@ let all_sections =
 let dispatch =
   all_sections
   @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault);
-      ("bench-obs", bench_obs); ("bench-absint", bench_absint) ]
+      ("bench-obs", bench_obs); ("bench-absint", bench_absint);
+      ("batch-smoke", batch_smoke) ]
 
 let () =
   match Array.to_list Sys.argv with

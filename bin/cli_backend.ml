@@ -1,0 +1,50 @@
+(* Shared --backend flag handling for the CLI executables: one table of
+   simulator backend names, per-command restriction of which are legal,
+   and a did-you-mean suggestion when the value is unknown.  Raises
+   [Failure] with an actionable message, matching the CLI's [guard]
+   convention (exit code 2). *)
+
+open Tensorlib
+
+let all : (string * Sim.backend) list =
+  [ ("tape", `Tape); ("closure", `Closure); ("batch", `Batch) ]
+
+let names = List.map fst all
+
+(* Levenshtein distance — the candidate set is three short words, so the
+   textbook O(|a|·|b|) table is plenty. *)
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      let v = min (min (row.(j) + 1) (row.(j - 1) + 1)) (!diag + cost) in
+      diag := row.(j);
+      row.(j) <- v
+    done
+  done;
+  row.(lb)
+
+let suggestion s =
+  let scored = List.map (fun c -> (distance s c, c)) names in
+  let sorted = List.sort compare scored in
+  match sorted with
+  | (d, c) :: _ when d <= 2 -> Printf.sprintf "; did you mean %S?" c
+  | _ -> ""
+
+let of_string ?(allowed = names) s =
+  let valid () = String.concat ", " allowed in
+  match List.assoc_opt s all with
+  | Some b when List.mem s allowed -> b
+  | Some _ ->
+    failwith
+      (Printf.sprintf
+         "simulator backend %S is not supported by this command; valid: %s"
+         s (valid ()))
+  | None ->
+    failwith
+      (Printf.sprintf "unknown simulator backend %S; valid: %s%s" s
+         (valid ()) (suggestion s))

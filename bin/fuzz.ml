@@ -3,7 +3,7 @@
    golden executor.  A standing end-to-end soundness harness for the
    generator (the CI-style long-running counterpart of the property tests).
 
-   Three phases:
+   Four phases:
    - designs: random stmt x random STT; generated accelerators must match
      the golden executor, and the lint must report no error-severity
      finding on the generated netlist, before or after [Rewrite].  Trials
@@ -19,6 +19,10 @@
      ([`Tape] and [`Closure]); and the analysis-narrowed circuit
      ([Absint.Narrow.circuit]) must stay cycle-for-cycle output-equivalent
      to the original under the same stimulus.
+   - batch lanes: bit-sliced simulation soundness.  Random netlists driven
+     with 62 independent random lane stimuli under [`Batch] must be
+     bit-identical, lane by lane and node by node, to scalar [`Tape] and
+     [`Closure] replays of each lane's stimulus.
 
    Usage: dune exec bin/fuzz.exe -- [iterations] [seed] *)
 
@@ -338,7 +342,8 @@ let () =
                           i
                           (match backend with
                            | `Tape -> "tape"
-                           | `Closure -> "closure")
+                           | `Closure -> "closure"
+                           | `Batch -> "batch")
                           node.Signal.id v
                           (Format.asprintf "%a" Absint.Av.pp av)
                       end)
@@ -365,4 +370,79 @@ let () =
     "fuzz absint oracle: %d netlists checked on both backends, %d \
      violations\n"
     !absint_checked !absint_violations;
-  if !failed > 0 || !violations > 0 || !absint_violations > 0 then exit 1
+  (* phase 4: bit-sliced batch backend lane oracle *)
+  let batch_checked = ref 0 and batch_violations = ref 0 in
+  let lanes = Sim.max_lanes in
+  for i = 1 to iterations do
+    let src = random_netlist rng in
+    match Lint.Netlist.check_source ~config:fuzz_lint_config src with
+    | _, None -> ()
+    | _, Some circuit ->
+      incr batch_checked;
+      let inputs = Circuit.inputs circuit in
+      let stimulus =
+        Array.init sim_cycles (fun _ ->
+            Array.init lanes (fun _ ->
+                List.map
+                  (fun (name, w) ->
+                    (name, Random.State.int rng (1 lsl min w 30)))
+                  inputs))
+      in
+      let batch = Sim.create ~backend:`Batch ~lanes circuit in
+      let scalars =
+        List.map
+          (fun backend ->
+            (backend, Array.init lanes (fun _ -> Sim.create ~backend circuit)))
+          [ `Tape; `Closure ]
+      in
+      Array.iter
+        (fun per_lane ->
+          Array.iteri
+            (fun l bindings ->
+              List.iter
+                (fun (name, v) ->
+                  Sim.set_input_lane batch l name v;
+                  List.iter
+                    (fun (_, sims) -> Sim.set_input sims.(l) name v)
+                    scalars)
+                bindings)
+            per_lane;
+          Sim.settle batch;
+          List.iter (fun (_, sims) -> Array.iter Sim.settle sims) scalars;
+          Array.iter
+            (fun node ->
+              match Sim.slot batch node with
+              | None -> ()
+              | Some _ ->
+                for l = 0 to lanes - 1 do
+                  let bv = Sim.peek_lane batch l node in
+                  List.iter
+                    (fun (backend, sims) ->
+                      let sv = Sim.peek sims.(l) node in
+                      if bv <> sv then begin
+                        incr batch_violations;
+                        Printf.printf
+                          "BATCH FAIL at netlist %d lane %d (vs %s): node \
+                           #%d: %d <> %d\n"
+                          i l
+                          (match backend with
+                           | `Tape -> "tape"
+                           | `Closure -> "closure"
+                           | `Batch -> "batch")
+                          node.Signal.id bv sv
+                      end)
+                    scalars
+                done)
+            (Circuit.nodes circuit);
+          Sim.latch batch;
+          List.iter (fun (_, sims) -> Array.iter Sim.latch sims) scalars)
+        stimulus
+  done;
+  Printf.printf
+    "fuzz batch oracle: %d netlists, %d lanes vs tape+closure, %d \
+     violations\n"
+    !batch_checked lanes !batch_violations;
+  if
+    !failed > 0 || !violations > 0 || !absint_violations > 0
+    || !batch_violations > 0
+  then exit 1

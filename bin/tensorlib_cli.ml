@@ -100,6 +100,12 @@ let acc_width_arg =
   Arg.(value & opt int 32
        & info [ "acc-width" ] ~doc:"Accumulator width in bits (1-62).")
 
+let backend_arg =
+  Arg.(value & opt string "tape"
+       & info [ "backend" ]
+           ~doc:"Simulator backend: tape, closure, or batch (bit-sliced, \
+                 62 trials per pass; fault campaigns and simulate only).")
+
 let out_arg =
   Arg.(value & opt (some string) None
        & info [ "o"; "output" ] ~doc:"Output file (default stdout).")
@@ -287,10 +293,11 @@ let vcd_arg =
        & info [ "vcd" ] ~doc:"Dump a VCD waveform of the run to this file.")
 
 let simulate_cmd =
-  let run w d rows cols dw aw vcd_out expr extents select matrix =
+  let run w d rows cols dw aw vcd_out backend_s expr extents select matrix =
     guard @@ fun () ->
     validate_grid ~rows ~cols;
     validate_widths ~data_width:dw ~acc_width:aw;
+    let backend = Cli_backend.of_string backend_s in
     let stmt, design = resolve ?expr ?extents ?select ?matrix w d in
     let env = Exec.alloc_inputs stmt in
     let golden = Exec.run stmt env in
@@ -305,7 +312,7 @@ let simulate_cmd =
        Vcd.cycles vcd (acc.Accel.total_cycles + 1);
        Vcd.write_file path vcd;
        Format.printf "vcd       : %s@." path);
-    let got = Accel.execute acc in
+    let got = Accel.execute ~backend acc in
     let st = Circuit.stats acc.Accel.circuit in
     Format.printf "design    : %s@." design.Design.name;
     Format.printf "netlist   : %a@." Circuit.pp_stats st;
@@ -321,8 +328,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Cycle-accurate simulation checked against the golden executor")
     Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
-          $ data_width_arg $ acc_width_arg $ vcd_arg $ expr_arg
-          $ extents_arg $ select_arg $ matrix_arg)
+          $ data_width_arg $ acc_width_arg $ vcd_arg $ backend_arg
+          $ expr_arg $ extents_arg $ select_arg $ matrix_arg)
 
 let perf_cmd =
   let run w d expr extents =
@@ -546,13 +553,6 @@ let harden_of_string = function
       (Printf.sprintf
          "unknown hardening level %S; valid: none, tmr, parity, full" s)
 
-let backend_of_string = function
-  | "tape" -> `Tape
-  | "closure" -> `Closure
-  | s ->
-    failwith
-      (Printf.sprintf "unknown simulator backend %S; valid: tape, closure" s)
-
 let trials_arg =
   Arg.(value & opt int 1000
        & info [ "trials" ] ~doc:"Number of fault injections.")
@@ -572,10 +572,6 @@ let abft_arg =
                  row/column checksums of faulty outputs (GEMM-class \
                  workloads only).")
 
-let backend_arg =
-  Arg.(value & opt string "tape"
-       & info [ "backend" ] ~doc:"Simulator backend: tape or closure.")
-
 let fault_cmd =
   let run w d rows cols dw aw trials seed harden_s abft backend_s json =
     guard @@ fun () ->
@@ -584,7 +580,7 @@ let fault_cmd =
     if trials < 1 then
       failwith (Printf.sprintf "--trials must be >= 1; got %d" trials);
     let harden = harden_of_string harden_s in
-    let backend = backend_of_string backend_s in
+    let backend = Cli_backend.of_string backend_s in
     let stmt = workload_of_string w in
     let env = Exec.alloc_inputs stmt in
     let stmt, env =
@@ -666,7 +662,11 @@ let profile_cmd =
     guard @@ fun () ->
     validate_grid ~rows ~cols;
     validate_widths ~data_width:dw ~acc_width:aw;
-    let backend = backend_of_string backend_s in
+    (* the counter cross-check and activity-measured power probe scalar
+       state, so the bit-sliced backend is not meaningful here *)
+    let backend =
+      Cli_backend.of_string ~allowed:[ "tape"; "closure" ] backend_s
+    in
     let stmt = workload_of_string w in
     let env = Exec.alloc_inputs stmt in
     let design =

@@ -63,11 +63,11 @@ type report = {
 (* End-of-run sweep over the hardened (data ram, parity ram) pairs:
    catches corrupted cells whose parity mismatch never crossed a
    scheduled read (e.g. a bank cell flipped after its last accumulate). *)
-let parity_sweep_ok sim (acc : Accel.t) =
+let parity_sweep_ok_lane sim lane (acc : Accel.t) =
   List.for_all
     (fun (r, p) ->
-      let data = Sim.ram_contents sim r in
-      let par = Sim.ram_contents sim p in
+      let data = Sim.ram_contents_lane sim lane r in
+      let par = Sim.ram_contents_lane sim lane p in
       let ok = ref true in
       Array.iteri
         (fun i v -> if Harden.parity_bit v <> par.(i) then ok := false)
@@ -75,7 +75,39 @@ let parity_sweep_ok sim (acc : Accel.t) =
       !ok)
     acc.Accel.hardening.Harden.parity_pairs
 
-let run_one (acc : Accel.t) sim config golden fault =
+(* Classify one finished trial (lane [l] of [sim]) against the golden
+   output — the shared decision tree for the scalar and batch paths.
+   [check] is an {!Accel.output_checker} bound to [sim]: the dominant
+   outcome is Masked, and proving it needs only one pre-resolved cell
+   read per output element, so the allocating tensor rebuild is reserved
+   for the rare lanes that actually differ. *)
+let classify_lane (acc : Accel.t) sim config golden check l fault =
+  let outcome, detected_by =
+    if Sim.output_lane sim l "done" <> 1 then (Hang, Some "watchdog")
+    else if check l then (Masked, None)
+    else begin
+      let out = Accel.read_output_lane acc sim l in
+      if Dense.equal out golden then (Masked, None)
+      else begin
+        let parity_flag =
+          try Sim.output_lane sim l "error_detected" <> 0
+          with Not_found -> false
+        in
+        if parity_flag then (Detected, Some "parity")
+        else if
+          acc.Accel.hardening.Harden.parity_pairs <> []
+          && not (parity_sweep_ok_lane sim l acc)
+        then (Detected, Some "parity-sweep")
+        else if
+          config.abft && not (Abft.check ~acc_width:acc.Accel.acc_width out)
+        then (Detected, Some "abft")
+        else (Sdc, None)
+      end
+    end
+  in
+  { fault; outcome; detected_by }
+
+let run_one (acc : Accel.t) sim config golden check fault =
   Sim.reset sim;
   Fault.install sim fault;
   let planned = Accel.planned_cycles acc in
@@ -86,28 +118,31 @@ let run_one (acc : Accel.t) sim config golden fault =
       if c = tc then Fault.trigger sim fault;
       Sim.cycle sim
     done);
-  let outcome, detected_by =
-    if Sim.output sim "done" <> 1 then (Hang, Some "watchdog")
-    else begin
-      let out = Accel.read_output acc sim in
-      if Dense.equal out golden then (Masked, None)
-      else begin
-        let parity_flag =
-          try Sim.output sim "error_detected" <> 0 with Not_found -> false
-        in
-        if parity_flag then (Detected, Some "parity")
-        else if
-          acc.Accel.hardening.Harden.parity_pairs <> []
-          && not (parity_sweep_ok sim acc)
-        then (Detected, Some "parity-sweep")
-        else if
-          config.abft && not (Abft.check ~acc_width:acc.Accel.acc_width out)
-        then (Detected, Some "abft")
-        else (Sdc, None)
-      end
-    end
-  in
-  { fault; outcome; detected_by }
+  classify_lane acc sim config golden check 0 fault
+
+(* One bit-sliced pass: up to [Sim.lanes sim] faults, one per lane.
+   [reset] drops the previous group's per-lane forces and re-broadcasts
+   the power-on image, so groups are independent. *)
+let run_group (acc : Accel.t) sim config golden check faults =
+  Sim.reset sim;
+  let faults = Array.of_list faults in
+  Array.iteri (fun l f -> Fault.install_lane sim l f) faults;
+  let planned = Accel.planned_cycles acc in
+  let triggers = Array.make (max 1 planned) [] in
+  Array.iteri
+    (fun l f ->
+      match Fault.trigger_cycle f with
+      | Some tc when tc < planned -> triggers.(tc) <- (l, f) :: triggers.(tc)
+      | Some _ | None -> ())
+    faults;
+  for c = 0 to planned - 1 do
+    List.iter (fun (l, f) -> Fault.trigger_lane sim l f) triggers.(c);
+    Sim.cycle sim
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun l f -> classify_lane acc sim config golden check l f)
+       faults)
 
 (* Contiguous chunks preserving order; one simulator per chunk. *)
 let chunk n lst =
@@ -148,7 +183,11 @@ let summarize (acc : Accel.t) (config : config) results =
   in
   { design = acc.Accel.design.Tl_stt.Design.name;
     hardening = Harden.label acc.Accel.hardening.Harden.config;
-    backend = (match config.backend with `Tape -> "tape" | `Closure -> "closure");
+    backend =
+      (match config.backend with
+      | `Tape -> "tape"
+      | `Closure -> "closure"
+      | `Batch -> "batch");
     trials;
     seed = config.seed;
     masked;
@@ -162,21 +201,76 @@ let summarize (acc : Accel.t) (config : config) results =
 let golden_of (config : config) golden acc =
   match golden with
   | Some g -> g
-  | None -> Accel.execute ~backend:config.backend acc
+  | None ->
+    (* the golden run is a single fault-free trial — no batching to
+       exploit, so compute it on the scalar tape *)
+    let backend =
+      match config.backend with `Batch -> `Tape | b -> b
+    in
+    Accel.execute ~backend acc
+
+(* Split [lst] into consecutive groups of at most [n]. *)
+let groups_of n lst =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 lst
 
 let run_faults ?(config = default_config) ?golden (acc : Accel.t) faults =
   let golden = golden_of config golden acc in
+  let gcells = Accel.golden_cells acc golden in
   let domains =
     match config.domains with Some d -> max 1 d | None -> Tl_par.n_domains ()
   in
-  let chunks = chunk domains faults in
-  Tl_par.map ~domains ~label:"fault-campaign"
-    (fun chunk ->
-      let sim = Sim.create ~backend:config.backend acc.Accel.circuit in
-      List.map (run_one acc sim config golden) chunk)
-    chunks
-  |> List.concat
-  |> summarize acc config
+  match config.backend with
+  | `Tape | `Closure ->
+    let chunks = chunk domains faults in
+    Tl_par.map ~domains ~label:"fault-campaign"
+      (fun chunk ->
+        let sim = Sim.create ~backend:config.backend acc.Accel.circuit in
+        let check = Accel.output_checker acc sim gcells in
+        List.map (run_one acc sim config golden check) chunk)
+      chunks
+    |> List.concat
+    |> summarize acc config
+  | `Batch ->
+    (* ⌈trials/max_lanes⌉ bit-sliced passes instead of [trials] scalar
+       runs.  Lanes are packed from a site-sorted plan: faults in one
+       pass hit the same or neighbouring state elements, so their fan-out
+       cones overlap and most word slots stay lane-uniform — scattered
+       packing would diverge the whole circuit and forfeit the batch
+       speedup.  Plan order is restored afterwards so reports match the
+       scalar path trial for trial. *)
+    let indexed = List.mapi (fun i f -> (i, f)) faults in
+    let sorted =
+      List.stable_sort
+        (fun (_, a) (_, b) ->
+          compare (Fault.site_ord a) (Fault.site_ord b))
+        indexed
+    in
+    let groups = groups_of Sim.max_lanes sorted in
+    let chunks = chunk domains groups in
+    Tl_par.map ~domains ~label:"fault-campaign"
+      (fun chunk ->
+        let sim =
+          Sim.create ~backend:`Batch ~lanes:Sim.max_lanes acc.Accel.circuit
+        in
+        let check = Accel.output_checker acc sim gcells in
+        List.concat_map
+          (fun group ->
+            let res =
+              run_group acc sim config golden check (List.map snd group)
+            in
+            List.map2 (fun (i, _) r -> (i, r)) group res)
+          chunk)
+      chunks
+    |> List.concat
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd
+    |> summarize acc config
 
 let run ?(config = default_config) ?golden (acc : Accel.t) =
   let table = Fault.table ?classes:config.classes acc.Accel.circuit in

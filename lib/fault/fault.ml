@@ -167,6 +167,18 @@ let plan ~seed ~trials ?(kinds = [ Transient; Stuck_at ]) ~cycles t =
         in
         Flip_mem { ram; cls = site.cls; addr; bit; cycle })
 
+(* Structural-locality key.  Faults that compare close under this key hit
+   the same (or a neighbouring) state element, so their fan-out cones
+   overlap heavily.  Bit-sliced campaigns sort the plan by this key before
+   packing lanes: the union of 62 overlapping cones diverges far fewer
+   simulator slots than 62 scattered ones, which keeps the [`Batch]
+   backend's lane-uniformity fast path effective during the pass. *)
+let site_ord = function
+  | Flip_reg { reg; bit; cycle; _ } -> ((reg.Signal.id * 2, bit), cycle)
+  | Stuck_reg { reg; bit; value; _ } -> ((reg.Signal.id * 2, bit), value)
+  | Flip_mem { ram; addr; bit; cycle; _ } ->
+    (((ram.Signal.ram_id * 2) + 1, (addr * ram.Signal.ram_width) + bit), cycle)
+
 let install sim = function
   | Stuck_reg { reg; bit; value; _ } ->
     if value = 0 then
@@ -184,4 +196,23 @@ let trigger sim = function
   | Flip_mem { ram; addr; bit; _ } ->
     let cur = (Sim.ram_contents sim ram).(addr) in
     Sim.poke_ram sim ram addr (cur lxor (1 lsl bit))
+  | Stuck_reg _ -> ()
+
+(* Lane-targeted variants: one trial per lane of a [`Batch] simulator.
+   On a scalar simulator lane 0 degrades to the plain install/trigger. *)
+
+let install_lane sim lane = function
+  | Stuck_reg { reg; bit; value; _ } ->
+    if value = 0 then
+      Sim.force_lane sim lane reg ~and_mask:(lnot (1 lsl bit)) ~or_mask:0
+    else Sim.force_lane sim lane reg ~and_mask:(-1) ~or_mask:(1 lsl bit)
+  | Flip_reg _ | Flip_mem _ -> ()
+
+let trigger_lane sim lane = function
+  | Flip_reg { reg; bit; _ } ->
+    Sim.poke_lane sim lane reg
+      (Sim.peek_lane sim lane reg lxor (1 lsl bit))
+  | Flip_mem { ram; addr; bit; _ } ->
+    let cur = (Sim.ram_contents_lane sim lane ram).(addr) in
+    Sim.poke_ram_lane sim lane ram addr (cur lxor (1 lsl bit))
   | Stuck_reg _ -> ()

@@ -80,6 +80,12 @@ val fault_label : fault -> string
 (** Human-readable one-liner, stable across runs (used for report
     determinism checks). *)
 
+val site_ord : fault -> (int * int) * int
+(** Structural-locality sort key: faults that compare close hit the same
+    or a neighbouring state element, so their fan-out cones overlap.
+    Bit-sliced campaigns sort the plan by this key before packing lanes
+    so each 62-lane pass stays mostly lane-uniform. *)
+
 val plan : seed:int -> trials:int -> ?kinds:kind list -> cycles:int ->
   table -> fault list
 (** [trials] faults, uniform over the table's state {e bits} (so a
@@ -101,3 +107,12 @@ val trigger_cycle : fault -> int option
 val trigger : Tl_hw.Sim.t -> fault -> unit
 (** Flip the targeted bit now (reads current state, xors, writes back).
     No-op for {!Stuck_reg}. *)
+
+val install_lane : Tl_hw.Sim.t -> int -> fault -> unit
+(** Lane-targeted {!install} for [`Batch] simulators: the stuck-at force
+    lands on one lane only, so up to [Sim.lanes] independent fault plans
+    run side by side.  Lane 0 on a scalar simulator behaves like
+    {!install}. *)
+
+val trigger_lane : Tl_hw.Sim.t -> int -> fault -> unit
+(** Lane-targeted {!trigger}. *)

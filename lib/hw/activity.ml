@@ -44,6 +44,11 @@ let popcount v =
   go v 0
 
 let create sim circuit =
+  (* a bit-sliced simulator interleaves up to 62 independent trials, so a
+     single toggle count is meaningless — refuse rather than silently
+     report lane 0 *)
+  if Sim.backend sim = `Batch then
+    invalid_arg "Activity.create: batch simulators are not supported";
   let nodes = Circuit.nodes circuit in
   let regs = ref [] and reads = ref [] and bits = ref 0 in
   Array.iter

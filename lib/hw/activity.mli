@@ -4,7 +4,8 @@
     the latch-edge XOR) and per-ram access events, to replace the assumed
     activity factors in the ASIC power model with {e measured} ones.
 
-    Works identically on both simulator backends: registers are observed
+    Works identically on both scalar simulator backends: registers are
+    observed
     at their canonical dense slots (never aliased by the tape compiler),
     ram read ports count an access per settled address change, and write
     ports count exactly the cycles the simulator commits a write
@@ -26,7 +27,10 @@ type report = {
 
 val create : Sim.t -> Circuit.t -> t
 (** Attach a probe.  Registers' initial values are captured immediately,
-    so create the probe before running any cycles. *)
+    so create the probe before running any cycles.
+    @raise Invalid_argument on a [`Batch] simulator: a bit-sliced run
+    interleaves up to 62 independent trials, so a single toggle count
+    would be meaningless. *)
 
 val cycle : t -> unit
 (** One full clock cycle ({!Sim.settle} + {!Sim.latch}) with observation

@@ -6,7 +6,7 @@
     standard synchronous-RTL evaluation model used by Verilog simulators on
     the single-clock subset the DSL generates.
 
-    Two interchangeable execution backends implement these semantics:
+    Three interchangeable execution backends implement these semantics:
 
     - [`Tape] (default): the netlist is compiled at {!create} time into a
       flat int-array instruction tape (opcode, dense operand indices,
@@ -16,17 +16,43 @@
     - [`Closure]: the reference interpreter — one closure per
       combinational node and a hash-resolved latch.  Slower; kept for
       differential testing ({i tape vs closure must agree cycle-for-cycle})
-      and as the baseline for the [bench-sim] benchmark gate. *)
+      and as the baseline for the [bench-sim] benchmark gate.
+    - [`Batch]: a bit-sliced evaluator over the same compiled tape,
+      packing up to {!max_lanes} independent trials into the bit lanes of
+      each native int and executing all of them in one pass.  Width-1
+      slots are {e packed} (bit [l] of one int is lane [l], so bitwise
+      control logic vectorizes for free); wider slots are {e word
+      batched} (one int per lane, the instruction decoded once per
+      batch).  Lane [l] of every API below is bit-identical to a scalar
+      simulation fed lane [l]'s stimuli. *)
 
 type t
 
-type backend = [ `Closure | `Tape ]
+type backend = [ `Closure | `Tape | `Batch ]
 
-val create : ?backend:backend -> Circuit.t -> t
+val max_lanes : int
+(** Maximum number of lanes a [`Batch] simulator can carry: 62 (OCaml
+    ints are 63-bit; the packed representation needs one bit per lane
+    with headroom to stay within non-negative range). *)
+
+val create : ?backend:backend -> ?lanes:int -> Circuit.t -> t
 (** Compile the circuit for the chosen backend (default [`Tape]).
-    Registers start at their [init] value, rams at their [init_data]. *)
+    Registers start at their [init] value, rams at their [init_data].
+    [?lanes] (default {!max_lanes}) selects the batch width and is only
+    accepted with [~backend:`Batch].
+    @raise Invalid_argument if [lanes] is outside [1 .. max_lanes] or
+    given with a scalar backend. *)
 
 val backend : t -> backend
+
+val lanes : t -> int
+(** Number of parallel trials this simulator carries: the [~lanes] given
+    at {!create} for [`Batch], [1] for the scalar backends. *)
+
+val packed_fraction : t -> float
+(** Fraction of batch instructions that execute fully packed (one
+    bitwise op covering all lanes at once, no per-lane loop).  [0.] on
+    scalar backends. *)
 
 val reset : t -> unit
 (** Restore registers, rams, inputs and the clock counter to their
@@ -34,7 +60,43 @@ val reset : t -> unit
 
 val set_input : t -> string -> int -> unit
 (** @raise Not_found on an unknown input.  The value is masked to the
-    input's width. *)
+    input's width.  On a [`Batch] simulator the value is broadcast to
+    every lane. *)
+
+(** {1 Per-lane access}
+
+    Each function takes the lane index directly after [t] and raises
+    [Invalid_argument] when it is outside [0 .. lanes t - 1].  On the
+    scalar backends (where [lanes t = 1]) lane [0] is accepted and the
+    call behaves exactly like its scalar counterpart, so batch-aware
+    drivers run unchanged on any backend. *)
+
+val set_input_lane : t -> int -> string -> int -> unit
+(** [set_input_lane t lane name v] drives one lane's copy of an input. *)
+
+val output_lane : t -> int -> string -> int
+val output_lane_signed : t -> int -> string -> int
+
+val output_packed : t -> string -> int
+(** All lanes of a width-1 output in one word: bit [l] is lane [l]'s
+    value.  The cheap way to scan for per-lane completion ([done]) or
+    sticky error flags across a whole batch.
+    @raise Invalid_argument on a scalar backend or an output wider than
+    one bit. *)
+
+val peek_lane : t -> int -> Signal.t -> int
+val ram_contents_lane : t -> int -> Signal.ram -> int array
+val ram_cell_lane : t -> int -> Signal.ram -> int -> int
+(** One cell of one lane, without copying the whole ram — the
+    allocation-free read fault campaigns use to compare a lane's output
+    cells against the golden run. *)
+
+val ram_reader : t -> Signal.ram -> int -> int -> int
+(** [ram_reader t r] resolves [r]'s slot once and returns
+    [fun lane addr -> cell], the hot-loop form of {!ram_cell_lane}.
+    Stays valid across {!reset} (contents are refilled in place). *)
+
+val load_ram_lane : t -> int -> Signal.ram -> int array -> unit
 
 val settle : t -> unit
 (** Recompute all combinational values from current inputs and state. *)
@@ -119,5 +181,20 @@ val force : t -> Signal.t -> and_mask:int -> or_mask:int -> unit
     {!clear_forces} or {!reset}.
     @raise Invalid_argument if the signal is not a register. *)
 
+val poke_lane : t -> int -> Signal.t -> int -> unit
+(** Lane-targeted {!poke}: corrupt one lane's copy of a register slot,
+    leaving the other lanes' trials untouched. *)
+
+val poke_ram_lane : t -> int -> Signal.ram -> int -> int -> unit
+(** Lane-targeted {!poke_ram}. *)
+
+val force_lane : t -> int -> Signal.t -> and_mask:int -> or_mask:int -> unit
+(** Lane-targeted {!force}: the stuck-at masks compose into that lane's
+    per-lane force state only, so up to [lanes t] independent stuck-at
+    plans run side by side.  On a [`Batch] simulator the plain {!force}
+    broadcasts its masks to every lane. *)
+
 val clear_forces : t -> unit
-(** Remove all forces installed by {!force}. *)
+(** Remove all forces installed by {!force} / {!force_lane}.  {!reset}
+    also drops them (scalar and per-lane alike), so a reused simulator
+    can never leak stuck bits into the next batch of trials. *)

@@ -17,7 +17,9 @@ val create : ?signals:Signal.t list -> Sim.t -> Circuit.t -> t
     compiler aliased or CSE-merged dump the correct merged value; signals
     not present in the simulated circuit are silently dropped.  The first
     {!record} emits a full [$dumpvars] snapshot at its timestamp, so
-    signals that hold their reset value for the whole run still appear. *)
+    signals that hold their reset value for the whole run still appear.
+    @raise Invalid_argument on a [`Batch] simulator (one VCD stream
+    cannot represent 62 interleaved trials). *)
 
 val cycle : t -> unit
 (** Advance the simulator one clock cycle, recording changes. *)

@@ -68,7 +68,10 @@ type validation = {
   v_ok : bool;
 }
 
-let backend_label = function `Tape -> "tape" | `Closure -> "closure"
+let backend_label = function
+  | `Tape -> "tape"
+  | `Closure -> "closure"
+  | `Batch -> "batch"
 
 (* Compare a finished run's counters against the model.  The caller owns
    the simulator: it must have completed the full bounded run. *)

@@ -16,7 +16,10 @@ type comparison = {
   measured : Tl_cost.Asic.report;  (* measured activity factors *)
 }
 
-let backend_label = function `Tape -> "tape" | `Closure -> "closure"
+let backend_label = function
+  | `Tape -> "tape"
+  | `Closure -> "closure"
+  | `Batch -> "batch"
 
 let measure ?(backend = `Tape) ?params (acc : Accel.t) =
   let sim = Sim.create ~backend acc.Accel.circuit in

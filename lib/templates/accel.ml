@@ -1068,13 +1068,14 @@ let planned_cycles t = t.total_cycles + 1
 let read_counters t sim =
   List.map (fun name -> (name, Sim.output sim name)) t.counter_ports
 
-let read_output t sim =
+let read_output_lane t sim lane =
   let stmt = t.design.Tl_stt.Design.transform.Tl_stt.Transform.stmt in
   let out = Tl_ir.Exec.alloc_output stmt in
   let contents = Hashtbl.create 8 in
   List.iter
     (fun (_, bank) ->
-      Hashtbl.replace contents bank.Signal.ram_id (Sim.ram_contents sim bank))
+      Hashtbl.replace contents bank.Signal.ram_id
+        (Sim.ram_contents_lane sim lane bank))
     t.banks;
   Hashtbl.iter
     (fun idx ((bank : Signal.ram), addr) ->
@@ -1084,6 +1085,42 @@ let read_output t sim =
     t.out_locs;
   out
 
+let read_output t sim = read_output_lane t sim 0
+
+(* Flatten the golden output into raw (bank, addr, expected) triples so a
+   fault campaign can test "lane output = golden" with single-cell reads —
+   no ram copies, no Dense allocation per lane.  The expected value is the
+   signed view, mirroring [read_output_lane] exactly. *)
+let golden_cells (t : t) golden =
+  Hashtbl.fold
+    (fun idx ((bank : Signal.ram), addr) acc ->
+      (bank, addr, Tl_ir.Dense.get golden (Array.of_list idx)) :: acc)
+    t.out_locs []
+
+let output_equal_lane t sim lane cells =
+  List.for_all
+    (fun ((bank : Signal.ram), addr, expect) ->
+      Signal.to_signed t.acc_width (Sim.ram_cell_lane sim lane bank addr)
+      = expect)
+    cells
+
+(* Pre-resolved form of [output_equal_lane], bound to one simulator:
+   bank slots are looked up once, so the per-lane check is just array
+   reads and compares. *)
+let output_checker (t : t) sim cells =
+  let prepared =
+    List.map
+      (fun ((bank : Signal.ram), addr, expect) ->
+        (Sim.ram_reader sim bank, addr, expect))
+      cells
+  in
+  let width = t.acc_width in
+  fun lane ->
+    List.for_all
+      (fun (read, addr, expect) ->
+        Signal.to_signed width (read lane addr) = expect)
+      prepared
+
 (* Watchdog: the schedule is finite, so the run is bounded by
    construction — but a corrupted (or malformed) controller can fail to
    reach the terminal count, in which case the outputs are meaningless.
@@ -1091,26 +1128,49 @@ let read_output t sim =
    terminal value, so checking it after the bounded run classifies a
    wedged controller as a timeout instead of returning garbage. *)
 let check_done t sim =
-  if Sim.output sim "done" <> 1 then
+  (* every lane's controller must have reached the terminal count — on a
+     batch simulator one wedged trial fails the whole call, matching the
+     per-trial semantics a scalar loop over the same trials would have *)
+  let all_done =
+    match Sim.backend sim with
+    | `Tape | `Closure -> Sim.output sim "done" = 1
+    | `Batch ->
+      let l = Sim.lanes sim in
+      let full = if l >= Sim.max_lanes then max_int else (1 lsl l) - 1 in
+      Sim.output_packed sim "done" = full
+  in
+  if not all_done then
     raise
       (Simulation_timeout
          { design = t.design.Tl_stt.Design.name;
            cycles = Sim.cycle_count sim })
 
+let bounded_cycles ?max_cycles t =
+  match max_cycles with
+  | None -> planned_cycles t
+  | Some m ->
+    if m < 1 then invalid_arg "Accel: max_cycles must be >= 1";
+    min m (planned_cycles t)
+
 let run_sim ?max_cycles t sim =
-  let n =
-    match max_cycles with
-    | None -> planned_cycles t
-    | Some m ->
-      if m < 1 then invalid_arg "Accel: max_cycles must be >= 1";
-      min m (planned_cycles t)
-  in
-  Sim.cycles sim n;
+  Sim.cycles sim (bounded_cycles ?max_cycles t);
   check_done t sim;
   read_output t sim
 
 let execute ?backend ?max_cycles t =
   run_sim ?max_cycles t (Sim.create ?backend t.circuit)
+
+let load_env_lane t sim lane env =
+  List.iter
+    (fun (name, ram) ->
+      match List.assoc_opt name env with
+      | None -> invalid_arg ("Accel.load_env: missing tensor " ^ name)
+      | Some dense ->
+        if Tl_ir.Dense.size dense <> ram.Signal.size then
+          invalid_arg ("Accel.load_env: shape mismatch for " ^ name);
+        Sim.load_ram_lane sim lane ram
+          (Array.init (Tl_ir.Dense.size dense) (Tl_ir.Dense.flat_get dense)))
+    t.input_rams
 
 let load_env t sim env =
   List.iter
@@ -1128,6 +1188,22 @@ let execute_with ?backend ?max_cycles t env =
   let sim = Sim.create ?backend t.circuit in
   load_env t sim env;
   run_sim ?max_cycles t sim
+
+(* One bit-sliced pass over up to [Sim.max_lanes] independent input
+   environments: results arrive in input order, each bit-identical to a
+   scalar [execute_with] on that environment. *)
+let execute_batch ?max_cycles t envs =
+  let n = List.length envs in
+  if n < 1 then invalid_arg "Accel.execute_batch: no environments";
+  if n > Sim.max_lanes then
+    invalid_arg
+      (Printf.sprintf "Accel.execute_batch: %d environments > %d lanes" n
+         Sim.max_lanes);
+  let sim = Sim.create ~backend:`Batch ~lanes:n t.circuit in
+  List.iteri (fun lane env -> load_env_lane t sim lane env) envs;
+  Sim.cycles sim (bounded_cycles ?max_cycles t);
+  check_done t sim;
+  List.mapi (fun lane _ -> read_output_lane t sim lane) envs
 
 let verilog t = Verilog.to_string t.circuit
 

@@ -97,6 +97,18 @@ val execute_with : ?backend:Tl_hw.Sim.backend -> ?max_cycles:int -> t ->
     @raise Invalid_argument on a missing tensor or shape mismatch.
     @raise Simulation_timeout (see {!execute}). *)
 
+val execute_batch : ?max_cycles:int -> t -> Tl_ir.Exec.env list ->
+  Tl_ir.Dense.t list
+(** Run up to [Tl_hw.Sim.max_lanes] independent input environments
+    through {e one} bit-sliced simulation pass ([`Batch] backend, one
+    lane per environment).  Results arrive in input order, each
+    bit-identical to a scalar [execute_with] on that environment.
+    [max_cycles] behaves as in {!execute}, checked {e per lane}: any
+    lane that has not asserted [done] raises {!Simulation_timeout}.
+    @raise Invalid_argument on an empty list, more than
+    [Tl_hw.Sim.max_lanes] environments, a missing tensor or a shape
+    mismatch. *)
+
 (** {2 Campaign-runner hooks}
 
     Lower-level pieces of {!execute_with}, exposed so fault-injection
@@ -114,12 +126,36 @@ val load_env : t -> Tl_hw.Sim.t -> Tl_ir.Exec.env -> unit
 (** Rewrite the input data memories of a live simulator instance.
     @raise Invalid_argument on a missing tensor or shape mismatch. *)
 
+val load_env_lane : t -> Tl_hw.Sim.t -> int -> Tl_ir.Exec.env -> unit
+(** Lane-targeted {!load_env} for [`Batch] simulators. *)
+
 val check_done : t -> Tl_hw.Sim.t -> unit
-(** @raise Simulation_timeout if the [done] output is not asserted. *)
+(** @raise Simulation_timeout if the [done] output is not asserted — on
+    a [`Batch] simulator, if {e any} lane's [done] is not asserted. *)
 
 val read_output : t -> Tl_hw.Sim.t -> Tl_ir.Dense.t
 (** Reassemble the output tensor from the collector banks of a live
     simulator instance (no cycling, no [done] check). *)
+
+val read_output_lane : t -> Tl_hw.Sim.t -> int -> Tl_ir.Dense.t
+(** Lane-targeted {!read_output} for [`Batch] simulators. *)
+
+val golden_cells :
+  t -> Tl_ir.Dense.t -> (Tl_hw.Signal.ram * int * int) list
+(** Flatten a golden output tensor into raw (bank, addr, expected-value)
+    triples, precomputed once per campaign so {!output_equal_lane} can
+    test a lane without allocating. *)
+
+val output_equal_lane :
+  t -> Tl_hw.Sim.t -> int -> (Tl_hw.Signal.ram * int * int) list -> bool
+(** Does lane [l]'s output equal the golden flattened by {!golden_cells}?
+    Allocation-free equivalent of
+    [Tl_ir.Dense.equal (read_output_lane t sim l) golden]. *)
+
+val output_checker :
+  t -> Tl_hw.Sim.t -> (Tl_hw.Signal.ram * int * int) list -> int -> bool
+(** {!output_equal_lane} with the bank slots pre-resolved against one
+    simulator; build it once per simulator, then call it per lane. *)
 
 val verilog : t -> string
 

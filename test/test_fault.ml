@@ -90,6 +90,53 @@ let test_backend_differential () =
     (List.map trial_sig rt.Campaign.results
     = List.map trial_sig rc.Campaign.results)
 
+(* The bit-sliced backend runs the same plan 62 trials per pass; every
+   trial must classify exactly as the scalar tape did.  This exercises
+   parity hardening + ABFT so Detected outcomes (and their attribution)
+   cross the batch path too. *)
+let test_batch_campaign_differential () =
+  let stmt = small_gemm () in
+  let env = Exec.alloc_inputs stmt in
+  let stmt', env' = Option.get (Abft.augment stmt env) in
+  let design = Search.find_design_exn stmt' "MNK-SST" in
+  let acc =
+    Accel.generate ~rows:5 ~cols:5 ~harden:Harden.parity_only design env'
+  in
+  let base =
+    { Campaign.default_config with trials = 200; abft = true }
+  in
+  let rt = Campaign.run ~config:{ base with backend = `Tape } acc in
+  let rb = Campaign.run ~config:{ base with backend = `Batch } acc in
+  Alcotest.(check string) "report labelled batch" "batch" rb.Campaign.backend;
+  check "batch classifies every fault exactly as the scalar tape"
+    (List.map trial_sig rt.Campaign.results
+    = List.map trial_sig rb.Campaign.results);
+  check "batch saw hangs or detections too"
+    (rb.Campaign.detected + rb.Campaign.hang > 0)
+
+(* Reusing one simulator across campaigns must not leak the previous
+   group's per-lane force masks: two identical batch campaigns (which
+   internally reuse each domain's simulator across ⌈trials/62⌉ groups,
+   including Stuck_reg forces) must agree with a fresh scalar run. *)
+let test_batch_campaign_reuse () =
+  let acc, golden = gen ~rows:4 ~cols:4 (small_gemm ()) "MNK-SST" in
+  let config =
+    { Campaign.default_config with
+      trials = 150;
+      backend = `Batch;
+      kinds = [ Fault.Stuck_at ];
+      domains = Some 1 }
+  in
+  let r1 = Campaign.run ~config ~golden acc in
+  let r2 = Campaign.run ~config ~golden acc in
+  check "two batch campaigns agree (no cross-group force leakage)"
+    (List.map trial_sig r1.Campaign.results
+    = List.map trial_sig r2.Campaign.results);
+  let rt = Campaign.run ~config:{ config with backend = `Tape } ~golden acc in
+  check "stuck-at outcomes match the scalar tape"
+    (List.map trial_sig rt.Campaign.results
+    = List.map trial_sig r1.Campaign.results)
+
 (* ---------------- ABFT ----------------------------------------------- *)
 
 let test_abft_detects_single_bit () =
@@ -300,6 +347,10 @@ let suite =
       test_campaign_deterministic;
     Alcotest.test_case "tape/closure differential under faults" `Quick
       test_backend_differential;
+    Alcotest.test_case "batch campaign = scalar campaign" `Quick
+      test_batch_campaign_differential;
+    Alcotest.test_case "batch campaign reuse leaks no forces" `Quick
+      test_batch_campaign_reuse;
     Alcotest.test_case "abft detects single-bit corruption" `Quick
       test_abft_detects_single_bit;
     Alcotest.test_case "abft rejects non-gemm" `Quick

@@ -1,6 +1,6 @@
-(* Differential testing of the two simulator backends (instruction tape vs
-   closure reference interpreter), Tl_par pool semantics, and a smoke run
-   of the benchmark gate. *)
+(* Differential testing of the three simulator backends (instruction tape,
+   closure reference interpreter, bit-sliced batch), Tl_par pool semantics,
+   and a smoke run of the benchmark gate. *)
 
 open Tensorlib
 open Signal
@@ -115,6 +115,62 @@ let test_differential_random () =
     done
   done
 
+(* ---------------- batch backend: per-lane differential ----------------- *)
+
+(* Every lane of a bit-sliced simulation must replay the scalar tape
+   trace for that lane's stimuli: all nodes post-settle, all ram
+   contents post-edge. *)
+let test_batch_lane_differential () =
+  let rng = Random.State.make [| 77 |] in
+  for case = 1 to 8 do
+    let circ, m = random_circuit rng in
+    (* full width on even cases, a random narrower width on odd ones *)
+    let lanes =
+      if case mod 2 = 0 then Sim.max_lanes
+      else 1 + Random.State.int rng Sim.max_lanes
+    in
+    let batch = Sim.create ~backend:`Batch ~lanes circ in
+    Alcotest.(check int) "lane count" lanes (Sim.lanes batch);
+    let scalars = Array.init lanes (fun _ -> Sim.create circ) in
+    for cyc = 1 to 12 do
+      let set s nm v = try Sim.set_input s nm v with Not_found -> () in
+      let setl l nm v =
+        try Sim.set_input_lane batch l nm v with Not_found -> ()
+      in
+      Array.iteri
+        (fun l s ->
+          let xv = Random.State.int rng 256
+          and yv = Random.State.int rng 64 in
+          set s "x" xv;
+          set s "y" yv;
+          setl l "x" xv;
+          setl l "y" yv)
+        scalars;
+      Sim.settle batch;
+      Array.iter Sim.settle scalars;
+      Array.iteri
+        (fun l s ->
+          Array.iter
+            (fun nd ->
+              let a = Sim.peek_lane batch l nd and b = Sim.peek s nd in
+              if a <> b then
+                Alcotest.failf
+                  "case %d cycle %d lane %d: node %d (width %d): batch %d \
+                   <> tape %d"
+                  case cyc l nd.id nd.width a b)
+            (Circuit.nodes circ))
+        scalars;
+      Sim.cycle batch;
+      Array.iter Sim.cycle scalars;
+      Array.iteri
+        (fun l s ->
+          if Sim.ram_contents_lane batch l m <> Sim.ram_contents s m then
+            Alcotest.failf "case %d cycle %d lane %d: ram diverged" case cyc
+              l)
+        scalars
+    done
+  done
+
 (* ---------------- workload differential vs the golden executor -------- *)
 
 let check_workload stmt dname rows cols () =
@@ -127,7 +183,34 @@ let check_workload stmt dname rows cols () =
     (Dense.equal golden (Accel.execute acc));
   Alcotest.(check bool)
     (dname ^ " closure = golden") true
-    (Dense.equal golden (Accel.execute ~backend:`Closure acc))
+    (Dense.equal golden (Accel.execute ~backend:`Closure acc));
+  Alcotest.(check bool)
+    (dname ^ " batch = golden") true
+    (Dense.equal golden (Accel.execute ~backend:`Batch acc))
+
+(* One bit-sliced pass over several input environments must reproduce
+   scalar [execute_with] on each, in order. *)
+let test_execute_batch_matches_scalar () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let d = Search.find_design_exn stmt "MNK-SST" in
+  let env0 = Exec.alloc_inputs stmt in
+  let acc = Accel.generate ~rows:4 ~cols:4 d env0 in
+  let envs = List.init 7 (fun k -> Exec.alloc_inputs ~seed:(100 + k) stmt) in
+  let batched = Accel.execute_batch acc envs in
+  Alcotest.(check int) "result per env" (List.length envs)
+    (List.length batched);
+  List.iter2
+    (fun env out ->
+      Alcotest.(check bool)
+        "lane = scalar execute_with" true
+        (Dense.equal out (Accel.execute_with acc env));
+      Alcotest.(check bool)
+        "lane = golden executor" true
+        (Dense.equal out (Exec.run stmt env)))
+    envs batched;
+  Alcotest.check_raises "empty env list rejected"
+    (Invalid_argument "Accel.execute_batch: no environments") (fun () ->
+      ignore (Accel.execute_batch acc []))
 
 let test_gemm_both =
   check_workload (Workloads.gemm ~m:4 ~n:4 ~k:5) "MNK-SST" 8 8
@@ -170,7 +253,42 @@ let test_reset_reproducible () =
       let first, second = counter_trace backend in
       Alcotest.(check (list (pair int int)))
         "trace replays after reset" first second)
-    [ `Tape; `Closure ]
+    [ `Tape; `Closure; `Batch ]
+
+(* Stale per-lane force masks must not survive [reset]: a reused batch
+   simulator would otherwise leak stuck bits into the next campaign's
+   trials (the scalar force array is cleared the same way). *)
+let test_batch_reset_drops_forces () =
+  let fb = wire 8 in
+  let c = reg fb in
+  assign fb (c +: const ~width:8 1);
+  let circ = Circuit.create ~name:"ctr" ~outputs:[ ("c", c) ] in
+  let s = Sim.create ~backend:`Batch ~lanes:4 circ in
+  let run () =
+    List.init 6 (fun _ ->
+        Sim.cycle s;
+        List.init 4 (fun l -> Sim.output_lane s l "c"))
+  in
+  let clean = run () in
+  Sim.reset s;
+  Sim.force_lane s 2 c ~and_mask:0 ~or_mask:0x55;
+  let forced = run () in
+  Alcotest.(check bool) "forced lane diverges" true (forced <> clean);
+  (* the other lanes keep counting *)
+  Alcotest.(check (list int))
+    "lane 0 unaffected"
+    (List.map (fun row -> List.nth row 0) clean)
+    (List.map (fun row -> List.nth row 0) forced);
+  Sim.reset s;
+  Alcotest.(check (list (list int))) "reset drops per-lane forces" clean
+    (run ());
+  (* and the same through clear_forces on a live simulator *)
+  Sim.reset s;
+  Sim.force_lane s 1 c ~and_mask:0 ~or_mask:0xff;
+  Sim.clear_forces s;
+  Sim.reset s;
+  Alcotest.(check (list (list int))) "clear_forces + reset is clean" clean
+    (run ())
 
 let test_output_not_found () =
   let s = Sim.create (Circuit.create ~name:"t" ~outputs:[ ("o", vdd) ]) in
@@ -237,21 +355,29 @@ let test_bench_quick_smoke () =
     List.iter
       (fun needle ->
         Alcotest.(check bool) (needle ^ " present") true (contains needle))
-      [ "tensorlib-bench-sim/1"; "\"domains\""; "\"sim\"";
-        "\"tape_cycles_per_sec\""; "\"speedup\""; "\"dse\"" ]
+      [ "tensorlib-bench-sim/2"; "\"domains\""; "\"sim\"";
+        "\"tape_cycles_per_sec\""; "\"speedup\""; "\"dse\"";
+        "\"batch_trials_per_sec\""; "\"batch_speedup_w62\"";
+        "\"packed_fraction\"" ]
   end
 
 let suite =
   [ Alcotest.test_case "tape vs closure: random netlists" `Quick
       test_differential_random;
-    Alcotest.test_case "gemm both backends = golden" `Quick test_gemm_both;
-    Alcotest.test_case "conv2d both backends = golden" `Quick test_conv_both;
-    Alcotest.test_case "depthwise both backends = golden" `Quick
+    Alcotest.test_case "batch lanes vs tape: random netlists" `Quick
+      test_batch_lane_differential;
+    Alcotest.test_case "gemm all backends = golden" `Quick test_gemm_both;
+    Alcotest.test_case "conv2d all backends = golden" `Quick test_conv_both;
+    Alcotest.test_case "depthwise all backends = golden" `Quick
       test_depthwise_both;
-    Alcotest.test_case "mttkrp both backends = golden" `Quick
+    Alcotest.test_case "mttkrp all backends = golden" `Quick
       test_mttkrp_both;
+    Alcotest.test_case "execute_batch = scalar execute_with" `Quick
+      test_execute_batch_matches_scalar;
     Alcotest.test_case "reset reproduces the trace" `Quick
       test_reset_reproducible;
+    Alcotest.test_case "batch reset drops per-lane forces" `Quick
+      test_batch_reset_drops_forces;
     Alcotest.test_case "output raises Not_found" `Quick
       test_output_not_found;
     Alcotest.test_case "par map deterministic" `Quick test_par_deterministic;
