@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick bench-dse fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint store-smoke examples fuzz doc clean
 
 all: build
 
@@ -15,6 +15,24 @@ bench:
 # (schema and fields: docs/PERF.md).
 bench-quick:
 	dune exec bench/main.exe -- bench-quick
+
+# DSE gate: full explore/enumerate throughput plus the ResNet-18
+# whole-network sweep through a fresh persistent design store (cold,
+# same-process warm, and fresh-process warm); writes BENCH_dse.json
+# (schema and fields: docs/PERF.md).
+bench-dse:
+	dune build bin/tensorlib_cli.exe bench/main.exe
+	dune exec bench/main.exe -- bench-dse
+	grep -q '"schema": "tensorlib-bench-dse/1"' BENCH_dse.json
+
+# Store gate: sweep the tiny network twice through a fresh persistent
+# store in fresh CLI processes — the second run must be 100% store hits,
+# at least 5x faster and bit-identical — then truncate an entry and
+# check corruption degrades to a recomputed miss (exit 1 on any
+# violation).
+store-smoke:
+	dune build bin/tensorlib_cli.exe bench/main.exe
+	dune exec bench/main.exe -- store-smoke
 
 # Resilience gate: 1000-trial fault campaigns on the baseline and the
 # TMR+parity+ABFT-hardened 4x4 GEMM accelerator, plus a 10000-trial

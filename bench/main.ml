@@ -734,6 +734,13 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* fresh, empty, uniquely named directory path (not yet created: the
+   design store creates its own tree) *)
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
 let sim_case ~quick name stmt dname rows cols reps =
   let d = Search.find_design_exn stmt dname in
   let env = Exec.alloc_inputs stmt in
@@ -891,10 +898,12 @@ let bench_dse ~quick () =
          (fun s ->
            let total = s.Par.Cache.hits + s.Par.Cache.misses in
            Printf.sprintf
-             "\"%s\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}"
+             "\"%s\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f, \
+              \"entries\": %d, \"evictions\": %d}"
              s.Par.Cache.name s.Par.Cache.hits s.Par.Cache.misses
              (if total = 0 then 0.
-              else float_of_int s.Par.Cache.hits /. float_of_int total))
+              else float_of_int s.Par.Cache.hits /. float_of_int total)
+             s.Par.Cache.entries s.Par.Cache.evictions)
          (Par.Cache.all_stats ()))
   in
   let opt_race = function
@@ -916,11 +925,207 @@ let bench_dse ~quick () =
        limit cold_s warm_s (cold_s /. warm_s) (opt_race par_race) points es
        (opt_race enum_par) pts_per_sec counters_json caches_json
        (explore_ok && race_ok par_race && race_ok enum_par));
-  write_bench_json ()
+  write_bench_json ();
+  (* ---- whole-network sweep through the persistent design store ---- *)
+  let net = if quick then "tiny" else "resnet18" in
+  let root = temp_dir "tlstore" in
+  let store = Store.open_store ~root () in
+  let layers = List.assoc net (Network.networks ()) in
+  let r_cold, net_cold_s =
+    wall (fun () -> Network.sweep ~store ~name:net layers)
+  in
+  (* warm must be served by the store alone, not the in-memory memos *)
+  Par.Cache.clear_all ();
+  let r_warm, net_warm_s =
+    wall (fun () -> Network.sweep ~store ~name:net layers)
+  in
+  let frontiers (r : Network.report) =
+    List.map (fun l -> l.Network.l_frontier) r.Network.r_layers
+  in
+  let identical =
+    r_cold.Network.r_digest = r_warm.Network.r_digest
+    && frontiers r_cold = frontiers r_warm
+  in
+  Printf.printf
+    "  network sweep (%s, %d layers, %d shapes, %d points):\n\
+    \    cold %7.3fs   warm %7.3fs   %5.1fx   hit rate %.0f%%%s\n"
+    net
+    (List.length r_cold.Network.r_layers)
+    r_cold.Network.r_unique_shapes r_cold.Network.r_points net_cold_s
+    net_warm_s
+    (net_cold_s /. net_warm_s)
+    (100. *. r_warm.Network.r_hit_rate)
+    (if identical then "" else "  [MISMATCH]");
+  (* fresh process against the same persisted store: the whole point of
+     the on-disk format is that a new process starts warm *)
+  let cli =
+    Filename.concat (Sys.getcwd ()) "_build/default/bin/tensorlib_cli.exe"
+  in
+  let fresh =
+    if not (Sys.file_exists cli) then None
+    else begin
+      let out = Filename.temp_file "tlsweep" ".json" in
+      let cmd =
+        Printf.sprintf "%s sweep --network %s --store %s --json > %s"
+          (Filename.quote cli) net (Filename.quote root) (Filename.quote out)
+      in
+      let rc, fresh_s = wall (fun () -> Sys.command cmd) in
+      let parsed =
+        if rc <> 0 then None
+        else
+          let ic = open_in out in
+          let n = in_channel_length ic in
+          let content = really_input_string ic n in
+          close_in ic;
+          match Json.parse (String.trim content) with
+          | Error _ -> None
+          | Ok j ->
+            Some
+              ( Option.value (Json.mem_string j "digest") ~default:"",
+                Option.value (Json.mem_number j "hit_rate") ~default:0. )
+      in
+      Sys.remove out;
+      match parsed with
+      | None -> None
+      | Some (digest, hit_rate) ->
+        Some (fresh_s, digest = r_cold.Network.r_digest, hit_rate)
+    end
+  in
+  (match fresh with
+   | Some (fresh_s, same, hit_rate) ->
+     Printf.printf
+       "  fresh-process warm sweep:    %7.3fs   %5.1fx   hit rate %.0f%%%s\n"
+       fresh_s
+       (net_cold_s /. fresh_s)
+       (100. *. hit_rate)
+       (if same then "" else "  [MISMATCH]")
+   | None ->
+     Printf.printf
+       "  fresh-process warm sweep:    skipped (CLI binary not built)\n");
+  let st = Store.stats store in
+  let fresh_json =
+    match fresh with
+    | None -> "null"
+    | Some (fresh_s, same, hit_rate) ->
+      Printf.sprintf
+        "{\"warm_s\": %.4f, \"speedup\": %.2f, \"hit_rate\": %.3f, \
+         \"identical\": %b}"
+        fresh_s (net_cold_s /. fresh_s) hit_rate same
+  in
+  let network_json =
+    Printf.sprintf
+      "  \"network\": {\n    \"name\": \"%s\", \"layers\": %d, \
+       \"unique_shapes\": %d, \"points\": %d,\n    \"cold_s\": %.4f, \
+       \"warm_s\": %.4f, \"store_speedup\": %.2f,\n    \"warm_hit_rate\": \
+       %.3f, \"identical\": %b, \"digest\": \"%s\",\n    \"fresh_process\": \
+       %s,\n    \"store\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \
+       \"evictions\": %d}\n  }"
+      net
+      (List.length r_cold.Network.r_layers)
+      r_cold.Network.r_unique_shapes r_cold.Network.r_points net_cold_s
+      net_warm_s
+      (net_cold_s /. net_warm_s)
+      r_warm.Network.r_hit_rate identical r_cold.Network.r_digest fresh_json
+      st.Par.Cache.hits st.Par.Cache.misses st.Par.Cache.entries
+      st.Par.Cache.evictions
+  in
+  let dse_json =
+    match List.assoc_opt "dse" !bench_fragments with
+    | Some j -> j
+    | None -> "  \"dse\": null"
+  in
+  let oc = open_out "BENCH_dse.json" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"tensorlib-bench-dse/1\",\n  \"domains\": %d,\n\
+     %s,\n%s\n}\n"
+    (Par.n_domains ()) dse_json network_json;
+  close_out oc;
+  print_endline "  (machine-readable results written to BENCH_dse.json)"
 
 let bench_quick () =
   bench_sim ~quick:true ();
   bench_dse ~quick:true ()
+
+(* ------------------------------------------------------------------ *)
+(* Store gate: sweep a small network twice through a fresh persistent
+   store using fresh CLI processes; the second run must be served
+   entirely from disk, at least 5x faster and bit-identical.  Then
+   deliberately truncate one entry: the third run must still succeed
+   (corruption degrades to a miss) with an unchanged digest.  Exit 1 on
+   any violated property — small enough for a pre-commit hook.          *)
+
+let store_smoke () =
+  section "Store gate: persistent design store (cold/warm/corrupt)";
+  let cli =
+    Filename.concat (Sys.getcwd ()) "_build/default/bin/tensorlib_cli.exe"
+  in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf "store-smoke: CLI binary not built (%s)\n" cli;
+    exit 1
+  end;
+  let root = temp_dir "tlstore" in
+  let run_sweep () =
+    let out = Filename.temp_file "tlsweep" ".json" in
+    let cmd =
+      Printf.sprintf "%s sweep --network tiny --store %s --json > %s"
+        (Filename.quote cli) (Filename.quote root) (Filename.quote out)
+    in
+    let rc, secs = wall (fun () -> Sys.command cmd) in
+    if rc <> 0 then begin
+      Printf.eprintf "store-smoke: sweep exited %d\n" rc;
+      exit 1
+    end;
+    let ic = open_in out in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove out;
+    match Json.parse (String.trim content) with
+    | Error msg ->
+      Printf.eprintf "store-smoke: bad sweep JSON: %s\n" msg;
+      exit 1
+    | Ok j ->
+      let digest = Option.value (Json.mem_string j "digest") ~default:"" in
+      let hit_rate = Option.value (Json.mem_number j "hit_rate") ~default:0. in
+      (secs, digest, hit_rate)
+  in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-42s %s\n" name (if ok then "PASS" else "FAIL");
+    if not ok then incr failures
+  in
+  let cold_s, cold_digest, cold_rate = run_sweep () in
+  let warm_s, warm_digest, warm_rate = run_sweep () in
+  Printf.printf "  cold %.3fs (hit rate %.0f%%)  warm %.3fs (hit rate \
+                 %.0f%%)  %.1fx\n"
+    cold_s (100. *. cold_rate) warm_s (100. *. warm_rate) (cold_s /. warm_s);
+  check "warm run served entirely from the store" (warm_rate = 1.0);
+  check "warm run at least 5x faster than cold" (cold_s >= 5. *. warm_s);
+  check "warm results bit-identical to cold" (warm_digest = cold_digest);
+  (* corruption tolerance: truncate one entry file to half its length *)
+  let entries = Filename.concat root "entries" in
+  (match Sys.readdir entries with
+   | [||] ->
+     check "store has persisted entries" false
+   | names ->
+     let victim = Filename.concat entries names.(0) in
+     let ic = open_in_bin victim in
+     let content = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     let oc = open_out_bin victim in
+     output_string oc (String.sub content 0 (String.length content / 2));
+     close_out oc);
+  let _, corrupt_digest, corrupt_rate = run_sweep () in
+  check "truncated entry degrades to a miss" (corrupt_rate < 1.0);
+  check "sweep over corrupt store still bit-identical"
+    (corrupt_digest = cold_digest);
+  let _, healed_digest, healed_rate = run_sweep () in
+  check "recomputed entry re-persisted (store healed)"
+    (healed_rate = 1.0 && healed_digest = cold_digest);
+  if !failures > 0 then begin
+    Printf.printf "store-smoke: %d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "store-smoke: OK"
 
 (* ------------------------------------------------------------------ *)
 (* Benchmark gate: fault-injection campaign.  Baseline 4x4 GEMM vs the
@@ -1270,7 +1475,7 @@ let dispatch =
   all_sections
   @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault);
       ("bench-obs", bench_obs); ("bench-absint", bench_absint);
-      ("batch-smoke", batch_smoke) ]
+      ("batch-smoke", batch_smoke); ("store-smoke", store_smoke) ]
 
 let () =
   match Array.to_list Sys.argv with

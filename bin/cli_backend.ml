@@ -28,12 +28,16 @@ let distance a b =
   done;
   row.(lb)
 
-let suggestion s =
-  let scored = List.map (fun c -> (distance s c, c)) names in
+let suggest ~valid s =
+  (* reusable did-you-mean fragment for any CLI name set (backends,
+     network names, ...); empty when nothing is close enough *)
+  let scored = List.map (fun c -> (distance s c, c)) valid in
   let sorted = List.sort compare scored in
   match sorted with
   | (d, c) :: _ when d <= 2 -> Printf.sprintf "; did you mean %S?" c
   | _ -> ""
+
+let suggestion s = suggest ~valid:names s
 
 let of_string ?(allowed = names) s =
   let valid () = String.concat ", " allowed in

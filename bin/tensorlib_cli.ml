@@ -714,6 +714,235 @@ let profile_cmd =
           $ data_width_arg $ acc_width_arg $ backend_arg $ json_arg
           $ trace_arg)
 
+(* ---------------- sweep / serve ---------------- *)
+
+let network_names () = List.map fst (Network.networks ())
+
+let network_of_string name =
+  match List.assoc_opt name (Network.networks ()) with
+  | Some layers -> layers
+  | None ->
+    failwith
+      (Printf.sprintf "unknown network %S; valid names: %s%s" name
+         (String.concat ", " (network_names ()))
+         (Cli_backend.suggest ~valid:(network_names ()) name))
+
+let store_of_path = function
+  | None -> Store.open_store ()
+  | Some dir ->
+    let parent = Filename.dirname dir in
+    if not (Sys.file_exists parent && Sys.is_directory parent) then
+      failwith
+        (Printf.sprintf
+           "--store: parent directory %S does not exist (create it first)"
+           parent);
+    Store.open_store ~root:dir ()
+
+let layer_json (l : Network.layer) =
+  let best =
+    match l.Network.l_best with
+    | None -> Json.Null
+    | Some p ->
+      Json.Obj
+        [ ("design", Json.Str p.Network.p_perf.Perf.design_name);
+          ("cycles", Json.Num p.Network.p_perf.Perf.cycles);
+          ("runtime_us", Json.Num p.Network.p_perf.Perf.runtime_us);
+          ("area", Json.Num p.Network.p_area);
+          ("power_mw", Json.Num p.Network.p_power) ]
+  in
+  Json.Obj
+    [ ("name", Json.Str l.Network.l_name);
+      ("hit", Json.Bool l.Network.l_hit);
+      ("points", Json.Num (float_of_int l.Network.l_points));
+      ("frontier", Json.Num (float_of_int (List.length l.Network.l_frontier)));
+      ("best", best) ]
+
+let report_json (r : Network.report) =
+  Json.Obj
+    [ ("schema", Json.Str "tensorlib-sweep/1");
+      ("network", Json.Str r.Network.r_network);
+      ("layers", Json.List (List.map layer_json r.Network.r_layers));
+      ("unique_shapes", Json.Num (float_of_int r.Network.r_unique_shapes));
+      ("points", Json.Num (float_of_int r.Network.r_points));
+      ("total_cycles", Json.Num r.Network.r_total_cycles);
+      ("total_runtime_us", Json.Num r.Network.r_total_runtime_us);
+      ("total_area", Json.Num r.Network.r_total_area);
+      ("total_power_mw", Json.Num r.Network.r_total_power);
+      ("hits", Json.Num (float_of_int r.Network.r_hits));
+      ("misses", Json.Num (float_of_int r.Network.r_misses));
+      ("hit_rate", Json.Num r.Network.r_hit_rate);
+      ("digest", Json.Str r.Network.r_digest) ]
+
+let print_report_text (r : Network.report) =
+  List.iter
+    (fun (l : Network.layer) ->
+      match l.Network.l_best with
+      | None ->
+        Printf.printf "%-12s %s  no evaluable design point\n" l.Network.l_name
+          (if l.Network.l_hit then "hit " else "miss")
+      | Some p ->
+        Printf.printf
+          "%-12s %s  %6d pts  %3d pareto  best %-12s %10.0f cyc %8.1f mW\n"
+          l.Network.l_name
+          (if l.Network.l_hit then "hit " else "miss")
+          l.Network.l_points
+          (List.length l.Network.l_frontier)
+          p.Network.p_perf.Perf.design_name p.Network.p_perf.Perf.cycles
+          p.Network.p_power)
+    r.Network.r_layers;
+  Printf.printf
+    "network %s: %d layers, %d unique shapes, %d points, store hit rate \
+     %.0f%%\n"
+    r.Network.r_network
+    (List.length r.Network.r_layers)
+    r.Network.r_unique_shapes r.Network.r_points
+    (100. *. r.Network.r_hit_rate);
+  Printf.printf
+    "totals (per-layer winners): %.0f cycles, %.1f us, area %.0f, %.1f mW\n"
+    r.Network.r_total_cycles r.Network.r_total_runtime_us
+    r.Network.r_total_area r.Network.r_total_power;
+  Printf.printf "result digest: %s\n" r.Network.r_digest
+
+let network_arg =
+  let doc = "Network to sweep: resnet18, bert-base or tiny." in
+  Arg.(value & opt string "resnet18" & info [ "n"; "network" ] ~doc)
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ]
+           ~doc:"Persistent design-store directory (created on first use; \
+                 parent must exist).  Omit for an in-memory store."
+           ~docv:"DIR")
+
+let limit_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit" ]
+           ~doc:"Evaluate at most N design points per unique shape (the cap \
+                 is part of the store key).")
+
+let sweep_cmd =
+  let run name store_dir limit json =
+    guard @@ fun () ->
+    (match limit with
+     | Some n when n < 1 ->
+       failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
+     | _ -> ());
+    let layers = network_of_string name in
+    let store = store_of_path store_dir in
+    let progress =
+      if json then None
+      else
+        Some
+          (fun (p : Network.progress) ->
+            Printf.eprintf "[%d/%d] %-12s %s\n%!" p.Network.pr_done
+              p.Network.pr_total p.Network.pr_layer
+              (if p.Network.pr_hit then
+                 Printf.sprintf "hit  (%d points)" p.Network.pr_points
+               else Printf.sprintf "computed %d points" p.Network.pr_points))
+    in
+    let r =
+      Network.sweep ?per_shape_limit:limit ?progress ~store ~name layers
+    in
+    if json then print_endline (Json.to_string (report_json r))
+    else print_report_text r
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Whole-network design-space sweep through the persistent design \
+             store: dedup layers by canonical shape, enumerate + evaluate \
+             each unique shape once (or load it from the store), report \
+             per-layer Pareto winners and network totals")
+    Term.(const run $ network_arg $ store_arg $ limit_arg $ json_arg)
+
+(* serve: one JSON request per stdin line, one JSON response per line.
+   Requests: {"id": .., "network": "tiny"}
+          or {"id": .., "expr": "C[m,n] += A[m,k] * B[n,k]",
+              "extents": "m=64,n=64,k=64"}
+   Responses echo the id and carry the sweep roll-up plus the store's
+   per-request hit counts; malformed requests answer {"ok": false, ...}
+   without stopping the loop. *)
+
+let serve_request store limit line =
+  let fail id msg =
+    Json.Obj
+      (("id", id) :: [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+  in
+  match Json.parse line with
+  | Error msg -> fail Json.Null ("bad request: " ^ msg)
+  | Ok req -> (
+    let id = Option.value (Json.member "id" req) ~default:Json.Null in
+    let layers_of () =
+      match (Json.mem_string req "network", Json.mem_string req "expr") with
+      | Some name, _ -> (name, network_of_string name)
+      | None, Some formula ->
+        let extents =
+          match Json.mem_string req "extents" with
+          | None -> failwith "\"expr\" requires \"extents\""
+          | Some s ->
+            List.map
+              (fun kv ->
+                match String.split_on_char '=' kv with
+                | [ k; v ] -> (
+                  match int_of_string_opt (String.trim v) with
+                  | Some n -> (String.trim k, n)
+                  | None -> failwith ("bad extent binding: " ^ kv))
+                | _ -> failwith ("bad extent binding: " ^ kv))
+              (String.split_on_char ',' s)
+        in
+        let stmt = Parse.stmt formula ~extents in
+        ("adhoc", [ (stmt.Stmt.name, stmt) ])
+      | None, None -> failwith "request needs \"network\" or \"expr\""
+    in
+    match layers_of () with
+    | exception Failure msg -> fail id msg
+    | name, layers -> (
+      let before = Store.stats store in
+      match Network.sweep ?per_shape_limit:limit ~store ~name layers with
+      | exception Failure msg -> fail id msg
+      | r ->
+        let after = Store.stats store in
+        let req_hits = after.Par.Cache.hits - before.Par.Cache.hits in
+        let req_misses = after.Par.Cache.misses - before.Par.Cache.misses in
+        let req_total = req_hits + req_misses in
+        Json.Obj
+          [ ("id", id);
+            ("ok", Json.Bool true);
+            ("report", report_json r);
+            ("store_hits", Json.Num (float_of_int req_hits));
+            ("store_misses", Json.Num (float_of_int req_misses));
+            ("store_hit_rate",
+             Json.Num
+               (if req_total = 0 then 1.
+                else float_of_int req_hits /. float_of_int req_total)) ]))
+
+let serve_cmd =
+  let run store_dir limit =
+    guard @@ fun () ->
+    (match limit with
+     | Some n when n < 1 ->
+       failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
+     | _ -> ());
+    let store = store_of_path store_dir in
+    let rec loop () =
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        print_endline (Json.to_string (serve_request store limit line));
+        flush stdout;
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running sweep server: read one JSON request per stdin \
+             line ({\"id\", \"network\"} or {\"id\", \"expr\", \
+             \"extents\"}), answer each with the sweep roll-up from the \
+             warm store plus per-request hit counts; malformed requests \
+             get {\"ok\": false} responses and the loop continues")
+    Term.(const run $ store_arg $ limit_arg)
+
 let () =
   let info =
     Cmd.info "tensorlib" ~version:Tensorlib.version
@@ -723,4 +952,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
-            explore_cmd; lint_cmd; fault_cmd; profile_cmd ]))
+            explore_cmd; lint_cmd; fault_cmd; profile_cmd; sweep_cmd;
+            serve_cmd ]))

@@ -92,6 +92,11 @@ module Asic = Tl_cost.Asic
 module Fpga = Tl_cost.Fpga
 module Enumerate = Tl_dse.Enumerate
 module Explore = Tl_dse.Explore
+module Network = Tl_dse.Network
+
+(* Persistent design store + line-oriented JSON *)
+module Store = Tl_store.Store
+module Json = Tl_store.Json
 module Baselines = Tl_baselines.Baselines
 
 let design_of_name = Search.find_design_exn

@@ -1,0 +1,96 @@
+(** Whole-network design-space sweep through the persistent design store.
+
+    A network is a list of named statements (layers).  Layers are deduped
+    by canonical shape key (config fingerprint + statement fingerprint)
+    before any enumeration; the unique shapes are sharded across the
+    {!Tl_par} pool {e shape-major} — each worker owns whole shapes, so no
+    two domains ever race on one store key — and everything inside a
+    shape runs single-domain.  Results (including {!report.r_digest}) are
+    deterministic and independent of the pool width.
+
+    Both cold and warm sweeps build their reports by decoding the stored
+    payload (exact hex-float codec), so a warm sweep reproduces a cold
+    sweep bit-for-bit. *)
+
+type point = {
+  p_area : float;  (** ASIC area *)
+  p_power : float;  (** mW *)
+  p_perf : Tl_perf.Perf_model.result;
+}
+
+type layer = {
+  l_name : string;
+  l_key : string;
+  l_hit : bool;  (** served from the warm store *)
+  l_points : int;
+  l_frontier : point list;  (** Pareto frontier on (cycles, power) *)
+  l_best : point option;  (** min-cycles winner *)
+}
+
+type report = {
+  r_network : string;
+  r_layers : layer list;  (** network order *)
+  r_unique_shapes : int;
+  r_points : int;
+  r_total_cycles : float;  (** summed over per-layer winners *)
+  r_total_runtime_us : float;
+  r_total_area : float;
+  r_total_power : float;
+  r_hits : int;
+  r_misses : int;
+  r_hit_rate : float;
+  r_digest : string;  (** MD5 over all shape payloads, shape order *)
+}
+
+type progress = {
+  pr_done : int;
+  pr_total : int;
+  pr_layer : string;  (** first layer name using the finished shape *)
+  pr_hit : bool;
+  pr_points : int;
+}
+
+val networks : unit -> (string * (string * Tl_ir.Stmt.t) list) list
+(** The named network tables ({!Tl_ir.Workloads.networks}). *)
+
+val shape_key :
+  ?config:Tl_perf.Perf_model.config ->
+  ?per_shape_limit:int ->
+  Tl_ir.Stmt.t ->
+  string
+(** The store key of a layer shape under a config (and optional point
+    cap, which changes the evaluated set and therefore the key). *)
+
+val evaluate_shape :
+  config:Tl_perf.Perf_model.config ->
+  ?per_shape_limit:int ->
+  Tl_ir.Stmt.t ->
+  point list
+(** Enumerate ([domains:1]) and evaluate one shape's design space;
+    points that fail evaluation are dropped. *)
+
+val encode_points : point list -> string
+val decode_points : string -> point list option
+(** Versioned exact payload codec; [None] on any malformed content. *)
+
+val sweep :
+  ?config:Tl_perf.Perf_model.config ->
+  ?domains:int ->
+  ?per_shape_limit:int ->
+  ?progress:(progress -> unit) ->
+  store:Tl_store.Store.t ->
+  name:string ->
+  (string * Tl_ir.Stmt.t) list ->
+  report
+(** Sweep a layer list.  [progress] is invoked (serialised under a
+    mutex) once per finished unique shape, from worker domains. *)
+
+val sweep_named :
+  ?config:Tl_perf.Perf_model.config ->
+  ?domains:int ->
+  ?per_shape_limit:int ->
+  ?progress:(progress -> unit) ->
+  store:Tl_store.Store.t ->
+  string ->
+  report option
+(** {!sweep} on a named network table; [None] for unknown names. *)

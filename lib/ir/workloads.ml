@@ -88,6 +88,58 @@ let gemv ~m ~k =
 let resnet_layer2 = conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3
 let resnet_layer5 = conv2d ~k:512 ~c:512 ~y:7 ~x:7 ~p:3 ~q:3
 
+(* ---------------------------------------------------------------- *)
+(* Whole networks: named layer lists for the network sweep.  Names are
+   per-layer (conv3_1, ffn_up, ...); many layers share one shape, and the
+   sweep dedups them by canonical statement fingerprint — ResNet-18's 21
+   layers reduce to 12 unique shapes, BERT-base's 8 to 5. *)
+
+let resnet18 () =
+  let block prefix ~k ~y =
+    (* one residual stage: entry 3x3 stride-2 + 1x1 downsample projection,
+       then three plain 3x3 convs at the stage's resolution *)
+    [ (prefix ^ "_1a", conv2d_strided ~stride:2 ~k ~c:(k / 2) ~y ~x:y ~p:3 ~q:3);
+      (prefix ^ "_proj", conv2d_strided ~stride:2 ~k ~c:(k / 2) ~y ~x:y ~p:1 ~q:1);
+      (prefix ^ "_1b", conv2d ~k ~c:k ~y ~x:y ~p:3 ~q:3);
+      (prefix ^ "_2a", conv2d ~k ~c:k ~y ~x:y ~p:3 ~q:3);
+      (prefix ^ "_2b", conv2d ~k ~c:k ~y ~x:y ~p:3 ~q:3) ]
+  in
+  [ ("conv1", conv2d_strided ~stride:2 ~k:64 ~c:3 ~y:112 ~x:112 ~p:7 ~q:7);
+    ("conv2_1a", conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3);
+    ("conv2_1b", conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3);
+    ("conv2_2a", conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3);
+    ("conv2_2b", conv2d ~k:64 ~c:64 ~y:56 ~x:56 ~p:3 ~q:3) ]
+  @ block "conv3" ~k:128 ~y:28
+  @ block "conv4" ~k:256 ~y:14
+  @ block "conv5" ~k:512 ~y:7
+  @ [ ("fc", gemm ~m:8 ~n:1000 ~k:512) ]
+
+let bert_base () =
+  (* one encoder layer at sequence length 128, hidden 768, 12 heads of 64;
+     the three QKV projections and the output projection share one GEMM
+     shape, so 8 layers dedup to 5 unique shapes *)
+  [ ("q_proj", gemm ~m:128 ~n:768 ~k:768);
+    ("k_proj", gemm ~m:128 ~n:768 ~k:768);
+    ("v_proj", gemm ~m:128 ~n:768 ~k:768);
+    ("attn_scores", gemm ~m:128 ~n:128 ~k:64);
+    ("attn_ctx", gemm ~m:128 ~n:64 ~k:128);
+    ("attn_out", gemm ~m:128 ~n:768 ~k:768);
+    ("ffn_up", gemm ~m:128 ~n:3072 ~k:768);
+    ("ffn_down", gemm ~m:128 ~n:768 ~k:3072) ]
+
+let tiny_net () =
+  (* smoke-gate network: small extents, one duplicated shape so the gates
+     can watch both inter-layer dedup and store warm-up *)
+  [ ("conv_a", conv2d ~k:8 ~c:8 ~y:8 ~x:8 ~p:3 ~q:3);
+    ("conv_b", conv2d ~k:8 ~c:8 ~y:8 ~x:8 ~p:3 ~q:3);
+    ("gemm_a", gemm ~m:32 ~n:32 ~k:32);
+    ("gemv_a", batched_gemv ~m:8 ~n:16 ~k:16) ]
+
+let networks () =
+  [ ("resnet18", resnet18 ());
+    ("bert-base", bert_base ());
+    ("tiny", tiny_net ()) ]
+
 let all_named () =
   [ ("GEMM", gemm ~m:256 ~n:256 ~k:256);
     ("Batched-GEMV", batched_gemv ~m:64 ~n:256 ~k:256);

@@ -76,7 +76,13 @@ let map ?domains ?label f xs =
 (* String-keyed memoisation shared across the pool.                    *)
 
 module Cache = struct
-  type stats = { name : string; hits : int; misses : int; entries : int }
+  type stats = {
+    name : string;
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+  }
 
   type 'a t = {
     c_name : string;
@@ -93,18 +99,24 @@ module Cache = struct
 
   let registry : registered list Atomic.t = Atomic.make []
 
-  let register r =
+  let register_entry r =
     let rec push () =
       let old = Atomic.get registry in
       if not (Atomic.compare_and_set registry old (r :: old)) then push ()
     in
     push ()
 
+  (* External stat sources (the persistent design store) join the same
+     registry, so [all_stats] / [clear_all] cover them alongside the
+     in-memory memo tables. *)
+  let register ~stats ~clear = register_entry { r_stats = stats; r_clear = clear }
+
   let stats c =
     { name = c.c_name;
       hits = Atomic.get c.hits;
       misses = Atomic.get c.misses;
-      entries = Hashtbl.length c.tbl }
+      entries = Hashtbl.length c.tbl;
+      evictions = 0 }
 
   let clear c =
     Mutex.lock c.lock;
@@ -121,7 +133,8 @@ module Cache = struct
         hits = Atomic.make 0;
         misses = Atomic.make 0 }
     in
-    register { r_stats = (fun () -> stats c); r_clear = (fun () -> clear c) };
+    register_entry
+      { r_stats = (fun () -> stats c); r_clear = (fun () -> clear c) };
     c
 
   let find_or_add c key f =

@@ -53,12 +53,27 @@ val set_wrapper : wrapper option -> unit
 module Cache : sig
   type 'a t
 
-  type stats = { name : string; hits : int; misses : int; entries : int }
+  type stats = {
+    name : string;
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+        (** entries dropped by a capacity policy; always [0] for the
+            unbounded in-memory caches, nonzero only for external
+            registered sources (the persistent design store) *)
+  }
 
   val create : name:string -> unit -> 'a t
   val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
   val stats : 'a t -> stats
   val clear : 'a t -> unit
+
+  val register : stats:(unit -> stats) -> clear:(unit -> unit) -> unit
+  (** Register an external stat source (e.g. the on-disk design store)
+      into the same registry that {!all_stats} and {!clear_all} walk.
+      [clear] is the source's own notion of reset — a persistent store
+      resets its counters, not its disk contents. *)
 
   val all_stats : unit -> stats list
   (** Stats of every cache ever created, in creation order. *)

@@ -738,14 +738,18 @@ let config_fingerprint c =
   Printf.sprintf "%d,%d,%h,%h,%d,%h" c.rows c.cols c.freq_mhz
     c.bandwidth_gbps c.elem_bytes c.scratchpad_kbytes
 
+(* The full memo key: config fingerprint joined with the symmetry-canonical
+   evaluation signature.  Stable across processes (pure text, hex floats),
+   so the persistent design store can reuse it verbatim. *)
+let cache_key ?(config = default_config) (design : Tl_stt.Design.t) =
+  config_fingerprint config ^ "|"
+  ^ Tl_stt.Signature.eval_key ~square:(config.rows = config.cols) design
+
 let evaluate ?(config = default_config) ?(tile_search = `Pruned)
     ?(stats = `Streaming) ?(cache = true) (design : Tl_stt.Design.t) =
   let run () = evaluate_core ~config ~tile_search ~stats design in
   if cache && tile_search = `Pruned && stats = `Streaming then
-    let key =
-      config_fingerprint config ^ "|"
-      ^ Tl_stt.Signature.eval_key ~square:(config.rows = config.cols) design
-    in
+    let key = cache_key ~config design in
     match
       Tl_par.Cache.find_or_add eval_cache key (fun () ->
           match run () with r -> Ok r | exception e -> Error e)
@@ -820,3 +824,151 @@ let pp_result ppf r =
     (String.concat "x" (Array.to_list (Array.map string_of_int r.tile)))
     r.span r.total_passes r.cycles r.utilization r.bw_stall_factor
     r.normalized_perf
+
+(* ---------------------------------------------------------------- *)
+(* Exact textual codec for [result], used by the persistent design
+   store.  Versioned, tab-separated; floats render as hex ([%h]), which
+   [float_of_string] round-trips bit-exactly, so a decoded result is
+   structurally equal to the original — warm-store sweeps reproduce
+   cold-run frontiers to the last bit.  Names are percent-escaped so
+   tabs/newlines/separators in user-chosen statement names can never
+   break the framing. *)
+
+let codec_magic = "tlperf/1"
+
+let escape_name s =
+  let plain c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | ':' | '[' | ']'
+      ->
+      true
+    | _ -> false
+  in
+  if String.for_all plain s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if plain c then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
+let unescape_name s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '%' && !i + 2 < n then begin
+        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> Buffer.add_char buf s.[!i]);
+        i := !i + 3
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let result_to_string (r : result) =
+  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  let traffic =
+    String.concat ","
+      (List.map
+         (fun (name, w) -> Printf.sprintf "%s=%h" (escape_name name) w)
+         r.traffic_words)
+  in
+  String.concat "\t"
+    [ codec_magic;
+      escape_name r.design_name;
+      ints r.tile;
+      string_of_int r.selected_passes;
+      string_of_int r.total_passes;
+      string_of_int r.span;
+      string_of_int r.tail;
+      Printf.sprintf "%h" r.cycles;
+      string_of_int r.macs;
+      Printf.sprintf "%h" r.utilization;
+      Printf.sprintf "%h" r.normalized_perf;
+      Printf.sprintf "%h" r.bw_stall_factor;
+      Printf.sprintf "%h" r.words_per_cycle;
+      Printf.sprintf "%h" r.runtime_us;
+      Printf.sprintf "%h" r.gops;
+      Printf.sprintf "%h" r.pipelined_cycles;
+      Printf.sprintf "%h" r.pipelined_perf;
+      traffic ]
+
+let result_of_string s =
+  match String.split_on_char '\t' s with
+  | [ magic; name; tile; sel_passes; tot_passes; span; tail; cycles; macs;
+      util; norm; bw; wpc; runtime; gops; pcycles; pperf; traffic ]
+    when magic = codec_magic -> (
+    let int_of = int_of_string_opt in
+    let float_of = float_of_string_opt in
+    let tile =
+      if tile = "" then Some [||]
+      else
+        let parts = String.split_on_char ',' tile in
+        let vals = List.filter_map int_of parts in
+        if List.length vals = List.length parts then
+          Some (Array.of_list vals)
+        else None
+    in
+    let traffic =
+      if traffic = "" then Some []
+      else
+        let parts = String.split_on_char ',' traffic in
+        let decoded =
+          List.filter_map
+            (fun p ->
+              match String.index_opt p '=' with
+              | None -> None
+              | Some eq ->
+                let name = unescape_name (String.sub p 0 eq) in
+                let v =
+                  float_of
+                    (String.sub p (eq + 1) (String.length p - eq - 1))
+                in
+                Option.map (fun v -> (name, v)) v)
+            parts
+        in
+        if List.length decoded = List.length parts then Some decoded
+        else None
+    in
+    match
+      ( tile, int_of sel_passes, int_of tot_passes, int_of span, int_of tail,
+        float_of cycles, int_of macs, float_of util, float_of norm,
+        float_of bw, float_of wpc, float_of runtime, float_of gops,
+        float_of pcycles, float_of pperf, traffic )
+    with
+    | ( Some tile, Some selected_passes, Some total_passes, Some span,
+        Some tail, Some cycles, Some macs, Some utilization,
+        Some normalized_perf, Some bw_stall_factor, Some words_per_cycle,
+        Some runtime_us, Some gops, Some pipelined_cycles,
+        Some pipelined_perf, Some traffic_words ) ->
+      Some
+        { design_name = unescape_name name;
+          tile;
+          selected_passes;
+          total_passes;
+          span;
+          tail;
+          cycles;
+          macs;
+          utilization;
+          normalized_perf;
+          bw_stall_factor;
+          words_per_cycle;
+          runtime_us;
+          gops;
+          pipelined_cycles;
+          pipelined_perf;
+          traffic_words }
+    | _ -> None)
+  | _ -> None

@@ -91,6 +91,24 @@ val evaluate :
     bypasses the memo entirely.
     @raise Invalid_argument for non-2-D space transformations. *)
 
+val config_fingerprint : config -> string
+(** Stable textual form of a config (ints + hex floats): equal strings
+    iff the configs evaluate identically.  Part of {!cache_key}. *)
+
+val cache_key : ?config:config -> Tl_stt.Design.t -> string
+(** The exact memoisation key {!evaluate} uses: config fingerprint joined
+    with the symmetry-canonical evaluation signature.  Pure text, stable
+    across processes and sessions — the persistent design store keys its
+    entries with it. *)
+
+val result_to_string : result -> string
+(** Versioned exact codec (hex floats): [result_of_string (result_to_string
+    r) = Some r] with structural equality, bit-for-bit on every float. *)
+
+val result_of_string : string -> result option
+(** [None] on version mismatch or any malformed field — corrupted store
+    payloads degrade to a miss, never a crash. *)
+
 val counters : unit -> (string * int) list
 (** Cumulative tile-search counters: [tile_nodes], [tile_leaves],
     [tile_pruned], [tiles_evaluated]. *)

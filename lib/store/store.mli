@@ -1,0 +1,47 @@
+(** Persistent, content-addressed design store.
+
+    Maps string keys (config fingerprint + D4-canonical statement
+    signature) to string payloads (serialized evaluated design points).
+    With a [root] directory the store is on-disk and shared across
+    processes: each entry is one file named by the MD5 of its key, with
+    a versioned header carrying payload length and digest so corrupted
+    or truncated entries are detected at load and degrade to a miss —
+    never a crash, never a bad payload.  Writes are tempfile + rename,
+    so concurrent writers (same key or not) can only race {e complete}
+    files into place.  Without a [root] the store is a plain in-memory
+    table with the same interface.
+
+    Every store registers its hit/miss/eviction counters into
+    {!Tl_par.Cache}'s registry so benchmark and observability code
+    report it alongside the in-memory memo tables ([clear_all] resets
+    the counters, not the disk contents). *)
+
+type t
+
+val open_store : ?max_entries:int -> ?root:string -> unit -> t
+(** Open (creating directories as needed) a store rooted at [root], or
+    an in-memory store when [root] is omitted.  [max_entries] caps the
+    on-disk entry count: when exceeded after a {!put}, oldest-mtime
+    entries are evicted (and counted) until back at the cap. *)
+
+val root : t -> string option
+
+val find : t -> string -> string option
+(** Look up a key.  On disk the entry file is probed directly, so
+    entries written by other processes since {!open_store} are found.
+    A missing, truncated, corrupted or key-mismatched entry is a miss. *)
+
+val put : t -> string -> string -> unit
+(** Insert a payload.  First insertion wins semantics: concurrent
+    writers of one key each write a complete file; whichever rename
+    lands last is the visible one, and since payloads for a given key
+    are deterministic this is indistinguishable from first-wins. *)
+
+val find_or_add : t -> string -> (unit -> string) -> string
+(** [find] then, on a miss, compute + [put] + return. *)
+
+val stats : t -> Tl_par.Cache.stats
+val reset_counters : t -> unit
+val digest_hex : string -> string
+(** MD5 hex digest — the entry-file naming function, exposed so tests
+    and gates can locate (and deliberately corrupt) specific entries. *)

@@ -165,6 +165,11 @@ let render_matrix buf s (d : Design.t) =
    invariant — the full D4 group when the array is square, only the
    axis-preserving subgroup when [rows <> cols] (a transpose would swap the
    row/col feasibility checks). *)
+(* Stable 32-hex-char content digest of a key string.  MD5 of the exact
+   bytes, so it is identical across processes and sessions — the
+   persistent design store names its entry files with it. *)
+let key_digest s = Digest.to_hex (Digest.string s)
+
 let eval_key ~square (d : Design.t) =
   let t = d.Design.transform in
   let syms =

@@ -42,6 +42,11 @@ val stmt_fingerprint : Tl_ir.Stmt.t -> string
 (** Pins everything the analyses read from a statement: name, iterator
     names/extents, and exact access matrices (output last). *)
 
+val key_digest : string -> string
+(** Stable 32-hex-char MD5 digest of a key string — identical across
+    processes and sessions for identical bytes.  The persistent design
+    store addresses its entries with [key_digest (cache key)]. *)
+
 val eval_key : square:bool -> Design.t -> string
 (** Memoisation key for performance/cost evaluation: statement fingerprint,
     selection, and the (STT matrix, dataflows) pair canonicalised under the

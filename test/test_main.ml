@@ -17,4 +17,5 @@ let () =
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("coverage", Test_coverage.suite);
-      ("absint", Test_absint.suite) ]
+      ("absint", Test_absint.suite);
+      ("store", Test_store.suite) ]
