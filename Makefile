@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-dse fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint store-smoke examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick bench-dse fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint store-smoke chaos-smoke bench-resil examples fuzz doc clean
 
 all: build
 
@@ -33,6 +33,25 @@ bench-dse:
 store-smoke:
 	dune build bin/tensorlib_cli.exe bench/main.exe
 	dune exec bench/main.exe -- store-smoke
+
+# Software-chaos gate: a seeded fault campaign over the toolchain's probe
+# sites — store I/O (torn writes, injected Sys_error, corrupt payloads),
+# Tl_par tasks (kills, delays), and the serve loop's stdin (oversized
+# lines, mid-line EOF).  Asserts >= 200 injected faults, zero crashes,
+# store faults degrading to misses, and an interrupted-then-resumed
+# sweep digest bit-identical to an uninterrupted run at pool widths 1
+# and 3 (probe catalog: docs/RESILIENCE.md).
+chaos-smoke:
+	dune build bin/tensorlib_cli.exe bench/main.exe
+	dune exec bench/main.exe -- chaos-smoke
+
+# Software-resilience benchmark: retry economics under injected read
+# weather, budget-degraded partial-sweep latency vs a full sweep, and
+# the resume-from-checkpoint speedup; writes BENCH_resil.json.
+bench-resil:
+	dune build bin/tensorlib_cli.exe bench/main.exe
+	dune exec bench/main.exe -- bench-resil
+	grep -q '"schema": "tensorlib-bench-resil/1"' BENCH_resil.json
 
 # Resilience gate: 1000-trial fault campaigns on the baseline and the
 # TMR+parity+ABFT-hardened 4x4 GEMM accelerator, plus a 10000-trial

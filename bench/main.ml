@@ -1128,6 +1128,397 @@ let store_smoke () =
   print_endline "store-smoke: OK"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos gate: a seeded software-fault campaign over every probe site —
+   store I/O (short/torn writes, injected Sys_error, corrupt payloads),
+   Tl_par tasks (kills, delays), and the serve loop's stdin (oversized
+   lines, mid-line EOF).  Asserts >= 200 injected faults, zero process
+   crashes, every store fault degrading to a miss (never wrong bytes),
+   and an interrupted-then-resumed tiny sweep whose digest is
+   bit-identical to an uninterrupted run at pool widths 1 and 3.        *)
+
+let chaos_smoke () =
+  section "Chaos gate: seeded software-fault campaign (store/pool/serve)";
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL");
+    if not ok then incr failures
+  in
+  Resil.Chaos.reset_injected ();
+  (* fast retries: deterministic backoff, no wall-clock sleeping *)
+  let retry = { Resil.Retry.default with sleep = ignore } in
+
+  (* -- store campaign: puts and finds under heavy I/O weather -------- *)
+  let root = temp_dir "tlchaos" in
+  let store = Store.open_store ~retry ~root () in
+  let payload i = Printf.sprintf "payload-%d-%s" i (String.make 64 'x') in
+  Resil.Chaos.arm
+    {
+      Resil.Chaos.seed = 42;
+      rate = 0.7;
+      sites =
+        [ ("store.write",
+           [ Resil.Chaos.Fail "disk weather";
+             Resil.Chaos.Truncate 0.5;
+             Resil.Chaos.Corrupt ]);
+          ("store.read", [ Resil.Chaos.Fail "read weather" ]) ];
+    };
+  let puts = 150 in
+  let exact = ref 0 and missed = ref 0 and wrong = ref 0 in
+  for i = 0 to puts - 1 do
+    let key = Printf.sprintf "chaos-key-%d" i in
+    Store.put store key (payload i);
+    match Store.find store key with
+    | None -> incr missed
+    | Some p when p = payload i -> incr exact
+    | Some _ -> incr wrong
+  done;
+  Resil.Chaos.disarm ();
+  Printf.printf "  store campaign: %d puts  %d exact  %d missed  %d wrong\n"
+    puts !exact !missed !wrong;
+  check "every store fault degraded to a miss (no wrong bytes)" (!wrong = 0);
+  check "chaos actually perturbed the store campaign" (!missed > 0);
+  let degraded_reads, dropped_writes = Store.io_failures store in
+  Printf.printf "  io_failures: %d degraded reads  %d dropped writes\n"
+    degraded_reads dropped_writes;
+  (* clear weather: the same store must work again *)
+  Store.put store "post-chaos" "sunny";
+  check "store serves normally once disarmed"
+    (Store.find store "post-chaos" = Some "sunny");
+
+  (* -- torn write at every byte offset ------------------------------ *)
+  let root2 = temp_dir "tltorn" in
+  let store2 = Store.open_store ~root:root2 () in
+  Store.put store2 "torn" "torn-entry-payload-0123456789";
+  let entries2 = Filename.concat root2 "entries" in
+  let victim =
+    match Sys.readdir entries2 with
+    | [||] -> failwith "chaos-smoke: no entry persisted"
+    | names -> Filename.concat entries2 names.(0)
+  in
+  let ic = open_in_bin victim in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let torn_ok = ref true in
+  for cut = 0 to String.length full - 1 do
+    let oc = open_out_bin victim in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    (* fresh handle: no index state, straight to the torn file *)
+    let probe_store = Store.open_store ~root:root2 () in
+    match Store.find probe_store "torn" with
+    | None -> ()
+    | Some _ -> torn_ok := false
+  done;
+  let oc = open_out_bin victim in
+  output_string oc full;
+  close_out oc;
+  check
+    (Printf.sprintf "torn entry degrades to a miss at all %d offsets"
+       (String.length full))
+    !torn_ok;
+  check "restored entry serves again"
+    (Store.find (Store.open_store ~root:root2 ()) "torn"
+     = Some "torn-entry-payload-0123456789");
+
+  (* -- pool campaign: kills and delays, width-independent ----------- *)
+  let items = List.init 100 Fun.id in
+  let pattern_at width =
+    Resil.Chaos.arm
+      {
+        Resil.Chaos.seed = 7;
+        rate = 0.3;
+        sites =
+          [ ("par:chaos-par",
+             [ Resil.Chaos.Fail "killed"; Resil.Chaos.Delay 5000 ]) ];
+      };
+    let r =
+      Par.try_map ~domains:width ~label:"chaos-par"
+        (fun i -> i * i)
+        items
+    in
+    Resil.Chaos.disarm ();
+    List.map (function Ok v -> Printf.sprintf "ok:%d" v | Error _ -> "err") r
+  in
+  let p1 = pattern_at 1 in
+  let p3 = pattern_at 3 in
+  let p8 = pattern_at 8 in
+  check "pool Ok/Error pattern identical at widths 1/3/8"
+    (p1 = p3 && p3 = p8);
+  check "pool campaign injected both kills and survivals"
+    (List.exists (( = ) "err") p1 && List.exists (( <> ) "err") p1);
+  (* delays only: map must keep its ordering contract *)
+  Resil.Chaos.arm
+    {
+      Resil.Chaos.seed = 11;
+      rate = 0.5;
+      sites = [ ("par:chaos-ord", [ Resil.Chaos.Delay 20000 ]) ];
+    };
+  let ordered =
+    Par.map ~domains:8 ~label:"chaos-ord" (fun i -> 2 * i) items
+  in
+  Resil.Chaos.disarm ();
+  check "injected delays never reorder pool results"
+    (ordered = List.map (fun i -> 2 * i) items);
+
+  (* -- serve under hostile stdin (subprocess) ------------------------ *)
+  let cli =
+    Filename.concat (Sys.getcwd ()) "_build/default/bin/tensorlib_cli.exe"
+  in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf "chaos-smoke: CLI binary not built (%s)\n" cli;
+    exit 1
+  end;
+  let serve_root = temp_dir "tlserve" in
+  let infile = Filename.temp_file "tlserve" ".in" in
+  let outfile = Filename.temp_file "tlserve" ".out" in
+  let errfile = Filename.temp_file "tlserve" ".err" in
+  let oc = open_out infile in
+  output_string oc "{\"id\": 1, \"network\": \"tiny\"}\n";
+  output_string oc (String.make 4096 'z' ^ "\n") (* oversized *);
+  output_string oc "this is not json\n";
+  output_string oc "{\"id\": 2, \"expr\": \"bogus\"}\n";
+  output_string oc "\n" (* blank: ignored *);
+  output_string oc "{\"id\": 3, \"network\": \"tiny\"}" (* mid-line EOF *);
+  close_out oc;
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s serve --store %s --max-request-bytes 1024 < %s > %s 2> %s"
+         (Filename.quote cli) (Filename.quote serve_root)
+         (Filename.quote infile) (Filename.quote outfile)
+         (Filename.quote errfile))
+  in
+  check "serve exits 0 after oversized/malformed/mid-line-EOF input"
+    (rc = 0);
+  let read_all path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let responses =
+    String.split_on_char '\n' (read_all outfile)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parsed = List.map (fun l -> Json.parse l) responses in
+  check "serve answered every non-blank request with JSON"
+    (List.length responses = 5
+     && List.for_all (function Ok _ -> true | Error _ -> false) parsed);
+  let ok_of = function
+    | Ok j -> (match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false)
+    | Error _ -> false
+  in
+  check "hostile lines got structured errors, real requests succeeded"
+    (List.map ok_of parsed = [ true; false; false; false; true ]);
+  let errlog = read_all errfile in
+  let contains_shutdown =
+    let needle = "serve: shutdown after" in
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length errlog
+      && (String.sub errlog i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "serve printed the final stats line on stderr" contains_shutdown;
+  List.iter Sys.remove [ infile; outfile; errfile ];
+
+  (* -- interrupted-then-resumed sweep, digest-identical -------------- *)
+  let layers = List.assoc "tiny" (Network.networks ()) in
+  (* pick a seed whose par:network-sweep plan kills exactly shape 0:
+     injections key on the task index, so the choice holds at any
+     pool width *)
+  let kill_rate = 0.5 in
+  let seed =
+    let fires s k =
+      Resil.Chaos.would_fire ~seed:s ~rate:kill_rate ~site:"par:network-sweep"
+        ~key:k
+    in
+    let rec go s =
+      if s > 100_000 then failwith "chaos-smoke: no suitable seed"
+      else if fires s 0 && not (fires s 1) && not (fires s 2) then s
+      else go (s + 1)
+    in
+    go 0
+  in
+  let sweep_digest ~width ~root ~resume =
+    let store = Store.open_store ~root () in
+    let ckpt = Filename.concat root "sweep-tiny.ckpt" in
+    let r =
+      Network.sweep ~domains:width ~checkpoint:ckpt ~resume ~store ~name:"tiny"
+        layers
+    in
+    r
+  in
+  List.iter
+    (fun width ->
+      let cold_root = temp_dir "tlcold" in
+      let cold = sweep_digest ~width ~root:cold_root ~resume:false in
+      let int_root = temp_dir "tlint" in
+      Resil.Chaos.arm
+        {
+          Resil.Chaos.seed;
+          rate = kill_rate;
+          sites = [ ("par:network-sweep", [ Resil.Chaos.Fail "interrupted" ]) ];
+        };
+      let interrupted = sweep_digest ~width ~root:int_root ~resume:false in
+      Resil.Chaos.disarm ();
+      check
+        (Printf.sprintf "width %d: injected kill degrades the sweep" width)
+        ((not interrupted.Network.r_complete)
+         && interrupted.Network.r_degraded_shapes = 1);
+      check
+        (Printf.sprintf "width %d: interrupted sweep left a checkpoint" width)
+        (Sys.file_exists (Filename.concat int_root "sweep-tiny.ckpt"));
+      let resumed = sweep_digest ~width ~root:int_root ~resume:true in
+      check
+        (Printf.sprintf
+           "width %d: resumed digest bit-identical to uninterrupted" width)
+        (resumed.Network.r_complete
+         && resumed.Network.r_digest = cold.Network.r_digest
+         && resumed.Network.r_resumed_shapes = 2);
+      check
+        (Printf.sprintf "width %d: completed checkpoint removed" width)
+        (not (Sys.file_exists (Filename.concat int_root "sweep-tiny.ckpt"))))
+    [ 1; 3 ];
+
+  let injected = Resil.Chaos.injected () in
+  Printf.printf "  total injected software faults: %d\n" injected;
+  check "campaign injected at least 200 software faults" (injected >= 200);
+  if !failures > 0 then begin
+    Printf.printf "chaos-smoke: %d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "chaos-smoke: OK"
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark gate: resilience overheads.  Measures what the software
+   armour costs and buys — retry counts under injected read weather,
+   the latency of a budget-degraded partial sweep vs a full one, and
+   the resume-from-checkpoint speedup vs a cold sweep — and writes
+   BENCH_resil.json (schema tensorlib-bench-resil/1).                   *)
+
+let bench_resil () =
+  section "Benchmark gate: resilience (retries, partial latency, resume)";
+  Resil.Chaos.reset_injected ();
+  Resil.Retry.reset_counters ();
+  (* retry economics under seeded read weather *)
+  let retry = { Resil.Retry.default with sleep = ignore } in
+  let root = temp_dir "tlresil" in
+  let store = Store.open_store ~retry ~root () in
+  let n_keys = 200 in
+  for i = 0 to n_keys - 1 do
+    Store.put store (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i)
+  done;
+  Resil.Chaos.arm
+    {
+      Resil.Chaos.seed = 5;
+      rate = 0.4;
+      sites = [ ("store.read", [ Resil.Chaos.Fail "weather" ]) ];
+    };
+  let healed = ref 0 and missed = ref 0 in
+  for i = 0 to n_keys - 1 do
+    match Store.find store (Printf.sprintf "k%d" i) with
+    | Some _ -> incr healed
+    | None -> incr missed
+  done;
+  Resil.Chaos.disarm ();
+  let retries = Resil.Retry.retries () in
+  let giveups = Resil.Retry.giveups () in
+  let degraded_reads, dropped_writes = Store.io_failures store in
+  Printf.printf
+    "  read weather (rate 0.4, %d reads): %d healed  %d missed  %d retries  \
+     %d giveups\n"
+    n_keys !healed !missed retries giveups;
+  if !healed + !missed <> n_keys then failwith "bench-resil: lost reads";
+  if !healed = 0 then failwith "bench-resil: retries never healed a read";
+
+  (* partial-result latency: a hard budget answers fast with estimates *)
+  let layers = List.assoc "tiny" (Network.networks ()) in
+  let cold_root = temp_dir "tlresilc" in
+  let cold, cold_s =
+    wall (fun () ->
+        Network.sweep ~store:(Store.open_store ~root:cold_root ())
+          ~name:"tiny" layers)
+  in
+  let partial_root = temp_dir "tlresilp" in
+  let partial, partial_s =
+    wall (fun () ->
+        Network.sweep
+          ~budget:(Resil.Budget.of_checks 1000)
+          ~store:(Store.open_store ~root:partial_root ())
+          ~name:"tiny" layers)
+  in
+  Printf.printf
+    "  full sweep %.3fs  budget-degraded %.3fs (%.0fx faster, %d/%d shapes \
+     estimated)\n"
+    cold_s partial_s (cold_s /. partial_s) partial.Network.r_degraded_shapes
+    partial.Network.r_unique_shapes;
+  if partial.Network.r_complete then
+    failwith "bench-resil: budget failed to degrade the sweep";
+
+  (* resume-vs-cold: interrupt by killing shape 0, then resume *)
+  let kill_rate = 0.5 in
+  let fires s k =
+    Resil.Chaos.would_fire ~seed:s ~rate:kill_rate ~site:"par:network-sweep"
+      ~key:k
+  in
+  let rec find_seed s =
+    if s > 100_000 then failwith "bench-resil: no suitable seed"
+    else if fires s 0 && not (fires s 1) && not (fires s 2) then s
+    else find_seed (s + 1)
+  in
+  let seed = find_seed 0 in
+  let int_root = temp_dir "tlresili" in
+  let int_store = Store.open_store ~root:int_root () in
+  let ckpt = Filename.concat int_root "sweep-tiny.ckpt" in
+  Resil.Chaos.arm
+    {
+      Resil.Chaos.seed;
+      rate = kill_rate;
+      sites = [ ("par:network-sweep", [ Resil.Chaos.Fail "interrupted" ]) ];
+    };
+  let _interrupted =
+    Network.sweep ~checkpoint:ckpt ~store:int_store ~name:"tiny" layers
+  in
+  Resil.Chaos.disarm ();
+  let resumed, resume_s =
+    wall (fun () ->
+        Network.sweep ~checkpoint:ckpt ~resume:true ~store:int_store
+          ~name:"tiny" layers)
+  in
+  let digest_identical = resumed.Network.r_digest = cold.Network.r_digest in
+  Printf.printf
+    "  cold sweep %.3fs  resumed %.3fs (%.1fx, %d shapes from checkpoint, \
+     digest %s)\n"
+    cold_s resume_s (cold_s /. resume_s) resumed.Network.r_resumed_shapes
+    (if digest_identical then "identical" else "DIVERGED");
+  if not digest_identical then
+    failwith "bench-resil: resumed digest diverged from cold";
+  let oc = open_out "BENCH_resil.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"tensorlib-bench-resil/1\",\n\
+    \  \"domains\": %d,\n\
+    \  \"retry\": {\"reads\": %d, \"healed\": %d, \"missed\": %d, \
+     \"retries\": %d, \"giveups\": %d, \"degraded_reads\": %d, \
+     \"dropped_writes\": %d},\n\
+    \  \"partial\": {\"cold_s\": %.4f, \"partial_s\": %.4f, \
+     \"speedup\": %.2f, \"degraded_shapes\": %d, \"unique_shapes\": %d},\n\
+    \  \"resume\": {\"cold_s\": %.4f, \"resume_s\": %.4f, \
+     \"speedup\": %.2f, \"resumed_shapes\": %d, \"digest_identical\": %b},\n\
+    \  \"injected_faults\": %d\n\
+     }\n"
+    (Par.n_domains ()) n_keys !healed !missed retries giveups degraded_reads
+    dropped_writes cold_s partial_s (cold_s /. partial_s)
+    partial.Network.r_degraded_shapes partial.Network.r_unique_shapes cold_s
+    resume_s (cold_s /. resume_s) resumed.Network.r_resumed_shapes
+    digest_identical
+    (Resil.Chaos.injected ());
+  close_out oc;
+  ignore cold.Network.r_complete;
+  print_endline "\n  (machine-readable results written to BENCH_resil.json)"
+
+(* ------------------------------------------------------------------ *)
 (* Benchmark gate: fault-injection campaign.  Baseline 4x4 GEMM vs the
    fully hardened (TMR + parity + ABFT) variant of the same dataflow,
    each under a 1000-trial seeded campaign; writes BENCH_fault.json with
@@ -1475,7 +1866,8 @@ let dispatch =
   all_sections
   @ [ ("bench-quick", bench_quick); ("bench-fault", bench_fault);
       ("bench-obs", bench_obs); ("bench-absint", bench_absint);
-      ("batch-smoke", batch_smoke); ("store-smoke", store_smoke) ]
+      ("batch-smoke", batch_smoke); ("store-smoke", store_smoke);
+      ("chaos-smoke", chaos_smoke); ("bench-resil", bench_resil) ]
 
 let () =
   match Array.to_list Sys.argv with

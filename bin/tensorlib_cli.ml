@@ -755,7 +755,12 @@ let layer_json (l : Network.layer) =
       ("hit", Json.Bool l.Network.l_hit);
       ("points", Json.Num (float_of_int l.Network.l_points));
       ("frontier", Json.Num (float_of_int (List.length l.Network.l_frontier)));
-      ("best", best) ]
+      ("best", best);
+      ("degraded", Json.Bool l.Network.l_degraded);
+      ("est_cycles",
+       match l.Network.l_est_cycles with
+       | None -> Json.Null
+       | Some c -> Json.Num c) ]
 
 let report_json (r : Network.report) =
   Json.Obj
@@ -771,12 +776,19 @@ let report_json (r : Network.report) =
       ("hits", Json.Num (float_of_int r.Network.r_hits));
       ("misses", Json.Num (float_of_int r.Network.r_misses));
       ("hit_rate", Json.Num r.Network.r_hit_rate);
-      ("digest", Json.Str r.Network.r_digest) ]
+      ("digest", Json.Str r.Network.r_digest);
+      ("complete", Json.Bool r.Network.r_complete);
+      ("degraded_shapes", Json.Num (float_of_int r.Network.r_degraded_shapes));
+      ("resumed_shapes", Json.Num (float_of_int r.Network.r_resumed_shapes)) ]
 
 let print_report_text (r : Network.report) =
   List.iter
     (fun (l : Network.layer) ->
       match l.Network.l_best with
+      | None when l.Network.l_degraded ->
+        Printf.printf "%-12s DEGRADED  estimate only: %10.0f cyc\n"
+          l.Network.l_name
+          (Option.value l.Network.l_est_cycles ~default:0.)
       | None ->
         Printf.printf "%-12s %s  no evaluable design point\n" l.Network.l_name
           (if l.Network.l_hit then "hit " else "miss")
@@ -801,6 +813,14 @@ let print_report_text (r : Network.report) =
     "totals (per-layer winners): %.0f cycles, %.1f us, area %.0f, %.1f mW\n"
     r.Network.r_total_cycles r.Network.r_total_runtime_us
     r.Network.r_total_area r.Network.r_total_power;
+  if not r.Network.r_complete then
+    Printf.printf
+      "PARTIAL result: %d of %d unique shapes degraded to estimates (budget \
+       expired or fault injected); totals include per-layer estimates\n"
+      r.Network.r_degraded_shapes r.Network.r_unique_shapes;
+  if r.Network.r_resumed_shapes > 0 then
+    Printf.printf "resumed: %d shapes restored from checkpoint\n"
+      r.Network.r_resumed_shapes;
   Printf.printf "result digest: %s\n" r.Network.r_digest
 
 let network_arg =
@@ -820,15 +840,61 @@ let limit_arg =
            ~doc:"Evaluate at most N design points per unique shape (the cap \
                  is part of the store key).")
 
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume an interrupted sweep from its checkpoint (requires \
+                 --store; the checkpoint lives next to the store).  Shapes \
+                 completed before the interruption are served from the \
+                 store, so the final digest is bit-identical to an \
+                 uninterrupted run.")
+
+let deadline_ms_arg =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ]
+           ~doc:"Wall-clock budget in milliseconds.  On expiry the sweep \
+                 returns a PARTIAL result: Pareto frontiers for completed \
+                 shapes, estimate-only fallbacks (flagged degraded) for the \
+                 rest."
+           ~docv:"MS")
+
+let budget_checks_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-checks" ]
+           ~doc:"Deterministic work budget: the sweep stops after N \
+                 cooperative budget polls (useful for reproducible partial \
+                 results in tests; deterministic at pool width 1)."
+           ~docv:"N")
+
+let budget_of ~deadline_ms ~budget_checks =
+  match (deadline_ms, budget_checks) with
+  | Some _, Some _ -> failwith "--deadline-ms and --budget-checks conflict"
+  | Some ms, None ->
+    if ms < 1 then failwith (Printf.sprintf "--deadline-ms must be >= 1; got %d" ms);
+    Tensorlib.Resil.Budget.of_seconds (float_of_int ms /. 1000.)
+  | None, Some n ->
+    if n < 1 then failwith (Printf.sprintf "--budget-checks must be >= 1; got %d" n);
+    Tensorlib.Resil.Budget.of_checks n
+  | None, None -> Tensorlib.Resil.Budget.unlimited
+
+let checkpoint_of store_dir name =
+  Option.map
+    (fun dir -> Filename.concat dir ("sweep-" ^ name ^ ".ckpt"))
+    store_dir
+
 let sweep_cmd =
-  let run name store_dir limit json =
+  let run name store_dir limit json resume deadline_ms budget_checks =
     guard @@ fun () ->
     (match limit with
      | Some n when n < 1 ->
        failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
      | _ -> ());
+    if resume && store_dir = None then
+      failwith "--resume requires --store (the checkpoint lives next to it)";
+    let budget = budget_of ~deadline_ms ~budget_checks in
     let layers = network_of_string name in
     let store = store_of_path store_dir in
+    let checkpoint = checkpoint_of store_dir name in
     let progress =
       if json then None
       else
@@ -841,7 +907,8 @@ let sweep_cmd =
                else Printf.sprintf "computed %d points" p.Network.pr_points))
     in
     let r =
-      Network.sweep ?per_shape_limit:limit ?progress ~store ~name layers
+      Network.sweep ?per_shape_limit:limit ?progress ~budget ?checkpoint
+        ~resume ~store ~name layers
     in
     if json then print_endline (Json.to_string (report_json r))
     else print_report_text r
@@ -851,8 +918,12 @@ let sweep_cmd =
        ~doc:"Whole-network design-space sweep through the persistent design \
              store: dedup layers by canonical shape, enumerate + evaluate \
              each unique shape once (or load it from the store), report \
-             per-layer Pareto winners and network totals")
-    Term.(const run $ network_arg $ store_arg $ limit_arg $ json_arg)
+             per-layer Pareto winners and network totals.  Budgets \
+             (--deadline-ms / --budget-checks) degrade gracefully to \
+             PARTIAL results; --resume continues an interrupted sweep from \
+             its checkpoint.")
+    Term.(const run $ network_arg $ store_arg $ limit_arg $ json_arg
+          $ resume_arg $ deadline_ms_arg $ budget_checks_arg)
 
 (* serve: one JSON request per stdin line, one JSON response per line.
    Requests: {"id": .., "network": "tiny"}
@@ -862,7 +933,7 @@ let sweep_cmd =
    per-request hit counts; malformed requests answer {"ok": false, ...}
    without stopping the loop. *)
 
-let serve_request store limit line =
+let serve_request ?deadline_ms store limit line =
   let fail id msg =
     Json.Obj
       (("id", id) :: [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
@@ -897,8 +968,18 @@ let serve_request store limit line =
     | exception Failure msg -> fail id msg
     | name, layers -> (
       let before = Store.stats store in
-      match Network.sweep ?per_shape_limit:limit ~store ~name layers with
+      (* a fresh budget per request: one slow request degrades its own
+         answer, never the server or the requests behind it *)
+      let budget =
+        match deadline_ms with
+        | None -> Tensorlib.Resil.Budget.unlimited
+        | Some ms ->
+          Tensorlib.Resil.Budget.of_seconds ~label:"serve-request"
+            (float_of_int ms /. 1000.)
+      in
+      match Network.sweep ?per_shape_limit:limit ~budget ~store ~name layers with
       | exception Failure msg -> fail id msg
+      | r when not r.Network.r_complete -> fail id "deadline"
       | r ->
         let after = Store.stats store in
         let req_hits = after.Par.Cache.hits - before.Par.Cache.hits in
@@ -915,33 +996,124 @@ let serve_request store limit line =
                (if req_total = 0 then 1.
                 else float_of_int req_hits /. float_of_int req_total)) ]))
 
+(* Bounded request reader: the server never buffers more than the cap no
+   matter what arrives on stdin. *)
+type bounded_line =
+  | Line of string  (* complete newline-terminated line *)
+  | Last of string  (* final line, terminated by EOF instead of '\n' *)
+  | Oversized  (* line exceeded the cap; the rest was drained *)
+  | Eof  (* clean EOF at a line boundary (or stdin I/O error) *)
+
+let read_bounded_line ~max_bytes ic =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | '\n' -> ()
+    | _ -> drain ()
+  in
+  let rec go n =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Eof else Last (Buffer.contents buf)
+    | exception Sys_error _ -> Eof (* stdin broke: shut down cleanly *)
+    | '\n' -> Line (Buffer.contents buf)
+    | _ when n >= max_bytes -> drain (); Oversized
+    | c ->
+      Buffer.add_char buf c;
+      go (n + 1)
+  in
+  go 0
+
 let serve_cmd =
-  let run store_dir limit =
+  let run store_dir limit max_request_bytes deadline_ms =
     guard @@ fun () ->
     (match limit with
      | Some n when n < 1 ->
        failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
      | _ -> ());
+    if max_request_bytes < 1 then
+      failwith
+        (Printf.sprintf "--max-request-bytes must be >= 1; got %d"
+           max_request_bytes);
+    (match deadline_ms with
+     | Some ms when ms < 1 ->
+       failwith (Printf.sprintf "--deadline-ms must be >= 1; got %d" ms)
+     | _ -> ());
     let store = store_of_path store_dir in
+    let served = ref 0 in
+    let errors = ref 0 in
+    let respond json =
+      incr served;
+      (match Json.member "ok" json with
+      | Some (Json.Bool false) -> incr errors
+      | _ -> ());
+      print_endline (Json.to_string json);
+      flush stdout
+    in
+    let handle line =
+      (* last-resort containment: any unanticipated exception becomes a
+         structured error answer, never a dead server *)
+      try serve_request ?deadline_ms store limit line
+      with e ->
+        Json.Obj
+          [ ("id", Json.Null);
+            ("ok", Json.Bool false);
+            ("error", Json.Str ("internal: " ^ Printexc.to_string e)) ]
+    in
+    let oversized_answer =
+      Json.Obj
+        [ ("id", Json.Null);
+          ("ok", Json.Bool false);
+          ("error",
+           Json.Str
+             (Printf.sprintf "request exceeds --max-request-bytes=%d"
+                max_request_bytes)) ]
+    in
+    let shutdown () =
+      Printf.eprintf "serve: shutdown after %d responses (%d errors)\n%!"
+        !served !errors
+    in
     let rec loop () =
-      match input_line stdin with
-      | exception End_of_file -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
-        print_endline (Json.to_string (serve_request store limit line));
-        flush stdout;
-        loop ()
+      match read_bounded_line ~max_bytes:max_request_bytes stdin with
+      | Eof -> shutdown ()
+      | Oversized -> respond oversized_answer; loop ()
+      | Line line when String.trim line = "" -> loop ()
+      | Line line -> respond (handle line); loop ()
+      | Last line ->
+        (* mid-line EOF: answer the partial line, then shut down *)
+        if String.trim line <> "" then respond (handle line);
+        shutdown ()
     in
     loop ()
+  in
+  let max_request_bytes_arg =
+    Arg.(value & opt int 65536
+         & info [ "max-request-bytes" ]
+             ~doc:"Cap on one request line; longer lines are drained and \
+                   answered with a structured error without stopping the \
+                   server."
+             ~docv:"BYTES")
+  in
+  let serve_deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ]
+             ~doc:"Per-request budget in milliseconds; a request that \
+                   cannot finish in time answers {\"ok\": false, \
+                   \"error\": \"deadline\"} and the server keeps serving."
+             ~docv:"MS")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-running sweep server: read one JSON request per stdin \
              line ({\"id\", \"network\"} or {\"id\", \"expr\", \
              \"extents\"}), answer each with the sweep roll-up from the \
-             warm store plus per-request hit counts; malformed requests \
-             get {\"ok\": false} responses and the loop continues")
-    Term.(const run $ store_arg $ limit_arg)
+             warm store plus per-request hit counts; malformed or \
+             oversized requests get {\"ok\": false} responses and the loop \
+             continues.  EOF (even mid-line) shuts down cleanly with a \
+             final stats line on stderr and exit status 0.")
+    Term.(const run $ store_arg $ limit_arg $ max_request_bytes_arg
+          $ serve_deadline_arg)
 
 let () =
   let info =

@@ -77,6 +77,14 @@ module Campaign = Tl_fault.Campaign
 (* Parallel work pool *)
 module Par = Tl_par
 
+(* Software-layer resilience: budgets, retries, chaos, checkpoints *)
+module Resil = struct
+  module Budget = Tl_resil.Budget
+  module Retry = Tl_resil.Retry
+  module Chaos = Tl_resil.Chaos
+  module Checkpoint = Tl_resil.Checkpoint
+end
+
 (* Observability: counter validation, measured-activity power, tracing *)
 module Obs = struct
   module Counters = Tl_obs.Counters

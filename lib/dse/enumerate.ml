@@ -9,7 +9,7 @@ type point = {
 let signature = Tl_stt.Signature.signature
 
 let design_space ?max_unselected ?(exclude_unicast = false)
-    ?max_bank_ports ?domains stmt =
+    ?max_bank_ports ?domains ?(budget = Tl_resil.Budget.unlimited) stmt =
   let depth = Tl_ir.Stmt.depth stmt in
   let selections =
     List.filter
@@ -36,6 +36,10 @@ let design_space ?max_unselected ?(exclude_unicast = false)
     in
     List.filter_map
       (fun m ->
+        (* cooperative cancellation: one budget unit per candidate
+           matrix; expiry raises [Budget.Expired] between matrices so
+           the caller always observes a consistent prefix *)
+        Tl_resil.Budget.check budget;
         let t = Tl_stt.Transform.v stmt ~selected ~matrix:m in
         let d = analyze t in
         let dfs =

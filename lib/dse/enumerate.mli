@@ -17,14 +17,18 @@ val signature : Tl_stt.Design.t -> string
     tensor's dataflow with direction vectors). *)
 
 val design_space : ?max_unselected:int -> ?exclude_unicast:bool ->
-  ?max_bank_ports:int -> ?domains:int -> Tl_ir.Stmt.t -> point list
+  ?max_bank_ports:int -> ?domains:int -> ?budget:Tl_resil.Budget.t ->
+  Tl_ir.Stmt.t -> point list
 (** All distinct design points reachable with {-1,0,1} transformation
     matrices over every 3-loop selection.  [max_unselected] (default: no
     limit) can restrict how many loops are left sequential — the paper's
     Fig. 6 spaces keep every selection.  Points with [Reuse_full] tensors
     are excluded (no hardware mapping).  The per-selection matrix sweeps
     run on a {!Tl_par} pool ([?domains], default auto-detected); the
-    result set and order are identical to the serial enumeration. *)
+    result set and order are identical to the serial enumeration.
+    [budget] (default unlimited) is polled once per candidate matrix;
+    expiry raises {!Tl_resil.Budget.Expired} — cooperative, so a caller
+    catching it has lost nothing but the un-enumerated tail. *)
 
 val pareto_min : ('a -> float * float) -> 'a list -> 'a list
 (** Pareto frontier minimising both objectives, in input order; points

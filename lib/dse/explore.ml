@@ -6,7 +6,7 @@ type evaluated = {
 }
 
 let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64)
-    ?domains stmt =
+    ?domains ?(budget = Tl_resil.Budget.unlimited) stmt =
   let names = Tl_stt.Search.all_designs stmt in
   let capped = List.filteri (fun i _ -> i < limit) names in
   (* [all_designs] already carries the realising design for every name:
@@ -15,6 +15,9 @@ let explore ?(config = Tl_perf.Perf_model.default_config) ?(limit = 64)
      construction the evaluated one). *)
   Tl_par.map ?domains ~label:"dse-explore"
     (fun (_, design) ->
+      (* one budget unit per evaluated design; expiry raises between
+         evaluations (lowest-index first out of the pool) *)
+      Tl_resil.Budget.check budget;
       match Tl_perf.Perf_model.evaluate ~config design with
       | exception Invalid_argument _ -> None
       | perf ->

@@ -14,14 +14,15 @@ type evaluated = {
 }
 
 val explore : ?config:Tl_perf.Perf_model.config -> ?limit:int ->
-  ?domains:int -> Tl_ir.Stmt.t -> evaluated list
+  ?domains:int -> ?budget:Tl_resil.Budget.t -> Tl_ir.Stmt.t -> evaluated list
 (** Evaluate every letter-distinct dataflow of the workload (capped at
     [limit], default 64, cheapest-estimate first).  Designs whose space
     mapping cannot fit the array are skipped.  Each design is evaluated
     and costed directly (the realising design found by the enumeration is
     threaded through — no re-resolution), fanned over a {!Tl_par} pool
     ([?domains], default auto-detected); results are deterministic and
-    name-ordered regardless of the pool width. *)
+    name-ordered regardless of the pool width.  [budget] is polled once
+    per evaluated design; expiry raises {!Tl_resil.Budget.Expired}. *)
 
 val best_performance : evaluated list -> evaluated
 (** @raise Invalid_argument on an empty list. *)

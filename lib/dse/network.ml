@@ -33,6 +33,8 @@ type layer = {
   l_points : int;  (** evaluable design points *)
   l_frontier : point list;  (** Pareto frontier on (cycles, power) *)
   l_best : point option;  (** min-cycles winner; [None] if no point *)
+  l_degraded : bool;  (** shape not swept (budget/fault); estimate only *)
+  l_est_cycles : float option;  (** fallback estimate for degraded layers *)
 }
 
 type report = {
@@ -48,6 +50,9 @@ type report = {
   r_misses : int;
   r_hit_rate : float;
   r_digest : string;  (** MD5 over all shape payloads, shape order *)
+  r_complete : bool;  (** every unique shape fully swept *)
+  r_degraded_shapes : int;  (** unique shapes answered estimate-only *)
+  r_resumed_shapes : int;  (** unique shapes found in a loaded checkpoint *)
 }
 
 type progress = {
@@ -133,8 +138,9 @@ let decode_points payload =
 (* Evaluation of one unique shape (always single-domain: the sweep
    parallelises across shapes, never inside one). *)
 
-let evaluate_shape ~config ?per_shape_limit stmt =
-  let pts = Enumerate.design_space ~domains:1 stmt in
+let evaluate_shape ~config ?per_shape_limit
+    ?(budget = Tl_resil.Budget.unlimited) stmt =
+  let pts = Enumerate.design_space ~domains:1 ~budget stmt in
   let pts =
     match per_shape_limit with
     | None -> pts
@@ -142,6 +148,7 @@ let evaluate_shape ~config ?per_shape_limit stmt =
   in
   List.filter_map
     (fun (p : Enumerate.point) ->
+      Tl_resil.Budget.check budget;
       match Perf.evaluate ~config p.Enumerate.design with
       | exception Invalid_argument _ -> None
       | perf ->
@@ -171,7 +178,22 @@ let best_of pts =
         if p.p_perf.Perf.cycles < b.p_perf.Perf.cycles then Some p else acc)
     None pts
 
+(* The checkpoint tag binds a checkpoint file to one exact sweep: the
+   network name plus every unique shape key (which already embeds the
+   config fingerprint and the per-shape limit).  A checkpoint written by
+   any other sweep is silently ignored on resume. *)
+let checkpoint_tag ~name unique_keys =
+  Tl_stt.Signature.key_digest (String.concat "\n" (name :: unique_keys))
+
+(* O(1) fallback when a shape could not be swept: ideal MACs/cycle on a
+   fully-busy [rows x cols] array.  Deliberately design-agnostic — it
+   needs no enumeration, no evaluation, and no store access. *)
+let estimate_cycles ~config stmt =
+  let pes = float_of_int (config.Perf.rows * config.Perf.cols) in
+  float_of_int (Tl_ir.Stmt.domain_size stmt) /. Float.max 1. pes
+
 let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
+    ?(budget = Tl_resil.Budget.unlimited) ?checkpoint ?(resume = false)
     ~store ~name layers =
   (* dedup by shape key, preserving first-occurrence order *)
   let keyed =
@@ -191,6 +213,37 @@ let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
       keyed
   in
   let total = List.length unique in
+  let unique_keys = List.map (fun (_, _, key) -> key) unique in
+  let tag = checkpoint_tag ~name unique_keys in
+  let resumed_keys : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (match checkpoint with
+  | Some path when resume -> (
+    match Tl_resil.Checkpoint.load ~path ~tag with
+    | None -> ()
+    | Some keys ->
+      List.iter
+        (fun k -> if Hashtbl.mem seen k then Hashtbl.replace resumed_keys k ())
+        keys)
+  | _ -> ());
+  (* completed-shape journal: mutated only under [ckpt_lock]; the
+     checkpoint file is rewritten atomically after every finished shape
+     so an interrupted sweep can resume from the last completed one *)
+  let ckpt_lock = Mutex.create () in
+  let completed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark_done key =
+    Mutex.lock ckpt_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock ckpt_lock)
+      (fun () ->
+        Hashtbl.replace completed key ();
+        match checkpoint with
+        | None -> ()
+        | Some path ->
+          let keys =
+            List.filter (fun k -> Hashtbl.mem completed k) unique_keys
+          in
+          Tl_resil.Checkpoint.save ~path ~tag keys)
+  in
   let done_ctr = Atomic.make 0 in
   let progress_lock = Mutex.create () in
   let note lname hit points =
@@ -212,9 +265,13 @@ let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
             })
   in
   (* shape-major sharding: every worker owns whole shapes, and keys are
-     unique within [unique], so no two domains touch the same store key *)
-  let shards =
-    Tl_par.map ?domains ~label:"network-sweep"
+     unique within [unique], so no two domains touch the same store key.
+     [try_map] contains per-shape faults (budget expiry, injected chaos,
+     evaluation crashes): a failed shape degrades to an estimate instead
+     of killing the sweep, and the Ok/Error pattern is deterministic and
+     pool-width independent. *)
+  let results =
+    Tl_par.try_map ?domains ~label:"network-sweep"
       (fun (lname, stmt, key) ->
         let from_store =
           match Store.find store key with
@@ -228,7 +285,10 @@ let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
           match from_store with
           | Some (payload, pts) -> (true, payload, pts)
           | None ->
-            let computed = evaluate_shape ~config ?per_shape_limit stmt in
+            (* store hits above are served even on an expired budget;
+               only fresh computation is gated *)
+            Tl_resil.Budget.check budget;
+            let computed = evaluate_shape ~config ?per_shape_limit ~budget stmt in
             let payload = encode_points computed in
             Store.put store key payload;
             (* decode our own payload so cold and warm sweeps flow
@@ -241,49 +301,80 @@ let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
             in
             (false, payload, pts)
         in
+        mark_done key;
         note lname hit (List.length pts);
-        (key, hit, payload, pts))
+        (hit, payload, pts))
       unique
   in
-  let by_key : (string, bool * string * point list) Hashtbl.t =
+  let shards = List.map2 (fun (_, _, key) r -> (key, r)) unique results in
+  let by_key : (string, (bool * string * point list, exn) result) Hashtbl.t =
     Hashtbl.create 16
   in
-  List.iter
-    (fun (key, hit, payload, pts) ->
-      Hashtbl.replace by_key key (hit, payload, pts))
-    shards;
+  List.iter (fun (key, r) -> Hashtbl.replace by_key key r) shards;
   let layers_out =
     List.map
-      (fun (lname, _stmt, key) ->
-        let hit, _payload, pts = Hashtbl.find by_key key in
-        {
-          l_name = lname;
-          l_key = key;
-          l_hit = hit;
-          l_points = List.length pts;
-          l_frontier = frontier_of pts;
-          l_best = best_of pts;
-        })
+      (fun (lname, stmt, key) ->
+        match Hashtbl.find by_key key with
+        | Ok (hit, _payload, pts) ->
+          {
+            l_name = lname;
+            l_key = key;
+            l_hit = hit;
+            l_points = List.length pts;
+            l_frontier = frontier_of pts;
+            l_best = best_of pts;
+            l_degraded = false;
+            l_est_cycles = None;
+          }
+        | Error _ ->
+          {
+            l_name = lname;
+            l_key = key;
+            l_hit = false;
+            l_points = 0;
+            l_frontier = [];
+            l_best = None;
+            l_degraded = true;
+            l_est_cycles = Some (estimate_cycles ~config stmt);
+          })
       keyed
   in
   let digest =
-    (* payloads in unique-shape (first occurrence) order: deterministic
-       and independent of the pool width *)
+    (* completed payloads in unique-shape (first occurrence) order:
+       deterministic and independent of the pool width.  A partial
+       sweep's digest covers exactly the completed prefix set. *)
     let buf = Buffer.create 4096 in
     List.iter
       (fun (_, _, key) ->
-        let _, payload, _ = Hashtbl.find by_key key in
-        Buffer.add_string buf payload)
+        match Hashtbl.find by_key key with
+        | Ok (_, payload, _) -> Buffer.add_string buf payload
+        | Error _ -> ())
       unique;
     Tl_stt.Signature.key_digest (Buffer.contents buf)
   in
-  let hits =
-    List.length (List.filter (fun (_, hit, _, _) -> hit) shards)
+  let degraded =
+    List.length (List.filter (fun (_, r) -> Result.is_error r) shards)
   in
-  let misses = total - hits in
+  let completed_n = total - degraded in
+  let hits =
+    List.length
+      (List.filter (function _, Ok (hit, _, _) -> hit | _ -> false) shards)
+  in
+  let misses = completed_n - hits in
+  let complete = degraded = 0 in
+  (* a finished sweep leaves nothing to resume from *)
+  (match checkpoint with
+  | Some path when complete -> Tl_resil.Checkpoint.remove ~path
+  | _ -> ());
   let sum f =
     List.fold_left
       (fun acc l -> match l.l_best with Some p -> acc +. f p | None -> acc)
+      0. layers_out
+  in
+  let est_sum =
+    List.fold_left
+      (fun acc l ->
+        match l.l_est_cycles with Some c -> acc +. c | None -> acc)
       0. layers_out
   in
   {
@@ -291,19 +382,30 @@ let sweep ?(config = Perf.default_config) ?domains ?per_shape_limit ?progress
     r_layers = layers_out;
     r_unique_shapes = total;
     r_points =
-      List.fold_left (fun acc (_, _, _, pts) -> acc + List.length pts) 0 shards;
-    r_total_cycles = sum (fun p -> p.p_perf.Perf.cycles);
+      List.fold_left
+        (fun acc (_, r) ->
+          match r with Ok (_, _, pts) -> acc + List.length pts | Error _ -> acc)
+        0 shards;
+    r_total_cycles = sum (fun p -> p.p_perf.Perf.cycles) +. est_sum;
     r_total_runtime_us = sum (fun p -> p.p_perf.Perf.runtime_us);
     r_total_area = sum (fun p -> p.p_area);
     r_total_power = sum (fun p -> p.p_power);
     r_hits = hits;
     r_misses = misses;
-    r_hit_rate = (if total = 0 then 1. else float_of_int hits /. float_of_int total);
+    r_hit_rate =
+      (if completed_n = 0 then 1.
+       else float_of_int hits /. float_of_int completed_n);
     r_digest = digest;
+    r_complete = complete;
+    r_degraded_shapes = degraded;
+    r_resumed_shapes = Hashtbl.length resumed_keys;
   }
 
-let sweep_named ?config ?domains ?per_shape_limit ?progress ~store name =
+let sweep_named ?config ?domains ?per_shape_limit ?progress ?budget ?checkpoint
+    ?resume ~store name =
   match List.assoc_opt name (networks ()) with
   | None -> None
   | Some layers ->
-    Some (sweep ?config ?domains ?per_shape_limit ?progress ~store ~name layers)
+    Some
+      (sweep ?config ?domains ?per_shape_limit ?progress ?budget ?checkpoint
+         ?resume ~store ~name layers)

@@ -25,6 +25,10 @@ type layer = {
   l_points : int;
   l_frontier : point list;  (** Pareto frontier on (cycles, power) *)
   l_best : point option;  (** min-cycles winner *)
+  l_degraded : bool;  (** not swept (budget expiry or injected fault) *)
+  l_est_cycles : float option;
+      (** estimate-only fallback for degraded layers: ideal MACs/cycle on
+          a fully-busy array; [None] on fully-swept layers *)
 }
 
 type report = {
@@ -32,14 +36,20 @@ type report = {
   r_layers : layer list;  (** network order *)
   r_unique_shapes : int;
   r_points : int;
-  r_total_cycles : float;  (** summed over per-layer winners *)
-  r_total_runtime_us : float;
+  r_total_cycles : float;
+      (** per-layer winners, plus the estimate for degraded layers *)
+  r_total_runtime_us : float;  (** fully-swept layers only *)
   r_total_area : float;
   r_total_power : float;
   r_hits : int;
   r_misses : int;
-  r_hit_rate : float;
-  r_digest : string;  (** MD5 over all shape payloads, shape order *)
+  r_hit_rate : float;  (** hits over {e completed} unique shapes *)
+  r_digest : string;
+      (** MD5 over completed shape payloads, unique-shape order; on a
+          complete sweep this covers every shape *)
+  r_complete : bool;  (** no shape degraded *)
+  r_degraded_shapes : int;
+  r_resumed_shapes : int;  (** unique shapes listed in a loaded checkpoint *)
 }
 
 type progress = {
@@ -64,10 +74,13 @@ val shape_key :
 val evaluate_shape :
   config:Tl_perf.Perf_model.config ->
   ?per_shape_limit:int ->
+  ?budget:Tl_resil.Budget.t ->
   Tl_ir.Stmt.t ->
   point list
 (** Enumerate ([domains:1]) and evaluate one shape's design space;
-    points that fail evaluation are dropped. *)
+    points that fail evaluation are dropped.  [budget] is polled per
+    candidate matrix and per evaluated point; expiry raises
+    {!Tl_resil.Budget.Expired}. *)
 
 val encode_points : point list -> string
 val decode_points : string -> point list option
@@ -78,18 +91,42 @@ val sweep :
   ?domains:int ->
   ?per_shape_limit:int ->
   ?progress:(progress -> unit) ->
+  ?budget:Tl_resil.Budget.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   store:Tl_store.Store.t ->
   name:string ->
   (string * Tl_ir.Stmt.t) list ->
   report
 (** Sweep a layer list.  [progress] is invoked (serialised under a
-    mutex) once per finished unique shape, from worker domains. *)
+    mutex) once per finished unique shape, from worker domains.
+
+    Resilience:
+    {ul
+    {- [budget] (default unlimited) gates fresh computation only — store
+       hits are served even on an expired budget.  An expired shape (or
+       one killed by an injected fault) degrades to an estimate-only
+       layer instead of failing the sweep; see {!report.r_complete}.}
+    {- [checkpoint] names a file that is atomically rewritten after
+       every completed unique shape and removed when the sweep
+       completes.  With [resume:true] (default false), completed shape
+       keys listed in a checkpoint whose tag matches this exact sweep
+       are counted in {!report.r_resumed_shapes}; their payloads are
+       served from the store, so an interrupted-then-resumed sweep's
+       digest is bit-identical to an uninterrupted one.}}
+
+    The Ok/degraded pattern, the report and its digest are deterministic
+    and independent of the pool width (for [Budget.of_checks] budgets,
+    deterministic at [domains:1]). *)
 
 val sweep_named :
   ?config:Tl_perf.Perf_model.config ->
   ?domains:int ->
   ?per_shape_limit:int ->
   ?progress:(progress -> unit) ->
+  ?budget:Tl_resil.Budget.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   store:Tl_store.Store.t ->
   string ->
   report option

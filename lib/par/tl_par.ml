@@ -29,17 +29,39 @@ let observer : wrapper option Atomic.t = Atomic.make None
 
 let set_wrapper w = Atomic.set observer w
 
+(* Optional chaos probe: invoked before every pool task with the pool
+   label and the item index (never the worker ordinal — probes keyed by
+   index fire identically at every pool width).  It may raise, which
+   counts as the task failing, or delay.  Installed by the software
+   chaos harness (Tl_resil); [None] costs one atomic load per task. *)
+let task_probe : (label:string -> index:int -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_task_probe p = Atomic.set task_probe p
+
 let run_task label domain index f x =
+  (match Atomic.get task_probe with
+  | None -> ()
+  | Some p -> p ~label ~index);
   match Atomic.get observer with
   | None -> f x
   | Some w -> w.wrap ~label ~domain ~index (fun () -> f x)
 
-let map_array ?domains ?(label = "tl_par") f xs =
+(* Shared fan-out core: every task's outcome is captured per-index, so
+   callers choose between fail-fast commit ([map_array]) and failure
+   isolation ([try_map_array]) over the same deterministic results. *)
+let run_all ?domains ?(label = "tl_par") f xs =
   let n = Array.length xs in
   let d =
     min (match domains with Some d -> max 1 d | None -> n_domains ()) n
   in
-  if d <= 1 || n <= 1 then Array.mapi (fun i x -> run_task label 0 i f x) xs
+  if d <= 1 || n <= 1 then
+    Array.mapi
+      (fun i x ->
+        match run_task label 0 i f x with
+        | v -> Ok v
+        | exception e -> Error e)
+      xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -59,18 +81,23 @@ let map_array ?domains ?(label = "tl_par") f xs =
     let helpers = List.init (d - 1) (fun h -> Domain.spawn (worker (h + 1))) in
     worker 0 ();
     List.iter Domain.join helpers;
-    (* commit in index order: the first (lowest-index) failure is the one
-       re-raised, regardless of which domain hit it *)
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+let map_array ?domains ?label f xs =
+  (* commit in index order: the first (lowest-index) failure is the one
+     re-raised, regardless of which domain hit it *)
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    (run_all ?domains ?label f xs)
+
+let try_map_array ?domains ?label f xs = run_all ?domains ?label f xs
 
 let map ?domains ?label f xs =
   Array.to_list (map_array ?domains ?label f (Array.of_list xs))
+
+let try_map ?domains ?label f xs =
+  Array.to_list (try_map_array ?domains ?label f (Array.of_list xs))
 
 (* ------------------------------------------------------------------ *)
 (* String-keyed memoisation shared across the pool.                    *)

@@ -24,6 +24,28 @@ val iter : ?domains:int -> ?label:string -> ('a -> unit) -> 'a list -> unit
 (** [label] names the pool for the task observer (default ["tl_par"]);
     it has no effect on scheduling or results. *)
 
+(** {1 Failure isolation}
+
+    [map] is fail-fast: the first (lowest-index) task exception is
+    re-raised and the whole fan-out is lost.  [try_map] is the
+    crash-containment variant — a task exception poisons only its own
+    slot.  Every task still runs, results stay in input order, and for a
+    deterministic [f] the [Ok]/[Error] pattern is identical at every
+    pool width, so degraded sweeps report reproducibly. *)
+
+val try_map :
+  ?domains:int -> ?label:string -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+val try_map_array :
+  ?domains:int -> ?label:string -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+
+val set_task_probe : (label:string -> index:int -> unit) option -> unit
+(** Install (or remove) the global chaos probe, invoked before every
+    pool task with the pool's [label] and the item [index] — never the
+    worker ordinal, so index-keyed probes fire identically at every pool
+    width.  A probe that raises makes that task fail; installed by
+    [Tl_resil.Chaos], [None] (default) costs one atomic load per task. *)
+
 (** {1 Task observer}
 
     Observability hook: when installed, the wrapper is invoked around

@@ -1,0 +1,57 @@
+(* Cooperative cancellation budgets.
+
+   A budget is threaded into the inner loops of the expensive sweeps
+   (matrix enumeration, point evaluation, whole-network shards), which
+   poll it between units of work.  Expiry never interrupts a unit in
+   flight — the loops are cooperative — so a caller that catches
+   [Expired] always observes a consistent prefix of the work.
+
+   Two concrete shapes:
+
+   - [of_seconds] — a wall-clock deadline against an injectable
+     monotone clock (tests pass a fake clock; production uses
+     [Unix.gettimeofday]).
+   - [of_checks] — a deterministic unit budget: every poll consumes one
+     unit, so at pool width 1 the cut point is bit-reproducible with no
+     wall-clock involved at all.
+
+   [unlimited] polls to [false] with a single pattern match — the
+   budgeted loops pay nothing when nobody asked for a deadline. *)
+
+exception Expired of string
+
+type t =
+  | Unlimited
+  | Deadline of { clock : unit -> float; until : float; label : string }
+  | Checks of { remaining : int Atomic.t; label : string }
+
+let unlimited = Unlimited
+
+let of_seconds ?(clock = Unix.gettimeofday) ?(label = "deadline") seconds =
+  if seconds < 0. then invalid_arg "Budget.of_seconds: negative";
+  Deadline { clock; until = clock () +. seconds; label }
+
+let of_checks ?(label = "checks") n =
+  if n < 0 then invalid_arg "Budget.of_checks: negative";
+  Checks { remaining = Atomic.make n; label }
+
+let is_unlimited = function Unlimited -> true | _ -> false
+
+(* Polling a check budget consumes one unit (that is its unit of
+   measure); polling a deadline only reads the clock. *)
+let expired = function
+  | Unlimited -> false
+  | Deadline d -> d.clock () >= d.until
+  | Checks c -> Atomic.fetch_and_add c.remaining (-1) <= 0
+
+let label = function
+  | Unlimited -> "unlimited"
+  | Deadline d -> d.label
+  | Checks c -> c.label
+
+let check t = if expired t then raise (Expired (label t))
+
+let remaining_s = function
+  | Unlimited -> infinity
+  | Deadline d -> Float.max 0. (d.until -. d.clock ())
+  | Checks c -> float_of_int (max 0 (Atomic.get c.remaining))

@@ -1,0 +1,76 @@
+(* Sweep checkpoints: a versioned list of completed shape keys.
+
+   Layout (one file, written tempfile + fsync + atomic rename):
+
+     tlckpt/1 <tag> <n> <body_md5>\n
+     <key 1>\n
+     ...
+     <key n>\n
+
+   The tag binds the checkpoint to one exact sweep (network layer keys +
+   config); a resume against a different sweep, a truncated file, or any
+   digest mismatch silently loads as [None] — the sweep just starts
+   cold.  Keys must be newline-free (shape keys are). *)
+
+let magic = "tlckpt/1"
+
+let encode ~tag keys =
+  let body =
+    String.concat "" (List.map (fun k -> k ^ "\n") keys)
+  in
+  Printf.sprintf "%s %s %d %s\n%s" magic tag (List.length keys)
+    (Digest.to_hex (Digest.string body))
+    body
+
+let save ~path ~tag keys =
+  List.iter
+    (fun k ->
+      if String.contains k '\n' then
+        invalid_arg "Checkpoint.save: key contains a newline")
+    keys;
+  if String.contains tag ' ' || String.contains tag '\n' then
+    invalid_arg "Checkpoint.save: tag contains whitespace";
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (encode ~tag keys);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let load ~path ~tag =
+  let content =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          Some (really_input_string ic n))
+    with Sys_error _ | End_of_file -> None
+  in
+  match content with
+  | None -> None
+  | Some content -> (
+    match String.index_opt content '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub content 0 nl in
+      let body =
+        String.sub content (nl + 1) (String.length content - nl - 1)
+      in
+      match String.split_on_char ' ' header with
+      | [ m; t; n; md5 ]
+        when m = magic && t = tag
+             && int_of_string_opt n <> None
+             && Digest.to_hex (Digest.string body) = md5 -> (
+        let n = Option.get (int_of_string_opt n) in
+        let keys =
+          String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+        in
+        if List.length keys = n then Some keys else None)
+      | _ -> None))
+
+let remove ~path = try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,20 @@
+(** Atomic sweep checkpoints: the list of completed shape keys.
+
+    One versioned file per sweep, rewritten (tempfile + fsync + atomic
+    rename) after every completed shape — an interrupted sweep can only
+    ever leave a complete, verifiable checkpoint behind.  The [tag]
+    binds the file to one exact sweep (layer keys + config fingerprint);
+    any mismatch, truncation, or corruption loads as [None] and the
+    sweep starts cold instead of resuming wrongly. *)
+
+val save : path:string -> tag:string -> string list -> unit
+(** Atomically replace the checkpoint with [keys] (order preserved).
+    @raise Invalid_argument when a key contains a newline or the tag
+    contains whitespace. *)
+
+val load : path:string -> tag:string -> string list option
+(** [None] when the file is missing, malformed, digest-mismatched, or
+    tagged for a different sweep. *)
+
+val remove : path:string -> unit
+(** Delete the checkpoint; missing files are fine. *)

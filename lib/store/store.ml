@@ -40,6 +40,9 @@ type t = {
   evictions : int Atomic.t;
   max_entries : int option;
   tmp_ctr : int Atomic.t;
+  retry : Tl_resil.Retry.policy;
+  degraded_reads : int Atomic.t; (* reads that exhausted their retries *)
+  dropped_writes : int Atomic.t; (* puts that exhausted their retries *)
 }
 
 let magic = "tlstore/1"
@@ -73,8 +76,15 @@ let read_file path =
 
 (* Atomic write: tempfile in <root>/tmp, then rename into place.  The
    temp name carries pid + a per-store counter so concurrent writers
-   never collide on the temp path either. *)
+   never collide on the temp path either.  The tempfile is fsynced
+   before the rename so a crash at any point can only ever leave the old
+   state (or nothing) visible — never an entry whose bytes were still in
+   the page cache; renamed-but-torn entries are then impossible, not
+   merely detectable.  The "store.write" chaos probe sits where the
+   write syscall would tear: the bytes it returns are the bytes that
+   reach the disk. *)
 let write_atomic st root ~dest content =
+  let content = Tl_resil.Chaos.mangle ~site:"store.write" content in
   let tmp =
     Filename.concat (tmp_dir root)
       (Printf.sprintf "%s.%d.%d"
@@ -85,7 +95,10 @@ let write_atomic st root ~dest content =
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content);
+    (fun () ->
+      output_string oc content;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp dest
 
 let encode_entry ~key ~payload =
@@ -180,7 +193,7 @@ let evict_locked st root cap =
 
 (* ------------------------------------------------------------------ *)
 
-let open_store ?max_entries ?root () =
+let open_store ?max_entries ?(retry = Tl_resil.Retry.default) ?root () =
   let st =
     {
       root;
@@ -192,6 +205,9 @@ let open_store ?max_entries ?root () =
       evictions = Atomic.make 0;
       max_entries;
       tmp_ctr = Atomic.make 0;
+      retry;
+      degraded_reads = Atomic.make 0;
+      dropped_writes = Atomic.make 0;
     }
   in
   (match root with
@@ -234,10 +250,23 @@ let find st key =
       v
     | Some root -> (
       (* no lock needed for the read itself: entry files only ever
-         appear complete (rename) and are immutable once present *)
-      match read_file (entry_path root key) with
-      | None -> None
-      | Some content -> decode_entry ~key content)
+         appear complete (rename) and are immutable once present.
+         Transient I/O failures (the "store.read" chaos probe, real disk
+         weather) are retried with seeded backoff; a read that exhausts
+         its retries degrades to a miss — the caller recomputes. *)
+      let attempt () =
+        Tl_resil.Chaos.probe ~site:"store.read" ();
+        read_file (entry_path root key)
+      in
+      match
+        Tl_resil.Retry.with_retry_opt ~policy:st.retry ~label:"store.find"
+          attempt
+      with
+      | None ->
+        Atomic.incr st.degraded_reads;
+        None
+      | Some None -> None
+      | Some (Some content) -> decode_entry ~key content)
   in
   (match result with
   | Some _ -> Atomic.incr st.hits
@@ -250,22 +279,34 @@ let put st key payload =
     Mutex.lock st.lock;
     if not (Hashtbl.mem st.mem key) then Hashtbl.replace st.mem key payload;
     Mutex.unlock st.lock
-  | Some root ->
+  | Some root -> (
     let dest = entry_path root key in
-    write_atomic st root ~dest (encode_entry ~key ~payload);
-    Mutex.lock st.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock st.lock)
-      (fun () ->
-        let digest = Filename.basename dest in
-        if not (Hashtbl.mem st.index digest) then begin
-          Hashtbl.replace st.index digest ();
-          save_index st root
-        end;
-        match st.max_entries with
-        | Some cap when Hashtbl.length st.index > cap ->
-          evict_locked st root cap
-        | _ -> ())
+    (* retried as one idempotent unit (entry write + index update): a
+       failure between the two just rewrites the same complete entry.
+       A put that exhausts its retries is dropped — the store is a
+       cache, so the only consequence is a future miss. *)
+    let attempt () =
+      write_atomic st root ~dest (encode_entry ~key ~payload);
+      Mutex.lock st.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock st.lock)
+        (fun () ->
+          let digest = Filename.basename dest in
+          if not (Hashtbl.mem st.index digest) then begin
+            Hashtbl.replace st.index digest ();
+            save_index st root
+          end;
+          match st.max_entries with
+          | Some cap when Hashtbl.length st.index > cap ->
+            evict_locked st root cap
+          | _ -> ())
+    in
+    match
+      Tl_resil.Retry.with_retry_opt ~policy:st.retry ~label:"store.put"
+        attempt
+    with
+    | Some () -> ()
+    | None -> Atomic.incr st.dropped_writes)
 
 let find_or_add st key f =
   match find st key with
@@ -293,4 +334,9 @@ let stats st =
 let reset_counters st =
   Atomic.set st.hits 0;
   Atomic.set st.misses 0;
-  Atomic.set st.evictions 0
+  Atomic.set st.evictions 0;
+  Atomic.set st.degraded_reads 0;
+  Atomic.set st.dropped_writes 0
+
+let io_failures st =
+  (Atomic.get st.degraded_reads, Atomic.get st.dropped_writes)

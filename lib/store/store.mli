@@ -18,11 +18,20 @@
 
 type t
 
-val open_store : ?max_entries:int -> ?root:string -> unit -> t
+val open_store :
+  ?max_entries:int -> ?retry:Tl_resil.Retry.policy -> ?root:string -> unit -> t
 (** Open (creating directories as needed) a store rooted at [root], or
     an in-memory store when [root] is omitted.  [max_entries] caps the
     on-disk entry count: when exceeded after a {!put}, oldest-mtime
-    entries are evicted (and counted) until back at the cap. *)
+    entries are evicted (and counted) until back at the cap.
+
+    Disk I/O is wrapped in [retry] (default {!Tl_resil.Retry.default}:
+    3 attempts, seeded exponential backoff on [Sys_error]-class
+    failures).  A read that exhausts its retries degrades to a miss and
+    a write that exhausts them is dropped (future miss) — the store
+    never propagates transient I/O failures to its caller.  Entry
+    tempfiles are fsynced before the atomic rename, so a crash cannot
+    surface a renamed-but-torn entry. *)
 
 val root : t -> string option
 
@@ -42,6 +51,12 @@ val find_or_add : t -> string -> (unit -> string) -> string
 
 val stats : t -> Tl_par.Cache.stats
 val reset_counters : t -> unit
+
+val io_failures : t -> int * int
+(** [(degraded_reads, dropped_writes)]: transient I/O failures that
+    exhausted their retries and were absorbed (miss / dropped put)
+    rather than raised.  Reset by {!reset_counters}. *)
+
 val digest_hex : string -> string
 (** MD5 hex digest — the entry-file naming function, exposed so tests
     and gates can locate (and deliberately corrupt) specific entries. *)

@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("coverage", Test_coverage.suite);
       ("absint", Test_absint.suite);
-      ("store", Test_store.suite) ]
+      ("store", Test_store.suite);
+      ("resil", Test_resil.suite) ]
