@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-dse fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint store-smoke chaos-smoke bench-resil examples fuzz doc clean
+.PHONY: all build test lint bench bench-quick bench-dse fault-smoke batch-smoke bench-obs obs-smoke analyze-smoke bench-absint store-smoke chaos-smoke bench-resil prog-smoke bench-prog examples fuzz doc clean
 
 all: build
 
@@ -109,6 +109,22 @@ analyze-smoke:
 bench-absint:
 	dune exec bench/main.exe -- bench-absint
 	grep -q '"schema": "tensorlib-bench-absint/1"' BENCH_absint.json
+
+# Programmable-accelerator gate: one 4x4 MNK-SST netlist with writable
+# schedule memories serves three GEMM shapes, each bit-identical to a
+# freshly generated per-shape ROM build on both scalar sim backends,
+# with a program-codec roundtrip and lint/absint no-new-findings checks
+# on the programmable variant (exit 1 on any divergence).
+prog-smoke:
+	dune exec bench/main.exe -- prog-smoke
+
+# Reprogramming benchmark: loading a compiled program into the standing
+# array vs regenerating + re-elaborating a per-shape ROM accelerator
+# (compile cost reported separately); writes BENCH_prog.json and fails
+# if reprogramming is less than 10x faster or any output diverges.
+bench-prog:
+	dune exec bench/main.exe -- bench-prog
+	grep -q '"schema": "tensorlib-bench-prog/1"' BENCH_prog.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -30,12 +30,21 @@ let distance a b =
 
 let suggest ~valid s =
   (* reusable did-you-mean fragment for any CLI name set (backends,
-     network names, ...); empty when nothing is close enough *)
-  let scored = List.map (fun c -> (distance s c, c)) valid in
-  let sorted = List.sort compare scored in
-  match sorted with
-  | (d, c) :: _ when d <= 2 -> Printf.sprintf "; did you mean %S?" c
-  | _ -> ""
+     network names, ...); empty when nothing is close enough.  Matching is
+     case-insensitive ("TAPE" suggests "tape") but the suggestion always
+     shows the candidate's canonical spelling; empty or whitespace-only
+     input never gets a suggestion (everything is 1-4 edits from "") *)
+  let s = String.trim s in
+  if s = "" then ""
+  else
+    let s = String.lowercase_ascii s in
+    let scored =
+      List.map (fun c -> (distance s (String.lowercase_ascii c), c)) valid
+    in
+    let sorted = List.sort compare scored in
+    match sorted with
+    | (d, c) :: _ when d <= 2 -> Printf.sprintf "; did you mean %S?" c
+    | _ -> ""
 
 let suggestion s = suggest ~valid:names s
 

@@ -47,6 +47,14 @@ let workload_of_string s =
 (* Argument validation: fail with an actionable message (and exit code 2,
    via [guard]) instead of a backtrace or a confusing elaboration error. *)
 
+(* One validator for every numeric flag that must be strictly positive —
+   identical message shape (and exit code 2, via [guard]) across commands,
+   so scripts can match on it regardless of which flag they got wrong. *)
+let require_positive flag v =
+  if v < 1 then failwith (Printf.sprintf "%s must be >= 1; got %d" flag v)
+
+let require_positive_opt flag = Option.iter (require_positive flag)
+
 let validate_grid ~rows ~cols =
   if rows < 1 || cols < 1 then
     failwith
@@ -170,6 +178,32 @@ let resolve ?expr ?extents ?select ?matrix w d =
     | Some design -> (stmt, design)
     | None ->
       failwith (Printf.sprintf "dataflow %s not realisable for %s" d w))
+
+(* Programmable-target construction shared by [compile] and [serve]: size
+   the descriptor memories to [headroom]× the generating design's natural
+   schedule, so any compatible einsum within that envelope loads without
+   re-elaboration. *)
+let programmable_target ~rows ~cols ~data_width ~acc_width ~headroom stmt
+    design =
+  let l = Layout.build design ~rows ~cols in
+  let nat_elems =
+    List.fold_left
+      (fun a (i : Layout.input) -> max a i.Layout.in_elems)
+      1 l.Layout.l_inputs
+  in
+  let nat_bank =
+    List.fold_left (fun a (_, cap, _) -> max a cap) 1 l.Layout.l_banks
+  in
+  let envelope =
+    { Layout.env_cycles = headroom * l.Layout.l_total;
+      env_passes = headroom * l.Layout.l_passes;
+      env_elems = headroom * nat_elems;
+      env_bank = headroom * nat_bank }
+  in
+  let env = Exec.alloc_inputs stmt in
+  ( Accel.generate ~rows ~cols ~data_width ~acc_width ~programmable:envelope
+      design env,
+    envelope )
 
 let json_arg =
   Arg.(value & flag
@@ -577,8 +611,7 @@ let fault_cmd =
     guard @@ fun () ->
     validate_grid ~rows ~cols;
     validate_widths ~data_width:dw ~acc_width:aw;
-    if trials < 1 then
-      failwith (Printf.sprintf "--trials must be >= 1; got %d" trials);
+    require_positive "--trials" trials;
     let harden = harden_of_string harden_s in
     let backend = Cli_backend.of_string backend_s in
     let stmt = workload_of_string w in
@@ -713,6 +746,101 @@ let profile_cmd =
     Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
           $ data_width_arg $ acc_width_arg $ backend_arg $ json_arg
           $ trace_arg)
+
+(* ---------------- compile ---------------- *)
+
+let headroom_arg =
+  Arg.(value & opt int 4
+       & info [ "headroom" ]
+           ~doc:"Capacity envelope multiplier: descriptor memories are \
+                 sized to N times the target design's natural schedule.")
+
+let run_check_arg =
+  Arg.(value & flag
+       & info [ "run" ]
+           ~doc:"Also execute the program on the programmable netlist and \
+                 check the output bit-identical against both the golden \
+                 executor and a freshly generated ROM accelerator (exit 1 \
+                 on mismatch).")
+
+let compile_cmd =
+  let run w d rows cols dw aw headroom expr extents out run_check backend_s =
+    guard @@ fun () ->
+    validate_grid ~rows ~cols;
+    validate_widths ~data_width:dw ~acc_width:aw;
+    require_positive "--headroom" headroom;
+    let backend =
+      Cli_backend.of_string ~allowed:[ "tape"; "closure" ] backend_s
+    in
+    (* the target netlist comes from the named workload + dataflow; the
+       request einsum from --expr/--extents (default: the target itself) *)
+    let tstmt, tdesign = resolve w d in
+    let target, envelope =
+      programmable_target ~rows ~cols ~data_width:dw ~acc_width:aw ~headroom
+        tstmt tdesign
+    in
+    let rstmt = workload_of expr extents w in
+    match Compile.find_design ~target rstmt with
+    | Error rejections ->
+      List.iter
+        (fun (name, e) ->
+          Printf.eprintf "  %-14s %s\n" name (Compile.error_to_string e))
+        rejections;
+      failwith
+        (Printf.sprintf
+           "no dataflow of %s compiles onto the %s target (%d candidates \
+            rejected, reasons above)"
+           rstmt.Stmt.name tdesign.Design.name
+           (List.length rejections))
+    | Ok (rdesign, program) ->
+      let doc = Compile.program_to_json program in
+      let est =
+        Perf.estimate_program ~rows ~cols program
+      in
+      (match out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc doc;
+         output_char oc '\n';
+         close_out oc;
+         Printf.printf "wrote %s (%d bytes)\n" path (String.length doc)
+       | None -> print_endline doc);
+      Printf.eprintf
+        "compiled %s as %s onto %s (envelope %d cycles / %d passes); %d \
+         descriptor words, %d cycles, %d macs\n"
+        rstmt.Stmt.name rdesign.Design.name tdesign.Design.name
+        envelope.Layout.env_cycles envelope.Layout.env_passes
+        est.Perf.pe_program_words est.Perf.pe_cycles est.Perf.pe_macs;
+      if run_check then begin
+        let renv = Exec.alloc_inputs rstmt in
+        let golden = Exec.run rstmt renv in
+        let got = Accel.execute_program ~backend target program renv in
+        let rom =
+          Accel.generate ~rows ~cols ~data_width:dw ~acc_width:aw rdesign
+            renv
+        in
+        let rom_out = Accel.execute ~backend rom in
+        let ok_golden = Dense.equal got golden in
+        let ok_rom = Dense.equal got rom_out in
+        Printf.printf "programmed run : %s golden model\n"
+          (if ok_golden then "MATCHES" else "MISMATCH vs");
+        Printf.printf "ROM differential: %s per-shape ROM build\n"
+          (if ok_rom then "MATCHES" else "MISMATCH vs");
+        if not (ok_golden && ok_rom) then exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile an einsum onto an already-generated programmable \
+             netlist: generate the target (workload + dataflow, schedule \
+             tables in writable descriptor memories sized by --headroom), \
+             re-run scheduling in software for the request (--expr / \
+             --extents), and emit the descriptor program as JSON; with \
+             --run, execute it and differential-check against the golden \
+             executor and a per-shape ROM build.")
+    Term.(const run $ workload_arg $ dataflow_arg $ rows_arg $ cols_arg
+          $ data_width_arg $ acc_width_arg $ headroom_arg $ expr_arg
+          $ extents_arg $ out_arg $ run_check_arg $ backend_arg)
 
 (* ---------------- sweep / serve ---------------- *)
 
@@ -867,14 +995,13 @@ let budget_checks_arg =
            ~docv:"N")
 
 let budget_of ~deadline_ms ~budget_checks =
+  require_positive_opt "--deadline-ms" deadline_ms;
+  require_positive_opt "--budget-checks" budget_checks;
   match (deadline_ms, budget_checks) with
   | Some _, Some _ -> failwith "--deadline-ms and --budget-checks conflict"
   | Some ms, None ->
-    if ms < 1 then failwith (Printf.sprintf "--deadline-ms must be >= 1; got %d" ms);
     Tensorlib.Resil.Budget.of_seconds (float_of_int ms /. 1000.)
-  | None, Some n ->
-    if n < 1 then failwith (Printf.sprintf "--budget-checks must be >= 1; got %d" n);
-    Tensorlib.Resil.Budget.of_checks n
+  | None, Some n -> Tensorlib.Resil.Budget.of_checks n
   | None, None -> Tensorlib.Resil.Budget.unlimited
 
 let checkpoint_of store_dir name =
@@ -885,10 +1012,7 @@ let checkpoint_of store_dir name =
 let sweep_cmd =
   let run name store_dir limit json resume deadline_ms budget_checks =
     guard @@ fun () ->
-    (match limit with
-     | Some n when n < 1 ->
-       failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
-     | _ -> ());
+    require_positive_opt "--limit" limit;
     if resume && store_dir = None then
       failwith "--resume requires --store (the checkpoint lives next to it)";
     let budget = budget_of ~deadline_ms ~budget_checks in
@@ -933,13 +1057,88 @@ let sweep_cmd =
    per-request hit counts; malformed requests answer {"ok": false, ...}
    without stopping the loop. *)
 
-let serve_request ?deadline_ms store limit line =
+let extents_of_string s =
+  List.map
+    (fun kv ->
+      match String.split_on_char '=' kv with
+      | [ k; v ] -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n -> (String.trim k, n)
+        | None -> failwith ("bad extent binding: " ^ kv))
+      | _ -> failwith ("bad extent binding: " ^ kv))
+    (String.split_on_char ',' s)
+
+(* Program request against the standing programmable netlist
+   (--accel-workload): compile the einsum to a descriptor program, load
+   and run it on the server's one amortised simulator, verify against the
+   golden executor, and answer with the program document itself. *)
+let serve_program ~accel ~id req =
+  match accel with
+  | None ->
+    failwith
+      "server started without --accel-workload; \"einsum\" requests \
+       unavailable"
+  | Some ((target : Accel.t), sim) -> (
+    let formula = Option.get (Json.mem_string req "einsum") in
+    let extents =
+      match Json.mem_string req "extents" with
+      | None -> failwith "\"einsum\" requires \"extents\""
+      | Some s -> extents_of_string s
+    in
+    let stmt = Parse.stmt formula ~extents in
+    match Compile.find_design ~target stmt with
+    | Error rejections ->
+      let head =
+        match rejections with
+        | (name, e) :: _ ->
+          Printf.sprintf " (%s: %s)" name (Compile.error_to_string e)
+        | [] -> ""
+      in
+      failwith
+        (Printf.sprintf
+           "no dataflow of %s compiles onto the %s target; %d candidates \
+            rejected%s"
+           stmt.Stmt.name target.Accel.design.Design.name
+           (List.length rejections) head)
+    | Ok (design, program) ->
+      let env = Exec.alloc_inputs stmt in
+      let golden = Exec.run stmt env in
+      let got = Accel.execute_program ~sim target program env in
+      let verified = Dense.equal got golden in
+      if not verified then
+        failwith "golden verification of the programmed run failed";
+      let est =
+        Perf.estimate_program ~rows:target.Accel.rows
+          ~cols:target.Accel.cols program
+      in
+      let program_json =
+        match Json.parse (Compile.program_to_json program) with
+        | Ok j -> j
+        | Error _ -> Json.Null
+      in
+      Json.Obj
+        [ ("id", id);
+          ("ok", Json.Bool true);
+          ("design", Json.Str design.Design.name);
+          ("verified", Json.Bool verified);
+          ("cycles", Json.Num (float_of_int est.Perf.pe_cycles));
+          ("macs", Json.Num (float_of_int est.Perf.pe_macs));
+          ("program_words",
+           Json.Num (float_of_int est.Perf.pe_program_words));
+          ("program", program_json) ])
+
+let serve_request ?deadline_ms ?accel store limit line =
   let fail id msg =
     Json.Obj
       (("id", id) :: [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
   in
   match Json.parse line with
   | Error msg -> fail Json.Null ("bad request: " ^ msg)
+  | Ok req when Json.mem_string req "einsum" <> None -> (
+    let id = Option.value (Json.member "id" req) ~default:Json.Null in
+    match serve_program ~accel ~id req with
+    | exception Failure msg -> fail id msg
+    | answer -> answer)
   | Ok req -> (
     let id = Option.value (Json.member "id" req) ~default:Json.Null in
     let layers_of () =
@@ -949,20 +1148,12 @@ let serve_request ?deadline_ms store limit line =
         let extents =
           match Json.mem_string req "extents" with
           | None -> failwith "\"expr\" requires \"extents\""
-          | Some s ->
-            List.map
-              (fun kv ->
-                match String.split_on_char '=' kv with
-                | [ k; v ] -> (
-                  match int_of_string_opt (String.trim v) with
-                  | Some n -> (String.trim k, n)
-                  | None -> failwith ("bad extent binding: " ^ kv))
-                | _ -> failwith ("bad extent binding: " ^ kv))
-              (String.split_on_char ',' s)
+          | Some s -> extents_of_string s
         in
         let stmt = Parse.stmt formula ~extents in
         ("adhoc", [ (stmt.Stmt.name, stmt) ])
-      | None, None -> failwith "request needs \"network\" or \"expr\""
+      | None, None ->
+        failwith "request needs \"network\", \"expr\" or \"einsum\""
     in
     match layers_of () with
     | exception Failure msg -> fail id msg
@@ -1026,20 +1217,26 @@ let read_bounded_line ~max_bytes ic =
   go 0
 
 let serve_cmd =
-  let run store_dir limit max_request_bytes deadline_ms =
+  let run store_dir limit max_request_bytes deadline_ms accel_w accel_d
+      accel_rows accel_cols headroom =
     guard @@ fun () ->
-    (match limit with
-     | Some n when n < 1 ->
-       failwith (Printf.sprintf "--limit must be >= 1; got %d" n)
-     | _ -> ());
-    if max_request_bytes < 1 then
-      failwith
-        (Printf.sprintf "--max-request-bytes must be >= 1; got %d"
-           max_request_bytes);
-    (match deadline_ms with
-     | Some ms when ms < 1 ->
-       failwith (Printf.sprintf "--deadline-ms must be >= 1; got %d" ms)
-     | _ -> ());
+    require_positive_opt "--limit" limit;
+    require_positive "--max-request-bytes" max_request_bytes;
+    require_positive_opt "--deadline-ms" deadline_ms;
+    require_positive "--headroom" headroom;
+    let accel =
+      match accel_w with
+      | None -> None
+      | Some w ->
+        validate_grid ~rows:accel_rows ~cols:accel_cols;
+        let stmt, design = resolve w accel_d in
+        let target, _ =
+          programmable_target ~rows:accel_rows ~cols:accel_cols
+            ~data_width:16 ~acc_width:32 ~headroom stmt design
+        in
+        (* one compiled simulator amortised across every program request *)
+        Some (target, Sim.create target.Accel.circuit)
+    in
     let store = store_of_path store_dir in
     let served = ref 0 in
     let errors = ref 0 in
@@ -1054,7 +1251,7 @@ let serve_cmd =
     let handle line =
       (* last-resort containment: any unanticipated exception becomes a
          structured error answer, never a dead server *)
-      try serve_request ?deadline_ms store limit line
+      try serve_request ?deadline_ms ?accel store limit line
       with e ->
         Json.Obj
           [ ("id", Json.Null);
@@ -1103,17 +1300,47 @@ let serve_cmd =
                    \"error\": \"deadline\"} and the server keeps serving."
              ~docv:"MS")
   in
+  let accel_workload_arg =
+    Arg.(value & opt (some string) None
+         & info [ "accel-workload" ]
+             ~doc:"Stand up one programmable netlist at startup (generated \
+                   from this workload and --accel-dataflow) and serve \
+                   {\"einsum\", \"extents\"} requests against it: each is \
+                   compiled to a descriptor program, run on the standing \
+                   simulator, golden-verified and answered with the \
+                   program document.")
+  in
+  let accel_dataflow_arg =
+    Arg.(value & opt string "MNK-SST"
+         & info [ "accel-dataflow" ]
+             ~doc:"Dataflow of the standing programmable netlist.")
+  in
+  let accel_rows_arg =
+    Arg.(value & opt int 4
+         & info [ "accel-rows" ]
+             ~doc:"Rows of the standing programmable netlist.")
+  in
+  let accel_cols_arg =
+    Arg.(value & opt int 4
+         & info [ "accel-cols" ]
+             ~doc:"Columns of the standing programmable netlist.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-running sweep server: read one JSON request per stdin \
              line ({\"id\", \"network\"} or {\"id\", \"expr\", \
              \"extents\"}), answer each with the sweep roll-up from the \
-             warm store plus per-request hit counts; malformed or \
-             oversized requests get {\"ok\": false} responses and the loop \
-             continues.  EOF (even mid-line) shuts down cleanly with a \
-             final stats line on stderr and exit status 0.")
+             warm store plus per-request hit counts; with \
+             --accel-workload, {\"id\", \"einsum\", \"extents\"} requests \
+             are compiled onto a standing programmable netlist and \
+             answered with a golden-verified descriptor program.  \
+             Malformed or oversized requests get {\"ok\": false} \
+             responses and the loop continues.  EOF (even mid-line) shuts \
+             down cleanly with a final stats line on stderr and exit \
+             status 0.")
     Term.(const run $ store_arg $ limit_arg $ max_request_bytes_arg
-          $ serve_deadline_arg)
+          $ serve_deadline_arg $ accel_workload_arg $ accel_dataflow_arg
+          $ accel_rows_arg $ accel_cols_arg $ headroom_arg)
 
 let () =
   let info =
@@ -1124,5 +1351,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; generate_cmd; simulate_cmd; perf_cmd; list_cmd;
-            explore_cmd; lint_cmd; fault_cmd; profile_cmd; sweep_cmd;
-            serve_cmd ]))
+            explore_cmd; lint_cmd; fault_cmd; profile_cmd; compile_cmd;
+            sweep_cmd; serve_cmd ]))

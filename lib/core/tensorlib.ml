@@ -68,6 +68,10 @@ module Schedule = Tl_templates.Schedule
 module Topology = Tl_templates.Topology
 module Accel = Tl_templates.Accel
 module Harden = Tl_templates.Harden
+module Layout = Tl_templates.Layout
+
+(* Runtime programming: einsum → descriptor-memory program *)
+module Compile = Tl_compile.Compile
 
 (* Fault injection and resilience *)
 module Fault = Tl_fault.Fault

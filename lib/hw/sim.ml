@@ -2847,6 +2847,52 @@ let load_ram t (r : Signal.ram) data =
       data;
     b.bruni.(k) <- true
 
+(* Prefix load: [data] to addresses 0..len-1, zeros above — [load_ram]
+   without materialising a full-size padded image first.  This is the
+   configuration fast path for programmable netlists, whose
+   envelope-sized memories are mostly tail zeros. *)
+let load_ram_prefix_lane t lane (r : Signal.ram) data =
+  check_lane t lane;
+  let n = Array.length data in
+  if n > r.Signal.size then invalid_arg "Sim.load_ram_prefix: image too large";
+  match t.batch with
+  | None ->
+    (match r.Signal.write_port with
+    | None -> Hashtbl.replace t.dirty_rams r.Signal.ram_id ()
+    | Some _ -> ());
+    let contents = Hashtbl.find t.ram_state r.Signal.ram_id in
+    for i = 0 to n - 1 do
+      contents.(i) <- Signal.mask_to_width r.Signal.ram_width data.(i)
+    done;
+    Array.fill contents n (r.Signal.size - n) 0
+  | Some b ->
+    let k = Hashtbl.find b.bram_slot_of r.Signal.ram_id in
+    mat_ram b k;
+    let contents = b.brams.(k) in
+    for a = 0 to n - 1 do
+      contents.((a * b.lanes) + lane) <-
+        Signal.mask_to_width r.Signal.ram_width data.(a)
+    done;
+    for a = n to r.Signal.size - 1 do
+      contents.((a * b.lanes) + lane) <- 0
+    done
+
+let load_ram_prefix t (r : Signal.ram) data =
+  match t.batch with
+  | None -> load_ram_prefix_lane t 0 r data
+  | Some b ->
+    let n = Array.length data in
+    if n > r.Signal.size then
+      invalid_arg "Sim.load_ram_prefix: image too large";
+    let k = Hashtbl.find b.bram_slot_of r.Signal.ram_id in
+    let contents = b.brams.(k) in
+    for a = 0 to n - 1 do
+      contents.(a * b.lanes) <-
+        Signal.mask_to_width r.Signal.ram_width data.(a)
+    done;
+    Array.fill contents (n * b.lanes) ((r.Signal.size - n) * b.lanes) 0;
+    b.bruni.(k) <- true
+
 let cycle_count t = t.clock
 
 (* ------------------------------------------------------------------ *)

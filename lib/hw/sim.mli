@@ -146,6 +146,19 @@ val load_ram : t -> Signal.ram -> int array -> unit
     the ram width. @raise Invalid_argument on a size mismatch,
     @raise Not_found if the ram is not part of the circuit. *)
 
+val load_ram_prefix : t -> Signal.ram -> int array -> unit
+(** [load_ram_prefix t r data] writes [data] to addresses
+    [0 .. length data - 1] and zero-fills the rest, without requiring the
+    caller to materialise a full-size padded image.  This is the
+    configuration fast path for programmable accelerators, whose
+    envelope-sized memories hold a natural-size image followed by a zero
+    tail.  Equivalent to {!load_ram} with a zero-padded copy of [data].
+    @raise Invalid_argument if [data] is larger than the ram. *)
+
+val load_ram_prefix_lane : t -> int -> Signal.ram -> int array -> unit
+(** Per-lane {!load_ram_prefix} (batch backend); lane must be 0 on the
+    scalar backends, as with {!load_ram_lane}. *)
+
 val cycle_count : t -> int
 
 (** {1 Fault-injection hooks}

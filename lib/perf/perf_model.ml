@@ -972,3 +972,50 @@ let result_of_string s =
           traffic_words }
     | _ -> None)
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Program-aware estimates: when a compiled program (not a design) is
+   what will run — the runtime-programmable netlist of Tl_compile — the
+   exact cycle count and MAC tally are already in the program, so the
+   estimate needs no tile search at all. *)
+
+type program_estimate = {
+  pe_name : string;
+  pe_cycles : int;
+  pe_macs : int;
+  pe_utilization : float;
+  pe_program_words : int;
+  pe_runtime_us : float;
+  pe_gops : float;
+}
+
+let estimate_program ?(config = default_config) ~rows ~cols
+    (p : Tl_templates.Layout.program) =
+  let pe_cycles = p.Tl_templates.Layout.p_total + 1 in
+  let pe_macs = p.Tl_templates.Layout.p_events in
+  let pe_program_words =
+    List.fold_left
+      (fun acc (_, (_, img)) -> acc + Array.length img)
+      0 p.Tl_templates.Layout.p_images
+  in
+  let pe_utilization =
+    float_of_int pe_macs /. float_of_int (rows * cols * pe_cycles)
+  in
+  let pe_runtime_us = float_of_int pe_cycles /. config.freq_mhz in
+  let pe_gops =
+    if pe_runtime_us = 0. then 0.
+    else 2. *. float_of_int pe_macs /. (pe_runtime_us *. 1000.)
+  in
+  { pe_name = p.Tl_templates.Layout.p_name; pe_cycles; pe_macs;
+    pe_utilization; pe_program_words; pe_runtime_us; pe_gops }
+
+let pp_program_estimate fmt e =
+  Format.fprintf fmt
+    "@[<v>program %s:@;\
+     <1 2>cycles      : %d@;\
+     <1 2>macs        : %d@;\
+     <1 2>utilization : %.3f@;\
+     <1 2>prog words  : %d@;\
+     <1 2>runtime     : %.2f us (%.1f GOPS)@]"
+    e.pe_name e.pe_cycles e.pe_macs e.pe_utilization e.pe_program_words
+    e.pe_runtime_us e.pe_gops

@@ -119,3 +119,27 @@ val evaluate_name : ?config:config -> Tl_ir.Stmt.t -> string -> result option
 (** Resolve a paper-style dataflow name then evaluate. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Program-aware estimates}
+
+    For a compiled descriptor program ({!Tl_compile}) the schedule is
+    already fully resolved, so the estimate is exact arithmetic over the
+    program header — no tile search, no schedule elaboration. *)
+
+type program_estimate = {
+  pe_name : string;
+  pe_cycles : int;         (** simulated cycles, [p_total + 1] *)
+  pe_macs : int;           (** MAC events ([p_events]) *)
+  pe_utilization : float;  (** macs / (rows·cols·cycles) *)
+  pe_program_words : int;  (** descriptor words {!Tl_templates.Accel.load_program} writes *)
+  pe_runtime_us : float;   (** at [config.freq_mhz] *)
+  pe_gops : float;         (** 2·macs / runtime *)
+}
+
+val estimate_program : ?config:config -> rows:int -> cols:int ->
+  Tl_templates.Layout.program -> program_estimate
+(** Exact performance of [program] on a [rows]×[cols] programmable array
+    (only [config.freq_mhz] is read — a loaded program is never
+    bandwidth-throttled, its feeders replay from on-array memories). *)
+
+val pp_program_estimate : Format.formatter -> program_estimate -> unit

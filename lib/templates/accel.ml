@@ -4,6 +4,17 @@ exception Unsupported of string
 
 exception Simulation_timeout of { design : string; cycles : int }
 
+exception Bad_program of string
+
+type prog_info = {
+  pi_envelope : Layout.envelope;
+  pi_structure : string;
+      (** canonical netlist-shape string ({!Layout.field-l_structure}) of the
+          generating design; a program loads iff its structure matches *)
+  pi_mems : (string * Signal.ram) list;
+      (** writable descriptor memories by name, in elaboration order *)
+}
+
 type t = {
   design : Tl_stt.Design.t;
   rows : int;
@@ -22,6 +33,10 @@ type t = {
   counter_ports : string list;
       (** output-port names of the performance counters elaborated by
           [~counters]; empty when counters are off *)
+  prog : prog_info option;
+      (** [Some _] iff generated with [~programmable]: the schedule tables
+          are envelope-sized writable descriptor memories and the
+          accelerator accepts {!load_program} / {!execute_program} *)
 }
 
 let bits_for n =
@@ -31,7 +46,17 @@ let bits_for n =
 (* ------------------------------------------------------------------ *)
 (* Elaboration context shared by the per-tensor builders.              *)
 
+(* ROM mode bakes each schedule table into an elaborated rom of natural
+   size; programmable mode sizes the same table to the capacity envelope
+   and records it so [load_program] can rewrite it at runtime.  The
+   envelope makes every table size — and therefore every derived address
+   width — independent of the generating shape, which is exactly what lets
+   one netlist serve any schedule that fits the envelope. *)
+type table_mode = [ `Rom | `Prog of Layout.envelope ]
+
 type ctx = {
+  mode : table_mode;
+  mutable prog_mems : (string * Signal.ram) list;  (* reverse order *)
   sched : Schedule.t;
   dw : int;
   aw : int;
@@ -92,6 +117,38 @@ let parity_check ctx ram ~addr ~data =
     ctx.parity_errs <- err :: ctx.parity_errs
   end
 
+(* Every schedule table goes through this chokepoint.  [`Rom]: an
+   elaborated rom of natural size, exactly as before.  [`Prog]: a
+   read-only (config-plane-written) ram sized by the envelope and
+   zero-padded past the natural image — safe because the controller's
+   saturating done flag keeps the cycle counter off the padding. *)
+let table_ram ~mode ~record ~domain ~name ~width data =
+  match (mode : table_mode) with
+  | `Rom -> Signal.rom ~name ~width data
+  | `Prog e ->
+    let size =
+      match domain with
+      | Layout.Cycle -> e.Layout.env_cycles
+      | Layout.Pass -> e.Layout.env_passes + 1
+    in
+    if Array.length data > size then
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "programmable envelope too small for %s: need %d, capacity %d"
+              name (Array.length data) size));
+    let init = Array.make size 0 in
+    Array.blit data 0 init 0 (Array.length data);
+    let r = Signal.ram ~name ~read_only:true ~size ~width ~init () in
+    record := (name, r) :: !record;
+    r
+
+let sched_table ctx ~domain ~name ~width data =
+  let record = ref [] in
+  let r = table_ram ~mode:ctx.mode ~record ~domain ~name ~width data in
+  ctx.prog_mems <- !record @ ctx.prog_mems;
+  r
+
 let grid_iter rows cols f =
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
@@ -118,8 +175,24 @@ let data_ram ctx (access : Tl_ir.Access.t) =
   | Some r -> r
   | None ->
     let dense = List.assoc name ctx.env in
-    let size = Tl_ir.Dense.size dense in
-    let init = Array.init size (Tl_ir.Dense.flat_get dense) in
+    let natural = Tl_ir.Dense.size dense in
+    let size =
+      match ctx.mode with
+      | `Rom -> natural
+      | `Prog e ->
+        if natural > e.Layout.env_elems then
+          raise
+            (Unsupported
+               (Printf.sprintf
+                  "programmable envelope too small for %s: %d elements, \
+                   capacity %d"
+                  name natural e.Layout.env_elems));
+        e.Layout.env_elems
+    in
+    let init =
+      Array.init size (fun i ->
+          if i < natural then Tl_ir.Dense.flat_get dense i else 0)
+    in
     let r =
       (* pre-loaded data memory: the netlist never writes it (a DMA engine
          or [Sim.load_ram] fills it), so it is a rom to the lint *)
@@ -140,7 +213,10 @@ let value_rom ctx access name pairs =
   let abits = bits_for mem.Signal.size in
   let data = Array.make ctx.total 0 in
   List.iter (fun (cycle, off) -> data.(cycle) <- off) pairs;
-  let rom = Signal.rom ~name:(name ^ "_addr") ~width:abits data in
+  let rom =
+    sched_table ctx ~domain:Layout.Cycle ~name:(name ^ "_addr") ~width:abits
+      data
+  in
   let addr = Signal.ram_read rom ctx.cycle in
   let value = Signal.ram_read mem addr in
   parity_check ctx mem ~addr ~data:value;
@@ -149,7 +225,7 @@ let value_rom ctx access name pairs =
 let bitmap_rom ctx name cycles =
   let data = Array.make ctx.total 0 in
   List.iter (fun cycle -> data.(cycle) <- 1) cycles;
-  let rom = Signal.rom ~name ~width:1 data in
+  let rom = sched_table ctx ~domain:Layout.Cycle ~name ~width:1 data in
   Signal.ram_read rom ctx.cycle
 
 (* stationary feed: one address per pass (+ trailing zero entry) *)
@@ -158,7 +234,10 @@ let stage_rom ctx access name per_pass =
   let abits = bits_for mem.Signal.size in
   let data = Array.make (ctx.sched.Schedule.passes + 1) 0 in
   List.iter (fun (pass, off) -> data.(pass) <- off) per_pass;
-  let rom = Signal.rom ~name:(name ^ "_saddr") ~width:abits data in
+  let rom =
+    sched_table ctx ~domain:Layout.Pass ~name:(name ^ "_saddr") ~width:abits
+      data
+  in
   let addr = Signal.ram_read rom ctx.stage_load_addr in
   let value = Signal.ram_read mem addr in
   parity_check ctx mem ~addr ~data:value;
@@ -227,9 +306,21 @@ type collector = {
 }
 
 let make_collector ctx ~name ~capacity =
+  let size =
+    match ctx.mode with
+    | `Rom -> max 1 capacity
+    | `Prog e ->
+      if max 1 capacity > max 1 e.Layout.env_bank then
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "programmable envelope too small for %s: %d cells, capacity \
+                 %d"
+                name (max 1 capacity) e.Layout.env_bank));
+      max 1 e.Layout.env_bank
+  in
   let bank =
-    Signal.ram ~name ~size:(max 1 capacity) ~width:ctx.aw
-      ~init:(Array.make (max 1 capacity) 0) ()
+    Signal.ram ~name ~size ~width:ctx.aw ~init:(Array.make size 0) ()
   in
   let table : (int list, int) Hashtbl.t = Hashtbl.create 16 in
   let next = ref 0 in
@@ -261,9 +352,12 @@ let finalize_collector ctx name col value =
       we_data.(cycle) <- 1;
       addr_data.(cycle) <- col.alloc idx)
     col.writes;
-  let we_rom = Signal.rom ~name:(name ^ "_we") ~width:1 we_data in
+  let we_rom =
+    sched_table ctx ~domain:Layout.Cycle ~name:(name ^ "_we") ~width:1 we_data
+  in
   let addr_rom =
-    Signal.rom ~name:(name ^ "_addr") ~width:aw_bits addr_data
+    sched_table ctx ~domain:Layout.Cycle ~name:(name ^ "_addr") ~width:aw_bits
+      addr_data
   in
   let we = ram_read we_rom ctx.cycle in
   let addr = ram_read addr_rom ctx.cycle in
@@ -843,28 +937,41 @@ let build_output ctx (ti : Tl_stt.Design.tensor_info) ~prods ~valids =
 (* ------------------------------------------------------------------ *)
 
 let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
-    ?(harden = Harden.none) ?(counters = false) design env =
+    ?(harden = Harden.none) ?(counters = false) ?programmable design env =
   let sched =
     try Schedule.build design ~rows ~cols
     with Schedule.Unsupported msg -> raise (Unsupported msg)
   in
-  let max_dt =
-    List.fold_left
-      (fun acc (ti : Tl_stt.Design.tensor_info) ->
-        match ti.Tl_stt.Design.dataflow with
-        | Tl_stt.Dataflow.Systolic { dt; _ } -> max acc dt
-        | Tl_stt.Dataflow.Reuse2d
-            (Tl_stt.Dataflow.Systolic_multicast { systolic; _ }) ->
-          max acc systolic.Tl_stt.Dataflow.dt
-        | Tl_stt.Dataflow.Unicast | Tl_stt.Dataflow.Stationary _
-        | Tl_stt.Dataflow.Multicast _
-        | Tl_stt.Dataflow.Reuse2d
-            (Tl_stt.Dataflow.Broadcast | Tl_stt.Dataflow.Multicast_stationary _)
-        | Tl_stt.Dataflow.Reuse_full -> acc)
-      1 design.Tl_stt.Design.tensors
+  let total = sched.Schedule.compute_end + rows + Layout.max_dt design + 4 in
+  let mode : table_mode =
+    match programmable with None -> `Rom | Some e -> `Prog e
   in
-  let total = sched.Schedule.compute_end + rows + max_dt + 4 in
-  let cw = bits_for total in
+  (match mode with
+   | `Rom -> ()
+   | `Prog e ->
+     if total > e.Layout.env_cycles then
+       raise
+         (Unsupported
+            (Printf.sprintf
+               "programmable envelope too small: schedule needs %d cycles, \
+                capacity %d"
+               total e.Layout.env_cycles));
+     if sched.Schedule.passes > e.Layout.env_passes then
+       raise
+         (Unsupported
+            (Printf.sprintf
+               "programmable envelope too small: schedule needs %d passes, \
+                capacity %d"
+               sched.Schedule.passes e.Layout.env_passes)));
+  let cw =
+    match mode with
+    | `Rom -> bits_for total
+    | `Prog e -> bits_for e.Layout.env_cycles
+  in
+  let ctrl_mems = ref [] in
+  let ctrl_table ~domain ~name ~width data =
+    table_ram ~mode ~record:ctrl_mems ~domain ~name ~width data
+  in
   let open Signal in
   (* controller: [creg] builds each state register, triplicated with a
      majority vote when TMR hardening is on — all copies latch the same
@@ -879,28 +986,60 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
     else reg ?enable d -- name
   in
   let cycle_w = wire cw in
-  let done_ = eq cycle_w (const ~width:cw (total - 1)) -- "done" in
+  (* ROM mode derives [done]/[tick] from comparators against elaborated
+     constants; programmable mode reads them from two 1-bit cycle-indexed
+     descriptor streams, so reprogramming the streams retargets the
+     controller without touching the netlist.  [done] saturates the cycle
+     counter at its own assertion cycle, which keeps the counter off the
+     zero padding past a program's natural length. *)
+  let done_ =
+    match mode with
+    | `Rom -> eq cycle_w (const ~width:cw (total - 1)) -- "done"
+    | `Prog _ ->
+      let data = Array.make total 0 in
+      data.(total - 1) <- 1;
+      let m = ctrl_table ~domain:Layout.Cycle ~name:"ctrl_done" ~width:1 data in
+      ram_read m cycle_w -- "done"
+  in
   let cycle =
     creg "cycle_ctr" (mux2 done_ cycle_w (cycle_w +: const ~width:cw 1))
   in
   assign cycle_w cycle;
-  let preload_c = const ~width:cw sched.Schedule.preload in
-  let compute_end_c = const ~width:cw sched.Schedule.compute_end in
-  let compute_active =
-    (ule preload_c cycle &: ult cycle compute_end_c) -- "compute_active"
-  in
-  let span = sched.Schedule.span in
-  let ipw = bits_for span in
-  let in_pass_w = wire ipw in
   let tick =
-    (compute_active &: eq in_pass_w (const ~width:ipw (span - 1))) -- "tick"
+    match mode with
+    | `Rom ->
+      let preload_c = const ~width:cw sched.Schedule.preload in
+      let compute_end_c = const ~width:cw sched.Schedule.compute_end in
+      let compute_active =
+        (ule preload_c cycle &: ult cycle compute_end_c) -- "compute_active"
+      in
+      let span = sched.Schedule.span in
+      let ipw = bits_for span in
+      let in_pass_w = wire ipw in
+      let tick =
+        (compute_active &: eq in_pass_w (const ~width:ipw (span - 1)))
+        -- "tick"
+      in
+      let in_pass =
+        creg "in_pass" ~enable:compute_active
+          (mux2 tick (const ~width:ipw 0) (in_pass_w +: const ~width:ipw 1))
+      in
+      assign in_pass_w in_pass;
+      tick
+    | `Prog _ ->
+      let data = Array.make total 0 in
+      for p = 0 to sched.Schedule.passes - 1 do
+        data.(sched.Schedule.preload + ((p + 1) * sched.Schedule.span) - 1) <-
+          1
+      done;
+      let m = ctrl_table ~domain:Layout.Cycle ~name:"ctrl_tick" ~width:1 data in
+      ram_read m cycle -- "tick"
   in
-  let in_pass =
-    creg "in_pass" ~enable:compute_active
-      (mux2 tick (const ~width:ipw 0) (in_pass_w +: const ~width:ipw 1))
+  let pw =
+    match mode with
+    | `Rom -> bits_for (sched.Schedule.passes + 1)
+    | `Prog e -> bits_for (e.Layout.env_passes + 1)
   in
-  assign in_pass_w in_pass;
-  let pw = bits_for (sched.Schedule.passes + 1) in
   let pass_w = wire pw in
   let pass_sig =
     creg "pass_ctr" ~enable:tick (pass_w +: const ~width:pw 1)
@@ -925,7 +1064,8 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
   let drain_shift = dc_nonzero -- "drain_shift" in
   let probe_addr = input "probe_addr" 16 in
   let ctx =
-    { sched; dw = data_width; aw = acc_width; total; cw; cycle; tick;
+    { mode; prog_mems = !ctrl_mems;
+      sched; dw = data_width; aw = acc_width; total; cw; cycle; tick;
       stage_start; stage_load; stage_load_addr; drain_shift; pass_sig;
       env; data_rams = Hashtbl.create 8; out_locs = Hashtbl.create 64;
       bank_list = []; probe_outputs = []; probe_addr; harden;
@@ -1013,7 +1153,18 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
       in
       let rom_counter name tally =
         let m = Array.fold_left max 1 tally in
-        let rom = Signal.rom ~name:(name ^ "_inc") ~width:(bits_for m) tally in
+        (* programmable variants fix the increment width at the whole-array
+           bound (no per-cycle tally can exceed one count per PE), keeping
+           it independent of the generating shape *)
+        let w =
+          match mode with
+          | `Rom -> bits_for m
+          | `Prog _ -> bits_for (max (rows * cols) m)
+        in
+        let rom =
+          sched_table ctx ~domain:Layout.Cycle ~name:(name ^ "_inc") ~width:w
+            tally
+        in
         acc32 name (ram_read rom cycle)
       in
       (* MAC-enable popcount: the same per-PE valid bitmaps that gate the
@@ -1051,8 +1202,18 @@ let generate ?(rows = 4) ?(cols = 4) ?(data_width = 16) ?(acc_width = 32)
   let circuit =
     Circuit.create ~name:("tensorlib_" ^ design.Tl_stt.Design.name) ~outputs
   in
+  let prog =
+    match mode with
+    | `Rom -> None
+    | `Prog e ->
+      Some
+        { pi_envelope = e;
+          pi_structure =
+            (Layout.build design ~rows ~cols).Layout.l_structure;
+          pi_mems = List.rev ctx.prog_mems }
+  in
   { design; rows; cols; data_width; acc_width; schedule = sched;
-    circuit; total_cycles = total; out_locs = ctx.out_locs;
+    circuit; total_cycles = total; out_locs = ctx.out_locs; prog;
     counter_ports = List.map fst counter_outputs;
     banks = List.rev ctx.bank_list;
     input_rams =
@@ -1160,16 +1321,23 @@ let run_sim ?max_cycles t sim =
 let execute ?backend ?max_cycles t =
   run_sim ?max_cycles t (Sim.create ?backend t.circuit)
 
+(* Programmable netlists size their data memories to the capacity
+   envelope, so the generating workload's tensors occupy a prefix; the
+   tail stays zero (exactly what [generate] baked into the init image).
+   ROM netlists keep the historical exact-size contract. *)
+let env_image t name (ram : Signal.ram) dense =
+  let n = Tl_ir.Dense.size dense in
+  let ok = n = ram.Signal.size || (t.prog <> None && n < ram.Signal.size) in
+  if not ok then invalid_arg ("Accel.load_env: shape mismatch for " ^ name);
+  Array.init n (Tl_ir.Dense.flat_get dense)
+
 let load_env_lane t sim lane env =
   List.iter
     (fun (name, ram) ->
       match List.assoc_opt name env with
       | None -> invalid_arg ("Accel.load_env: missing tensor " ^ name)
       | Some dense ->
-        if Tl_ir.Dense.size dense <> ram.Signal.size then
-          invalid_arg ("Accel.load_env: shape mismatch for " ^ name);
-        Sim.load_ram_lane sim lane ram
-          (Array.init (Tl_ir.Dense.size dense) (Tl_ir.Dense.flat_get dense)))
+        Sim.load_ram_prefix_lane sim lane ram (env_image t name ram dense))
     t.input_rams
 
 let load_env t sim env =
@@ -1178,10 +1346,7 @@ let load_env t sim env =
       match List.assoc_opt name env with
       | None -> invalid_arg ("Accel.load_env: missing tensor " ^ name)
       | Some dense ->
-        if Tl_ir.Dense.size dense <> ram.Signal.size then
-          invalid_arg ("Accel.load_env: shape mismatch for " ^ name);
-        Sim.load_ram sim ram
-          (Array.init (Tl_ir.Dense.size dense) (Tl_ir.Dense.flat_get dense)))
+        Sim.load_ram_prefix sim ram (env_image t name ram dense))
     t.input_rams
 
 let execute_with ?backend ?max_cycles t env =
@@ -1204,6 +1369,142 @@ let execute_batch ?max_cycles t envs =
   Sim.cycles sim (bounded_cycles ?max_cycles t);
   check_done t sim;
   List.mapi (fun lane _ -> read_output_lane t sim lane) envs
+
+(* ------------------------------------------------------------------ *)
+(* Runtime programming: load a compiled program (descriptor images +
+   data layout, see Tl_compile) into a live simulator of a programmable
+   netlist.  Validation is strict — a program that names an unknown
+   memory, overflows a capacity, or carries a value wider than the
+   generated port raises [Bad_program] before anything is written. *)
+
+let prog_info t =
+  match t.prog with
+  | Some pi -> pi
+  | None -> raise (Bad_program "target accelerator is not programmable")
+
+let parity_companion t (ram : Signal.ram) =
+  List.find_opt
+    (fun ((r : Signal.ram), _) -> r.Signal.ram_id = ram.Signal.ram_id)
+    t.hardening.Harden.parity_pairs
+  |> Option.map snd
+
+let load_program t sim (p : Layout.program) env =
+  let pi = prog_info t in
+  if p.Layout.p_structure <> pi.pi_structure then
+    raise (Bad_program "program structure does not match the target netlist");
+  (* reset FIRST: it restores every ram's init image (banks to zero,
+     descriptors to the generating shape), which the loads below then
+     overwrite — the reverse order would wipe the program *)
+  Sim.reset sim;
+  (* every descriptor memory of the target must receive an image; images
+     for memories the target did not elaborate (e.g. counter increments
+     on a counters-off netlist) are simply unused *)
+  let images = p.Layout.p_images in
+  List.iter
+    (fun (name, (ram : Signal.ram)) ->
+      match List.assoc_opt name images with
+      | None -> raise (Bad_program ("program missing image for " ^ name))
+      | Some (_, img) ->
+        let n = Array.length img in
+        if n > ram.Signal.size then
+          raise
+            (Bad_program
+               (Printf.sprintf
+                  "image %s: %d entries exceed memory capacity %d" name n
+                  ram.Signal.size));
+        let lim =
+          if ram.Signal.ram_width >= Sys.int_size - 1 then max_int
+          else 1 lsl ram.Signal.ram_width
+        in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= lim then
+              raise
+                (Bad_program
+                   (Printf.sprintf
+                      "image %s: value %d overflows the %d-bit port" name v
+                      ram.Signal.ram_width)))
+          img;
+        Sim.load_ram_prefix sim ram img)
+    pi.pi_mems;
+  (* input tensors: prefix-load each at the program's layout, zero tail *)
+  List.iter
+    (fun (inp : Layout.input) ->
+      let ram =
+        match List.assoc_opt inp.Layout.in_mem t.input_rams with
+        | Some r -> r
+        | None ->
+          raise
+            (Bad_program
+               ("program names unknown data memory " ^ inp.Layout.in_mem))
+      in
+      let dense =
+        match List.assoc_opt inp.Layout.in_tensor env with
+        | Some d -> d
+        | None ->
+          invalid_arg
+            ("Accel.load_program: missing tensor " ^ inp.Layout.in_tensor)
+      in
+      if Tl_ir.Dense.size dense <> inp.Layout.in_elems then
+        invalid_arg
+          ("Accel.load_program: shape mismatch for " ^ inp.Layout.in_tensor);
+      if inp.Layout.in_elems > ram.Signal.size then
+        raise
+          (Bad_program
+             (Printf.sprintf "tensor %s: %d elements exceed data memory %d"
+                inp.Layout.in_tensor inp.Layout.in_elems ram.Signal.size));
+      let data =
+        Array.init inp.Layout.in_elems (Tl_ir.Dense.flat_get dense)
+      in
+      Sim.load_ram_prefix sim ram data;
+      (* keep the parity companion coherent on hardened variants, or the
+         first read would trip error_detected; the zero tail has parity 0,
+         which a prefix load leaves in place *)
+      match parity_companion t ram with
+      | None -> ()
+      | Some pram ->
+        Sim.load_ram_prefix sim pram
+          (Array.map (fun v -> Harden.parity_bit (v land ((1 lsl t.data_width) - 1))) data))
+    p.Layout.p_inputs
+
+let read_program_output t sim (p : Layout.program) =
+  let out = Tl_ir.Dense.create p.Layout.p_out_shape in
+  let contents = Hashtbl.create 8 in
+  List.iter
+    (fun (name, bank) ->
+      Hashtbl.replace contents name (Sim.ram_contents_lane sim 0 bank))
+    t.banks;
+  List.iter
+    (fun (idx, (bname, addr)) ->
+      match Hashtbl.find_opt contents bname with
+      | None -> raise (Bad_program ("program references unknown bank " ^ bname))
+      | Some data ->
+        if addr < 0 || addr >= Array.length data then
+          raise
+            (Bad_program
+               (Printf.sprintf "program bank address %d out of range for %s"
+                  addr bname));
+        Tl_ir.Dense.set out (Array.of_list idx)
+          (Signal.to_signed t.acc_width data.(addr)))
+    p.Layout.p_out;
+  out
+
+let execute_program ?backend ?max_cycles ?sim t (p : Layout.program) env =
+  let sim =
+    match sim with Some s -> s | None -> Sim.create ?backend t.circuit
+  in
+  load_program t sim p env;
+  let planned = p.Layout.p_total + 1 in
+  let n =
+    match max_cycles with
+    | None -> planned
+    | Some m ->
+      if m < 1 then invalid_arg "Accel: max_cycles must be >= 1";
+      min m planned
+  in
+  Sim.cycles sim n;
+  check_done t sim;
+  read_program_output t sim p
 
 let verilog t = Verilog.to_string t.circuit
 

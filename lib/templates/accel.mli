@@ -22,6 +22,15 @@
 
 exception Unsupported of string
 
+exception Bad_program of string
+(** Raised by {!load_program} / {!execute_program} when a program cannot
+    run on the target netlist: the target is not programmable, the
+    structure strings differ, an image is missing / names an unknown
+    memory / exceeds a memory's capacity, or a value overflows the
+    generated port width.  Validation is strict and happens before
+    anything is written, so a rejected program never half-configures the
+    array. *)
+
 exception Simulation_timeout of { design : string; cycles : int }
 (** Raised by {!execute} / {!execute_with} when, after the bounded run,
     the controller's [done] flag is not asserted — either the caller's
@@ -29,6 +38,16 @@ exception Simulation_timeout of { design : string; cycles : int }
     corrupted controller failed to reach its terminal count.  The
     simulation itself is always bounded, so a wedged controller is
     reported as a clean timeout instead of garbage output. *)
+
+type prog_info = {
+  pi_envelope : Layout.envelope;
+  pi_structure : string;
+      (** canonical netlist-shape string of the generating design
+          ({!Layout.field-l_structure}); a program loads iff it matches *)
+  pi_mems : (string * Tl_hw.Signal.ram) list;
+      (** writable descriptor memories by name, in elaboration order *)
+}
+(** Metadata of a programmable netlist (see {!generate}'s [programmable]). *)
 
 type t = {
   design : Tl_stt.Design.t;
@@ -55,13 +74,28 @@ type t = {
           [ctr_active_pe_cycles], one [ctr_rd_<tensor>] per input memory,
           one [ctr_wr_<bank>] per collector bank, [ctr_link_systolic] and
           [ctr_link_multicast].  Empty when counters are off. *)
+  prog : prog_info option;
+      (** [Some _] iff generated with [~programmable]: schedule tables are
+          envelope-sized writable descriptor memories and the accelerator
+          accepts {!load_program} / {!execute_program} *)
 }
 
 val generate : ?rows:int -> ?cols:int -> ?data_width:int -> ?acc_width:int ->
-  ?harden:Harden.config -> ?counters:bool -> Tl_stt.Design.t ->
+  ?harden:Harden.config -> ?counters:bool ->
+  ?programmable:Layout.envelope -> Tl_stt.Design.t ->
   Tl_ir.Exec.env -> t
 (** Defaults: 4×4 array, 16-bit data, 32-bit accumulators, no hardening,
-    no counters.
+    no counters, schedule tables baked into ROMs.
+    With [programmable], every schedule table (feeder address streams,
+    stage tables, validity/injection bitmaps, collector write-enable and
+    address streams, the controller's done/tick streams, and — with
+    [counters] — the increment tables) becomes a writable descriptor
+    memory sized by the envelope, and every data memory / collector bank
+    is sized to [env_elems] / [env_bank].  The netlist is otherwise
+    structurally identical to the ROM variant and powers on configured
+    for [design]; {!load_program} retargets it to any compatible design
+    fitting the envelope (see {!Tl_compile}).  Raises {!Unsupported} when
+    [design] itself does not fit the envelope.
     With [harden], controller registers are TMR-voted and/or every
     memory gains a parity companion plus an [error_detected] output (see
     {!Harden}); fault-free behaviour is bit-identical either way.
@@ -125,6 +159,39 @@ val read_counters : t -> Tl_hw.Sim.t -> (string * int) list
 val load_env : t -> Tl_hw.Sim.t -> Tl_ir.Exec.env -> unit
 (** Rewrite the input data memories of a live simulator instance.
     @raise Invalid_argument on a missing tensor or shape mismatch. *)
+
+(** {2 Runtime programming}
+
+    A programmable accelerator ({!generate} with [~programmable]) is
+    retargeted at runtime by loading a {!Layout.program} — descriptor
+    images plus a data-memory layout, normally produced by
+    {!Tl_compile.compile} against this accelerator. *)
+
+val load_program : t -> Tl_hw.Sim.t -> Layout.program -> Tl_ir.Exec.env ->
+  unit
+(** Reset the simulator (restoring power-on state, banks included), then
+    write every descriptor-memory image and prefix-load each input tensor
+    at the program's layout (zero tail, parity companions kept coherent
+    on hardened variants).  Program images for memories the target did
+    not elaborate (e.g. counter increments on a counters-off netlist) are
+    ignored, so one program serves every option variant of a structure.
+    @raise Bad_program on any validation failure (see {!Bad_program});
+    @raise Invalid_argument on a missing tensor or shape mismatch in
+    [env] (mirroring {!load_env}). *)
+
+val execute_program : ?backend:Tl_hw.Sim.backend -> ?max_cycles:int ->
+  ?sim:Tl_hw.Sim.t -> t -> Layout.program -> Tl_ir.Exec.env -> Tl_ir.Dense.t
+(** {!load_program} into [sim] (default: a fresh simulator on [backend]),
+    run the program's [p_total + 1] cycles (capped by [max_cycles] as in
+    {!execute}), check [done], and reassemble the output tensor via the
+    program's own bank map.  Pass [sim] to amortise one compiled
+    simulator across many programs — the serving fast path.
+    @raise Bad_program, @raise Simulation_timeout, @raise Invalid_argument
+    as {!load_program} / {!execute}. *)
+
+val read_program_output : t -> Tl_hw.Sim.t -> Layout.program -> Tl_ir.Dense.t
+(** Reassemble a program's output tensor from a live simulator (no
+    cycling, no [done] check) — {!read_output} for programmed runs. *)
 
 val load_env_lane : t -> Tl_hw.Sim.t -> int -> Tl_ir.Exec.env -> unit
 (** Lane-targeted {!load_env} for [`Batch] simulators. *)

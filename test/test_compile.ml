@@ -1,0 +1,595 @@
+(* Runtime-programmable accelerators: writable schedule memories
+   (Accel.generate ~programmable) and the einsum-to-descriptor compiler
+   (Tl_compile).  The contract under test: one generated netlist serves
+   every compatible shape bit-identically to a freshly generated
+   per-shape ROM build, every compiler rejection is a typed error, and a
+   compile success is a load guarantee. *)
+
+open Tensorlib
+
+let envelope_of ?(headroom = 4) l =
+  { Layout.env_cycles = headroom * l.Layout.l_total;
+    env_passes = headroom * max 1 l.Layout.l_passes;
+    env_elems =
+      headroom
+      * List.fold_left
+          (fun a (i : Layout.input) -> max a i.Layout.in_elems)
+          1 l.Layout.l_inputs;
+    env_bank =
+      headroom
+      * List.fold_left (fun a (_, cap, _) -> max a (max 1 cap)) 1
+          l.Layout.l_banks }
+
+let programmable ?headroom ?harden ?counters ?(rows = 4) ?(cols = 4) stmt name
+    =
+  let design = Search.find_design_exn stmt name in
+  let env = Exec.alloc_inputs stmt in
+  let l = Layout.build design ~rows ~cols in
+  let acc =
+    Accel.generate ~rows ~cols ?harden ?counters
+      ~programmable:(envelope_of ?headroom l) design env
+  in
+  (acc, env)
+
+let compile_exn ~target design =
+  match Compile.compile ~target design with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile failed: %s" (Compile.error_to_string e)
+
+(* ---------------- generation parity ---------------- *)
+
+(* the programmable variant must power on configured for its generating
+   shape and compute exactly what the ROM variant computes *)
+let test_programmable_matches_rom () =
+  List.iter
+    (fun (stmt, name) ->
+      let design = Search.find_design_exn stmt name in
+      let env = Exec.alloc_inputs stmt in
+      let golden = Exec.run stmt env in
+      let rom = Accel.generate ~rows:4 ~cols:4 design env in
+      let prog, _ = programmable stmt name in
+      Alcotest.(check bool)
+        (name ^ " ROM output = golden")
+        true
+        (Dense.equal (Accel.execute rom) golden);
+      Alcotest.(check bool)
+        (name ^ " programmable output = golden")
+        true
+        (Dense.equal (Accel.execute prog) golden))
+    [ (Workloads.gemm ~m:4 ~n:4 ~k:5, "MNK-SST");
+      (Workloads.gemm ~m:4 ~n:4 ~k:4, "MNK-STS");
+      (Workloads.conv2d ~k:4 ~c:4 ~y:4 ~x:4 ~p:3 ~q:3, "KCX-SST") ]
+
+(* the software layout pass must reproduce, image for image, the tables
+   the hardware builders bake into ROMs — the sync that makes a compiled
+   program trustworthy *)
+let test_layout_matches_builder_images () =
+  List.iter
+    (fun (stmt, name) ->
+      let design = Search.find_design_exn stmt name in
+      let env = Exec.alloc_inputs stmt in
+      let rom = Accel.generate ~rows:4 ~cols:4 design env in
+      let prog, _ = programmable stmt name in
+      let pi =
+        match prog.Accel.prog with Some pi -> pi | None -> assert false
+      in
+      let l = Layout.build design ~rows:4 ~cols:4 in
+      let rams = Circuit.rams rom.Accel.circuit in
+      let checked = ref 0 in
+      let has_prefix p s =
+        String.length s >= String.length p && String.sub s 0 (String.length p) = p
+      in
+      List.iter
+        (fun (m : Layout.mem) ->
+          match
+            List.find_opt
+              (fun (r : Signal.ram) -> r.Signal.ram_name = m.Layout.m_name)
+              rams
+          with
+          | None ->
+            (* controller streams (ctrl_ prefix) and counter increments
+               (ctr_ prefix) are comparator logic / absent on the ROM
+               variant and only become memories on the programmable one —
+               they must still be addressable there *)
+            if
+              not
+                (has_prefix "ctrl_" m.Layout.m_name
+                || has_prefix "ctr_" m.Layout.m_name)
+            then
+              Alcotest.failf "%s: layout mem %s missing from ROM netlist" name
+                m.Layout.m_name;
+            if
+              has_prefix "ctrl_" m.Layout.m_name
+              && not (List.mem_assoc m.Layout.m_name pi.Accel.pi_mems)
+            then
+              Alcotest.failf "%s: %s absent from programmable descriptors"
+                name m.Layout.m_name
+          | Some r ->
+            incr checked;
+            if r.Signal.init_data <> m.Layout.m_image then
+              Alcotest.failf "%s: image mismatch for %s" name m.Layout.m_name)
+        l.Layout.l_mems;
+      Alcotest.(check bool)
+        (name ^ " checked some images")
+        true (!checked > 0);
+      Alcotest.(check int)
+        (name ^ " layout cycles = accel cycles")
+        rom.Accel.total_cycles l.Layout.l_total)
+    [ (Workloads.gemm ~m:4 ~n:4 ~k:5, "MNK-SST");
+      (Workloads.gemm ~m:4 ~n:4 ~k:4, "MNK-MTM");
+      (Workloads.mttkrp ~i:4 ~j:4 ~k:4 ~l:4, "IKL-UBBB") ]
+
+(* ---------------- serving many shapes ---------------- *)
+
+(* the tentpole scenario: ONE programmable 4x4 netlist serves three
+   distinct GEMM shapes, each bit-identical to the golden executor AND
+   to a freshly generated per-shape ROM accelerator, on both scalar
+   backends *)
+let test_one_netlist_three_shapes () =
+  let target, _ = programmable (Workloads.gemm ~m:4 ~n:4 ~k:4) "MNK-SST" in
+  let sim = Sim.create target.Accel.circuit in
+  List.iter
+    (fun k ->
+      let stmt = Workloads.gemm ~m:4 ~n:4 ~k in
+      let env = Exec.alloc_inputs stmt in
+      let golden = Exec.run stmt env in
+      let design, program =
+        match Compile.find_design ~target stmt with
+        | Ok dp -> dp
+        | Error errs ->
+          Alcotest.failf "k=%d: no candidate compiled (%d rejected)" k
+            (List.length errs)
+      in
+      let rom_out =
+        Accel.execute (Accel.generate ~rows:4 ~cols:4 design env)
+      in
+      let got_tape = Accel.execute_program ~sim target program env in
+      let got_closure =
+        Accel.execute_program ~backend:`Closure target program env
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d tape = golden" k)
+        true
+        (Dense.equal got_tape golden);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d closure = golden" k)
+        true
+        (Dense.equal got_closure golden);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d programmed = per-shape ROM" k)
+        true
+        (Dense.equal got_tape rom_out))
+    [ 6; 10; 14 ]
+
+(* reprogramming must also survive hardening: parity companions are
+   kept coherent, so a hardened programmable netlist detects nothing on
+   a clean run and still matches the golden model *)
+let test_reprogram_hardened () =
+  let target, _ =
+    programmable ~harden:Harden.parity_only
+      (Workloads.gemm ~m:4 ~n:4 ~k:4)
+      "MNK-SST"
+  in
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:9 in
+  let golden_env = Exec.alloc_inputs stmt in
+  let golden = Exec.run stmt golden_env in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let p = compile_exn ~target design in
+  Alcotest.(check bool)
+    "hardened reprogrammed run = golden" true
+    (Dense.equal (Accel.execute_program target p golden_env) golden)
+
+(* load_env on a programmable target prefix-loads the envelope-sized
+   data memories, so the plain execute/execute_with/execute_batch paths
+   keep working *)
+let test_programmable_execute_with () =
+  let target, _ = programmable (Workloads.gemm ~m:4 ~n:4 ~k:4) "MNK-SST" in
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:4 in
+  let env = Exec.alloc_inputs stmt in
+  let golden = Exec.run stmt env in
+  Alcotest.(check bool)
+    "execute_with on programmable target" true
+    (Dense.equal (Accel.execute_with target env) golden);
+  match Accel.execute_batch target [ env; env ] with
+  | [ a; b ] ->
+    Alcotest.(check bool)
+      "execute_batch lane 0" true (Dense.equal a golden);
+    Alcotest.(check bool)
+      "execute_batch lane 1" true (Dense.equal b golden)
+  | _ -> Alcotest.fail "execute_batch arity"
+
+(* ---------------- degenerate schedules ---------------- *)
+
+(* size-1 memories: every address port is bits_for-sized, and bits_for
+   must keep 1-entry memories addressable (a 0-width address port would
+   be illegal); the 1x1x1 GEMM on a 1x1 array makes every table and data
+   memory a single entry *)
+let test_size_one_memories () =
+  let stmt = Workloads.gemm ~m:1 ~n:1 ~k:1 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let golden = Exec.run stmt env in
+  let rom = Accel.generate ~rows:1 ~cols:1 design env in
+  Alcotest.(check bool)
+    "1x1x1 ROM = golden" true
+    (Dense.equal (Accel.execute rom) golden);
+  let prog, _ = programmable ~rows:1 ~cols:1 stmt "MNK-SST" in
+  Alcotest.(check bool)
+    "1x1x1 programmable = golden" true
+    (Dense.equal (Accel.execute prog) golden)
+
+(* single-pass schedules: the pass-domain tables have exactly two
+   entries (pass 0 plus the terminal sentinel) and the controller must
+   still terminate cleanly; k=1 additionally shrinks the reduction to a
+   single cycle per pass *)
+let test_single_pass_and_k1 () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:1 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let env = Exec.alloc_inputs stmt in
+  let golden = Exec.run stmt env in
+  let rom = Accel.generate ~rows:4 ~cols:4 design env in
+  Alcotest.(check int) "k=1 is a single pass" 1 rom.Accel.schedule.Schedule.passes;
+  Alcotest.(check bool)
+    "k=1 ROM = golden" true
+    (Dense.equal (Accel.execute rom) golden);
+  (* and a standing programmable netlist can be reprogrammed down to the
+     k=1 degenerate and back up without rebuilding *)
+  let target, _ = programmable (Workloads.gemm ~m:4 ~n:4 ~k:4) "MNK-SST" in
+  let sim = Sim.create target.Accel.circuit in
+  List.iter
+    (fun k ->
+      let stmt = Workloads.gemm ~m:4 ~n:4 ~k in
+      let env = Exec.alloc_inputs stmt in
+      let golden = Exec.run stmt env in
+      let p = compile_exn ~target (Search.find_design_exn stmt "MNK-SST") in
+      Alcotest.(check bool)
+        (Printf.sprintf "reprogram k=%d" k)
+        true
+        (Dense.equal (Accel.execute_program ~sim target p env) golden))
+    [ 1; 7; 1 ]
+
+(* ---------------- compiler rejection paths ---------------- *)
+
+let target_and_request () =
+  let target, _ = programmable (Workloads.gemm ~m:4 ~n:4 ~k:8) "MNK-SST" in
+  let request =
+    Search.find_design_exn (Workloads.gemm ~m:4 ~n:4 ~k:12) "MNK-SST"
+  in
+  (target, request)
+
+let test_reject_not_programmable () =
+  let stmt = Workloads.gemm ~m:4 ~n:4 ~k:8 in
+  let design = Search.find_design_exn stmt "MNK-SST" in
+  let rom = Accel.generate ~rows:4 ~cols:4 design (Exec.alloc_inputs stmt) in
+  match Compile.compile ~target:rom design with
+  | Error Compile.Not_programmable -> ()
+  | Error e ->
+    Alcotest.failf "expected Not_programmable, got %s"
+      (Compile.error_to_string e)
+  | Ok _ -> Alcotest.fail "ROM target must not accept programs"
+
+let test_reject_dataflow_mismatch () =
+  let target, _ = target_and_request () in
+  let request =
+    Search.find_design_exn (Workloads.gemm ~m:4 ~n:4 ~k:12) "MNK-STS"
+  in
+  match Compile.compile ~target request with
+  | Error (Compile.Dataflow_mismatch { position; target = t; requested = r })
+    ->
+    Alcotest.(check bool) "positions a tensor" true (position >= 0);
+    Alcotest.(check bool) "classes differ" true (t <> r)
+  | Error e ->
+    Alcotest.failf "expected Dataflow_mismatch, got %s"
+      (Compile.error_to_string e)
+  | Ok _ -> Alcotest.fail "incompatible dataflow must be rejected"
+
+let test_reject_capacity_exceeded () =
+  let target, _ = target_and_request () in
+  let request =
+    Search.find_design_exn (Workloads.gemm ~m:4 ~n:4 ~k:500) "MNK-SST"
+  in
+  match Compile.compile ~target request with
+  | Error (Compile.Capacity_exceeded { need; capacity; _ }) ->
+    Alcotest.(check bool) "need exceeds capacity" true (need > capacity)
+  | Error e ->
+    Alcotest.failf "expected Capacity_exceeded, got %s"
+      (Compile.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized shape must be rejected"
+
+(* the width check is the load guarantee: against a target whose ports
+   were (hypothetically) narrower than the envelope demands, compile
+   must refuse rather than emit a program the loader would truncate *)
+let test_reject_width_overflow () =
+  let target, request = target_and_request () in
+  let pi =
+    match target.Accel.prog with Some pi -> pi | None -> assert false
+  in
+  let narrowed =
+    { pi with
+      Accel.pi_mems =
+        List.map
+          (fun (n, (r : Signal.ram)) -> (n, { r with Signal.ram_width = 1 }))
+          pi.Accel.pi_mems }
+  in
+  match
+    Compile.compile ~target:{ target with Accel.prog = Some narrowed } request
+  with
+  | Error (Compile.Width_overflow { value; width; _ }) ->
+    Alcotest.(check int) "reports the narrowed width" 1 width;
+    Alcotest.(check bool) "offending value out of range" true (value >= 2)
+  | Error e ->
+    Alcotest.failf "expected Width_overflow, got %s"
+      (Compile.error_to_string e)
+  | Ok _ -> Alcotest.fail "overflowing image must be rejected"
+
+let test_find_design_reports_all_rejections () =
+  let target, _ = target_and_request () in
+  (* a 3-tensor einsum can never match a GEMM target: every candidate
+     must come back with its own typed rejection *)
+  let stmt = Workloads.mttkrp ~i:4 ~j:4 ~k:3 ~l:3 in
+  match Compile.find_design ~target stmt with
+  | Ok (d, _) -> Alcotest.failf "mttkrp compiled as %s?" d.Design.name
+  | Error errs ->
+    Alcotest.(check bool) "every candidate rejected" true (errs <> []);
+    List.iter
+      (fun (name, e) ->
+        if String.trim (Compile.error_to_string e) = "" then
+          Alcotest.failf "%s: empty rejection message" name)
+      errs
+
+(* ---------------- loader validation ---------------- *)
+
+let test_load_rejects_bad_programs () =
+  let target, request = target_and_request () in
+  let p = compile_exn ~target request in
+  let env = Exec.alloc_inputs (Workloads.gemm ~m:4 ~n:4 ~k:12) in
+  let expect_bad name p' =
+    match Accel.execute_program target p' env with
+    | exception Accel.Bad_program _ -> ()
+    | _ -> Alcotest.failf "%s: loader accepted a bad program" name
+  in
+  expect_bad "structure mismatch"
+    { p with Layout.p_structure = p.Layout.p_structure ^ "x" };
+  expect_bad "missing image" { p with Layout.p_images = [] };
+  expect_bad "width overflow"
+    { p with
+      Layout.p_images =
+        List.map
+          (fun (n, (d, img)) -> (n, (d, Array.map (fun _ -> max_int) img)))
+          p.Layout.p_images };
+  (* a valid program still runs after all those rejections: validation
+     must not have half-configured the standing simulator *)
+  let golden = Exec.run (Workloads.gemm ~m:4 ~n:4 ~k:12) env in
+  Alcotest.(check bool)
+    "clean program still loads" true
+    (Dense.equal (Accel.execute_program target p env) golden)
+
+(* ---------------- program codec ---------------- *)
+
+let test_codec_roundtrip () =
+  let target, request = target_and_request () in
+  let p = compile_exn ~target request in
+  let s = Compile.program_to_json p in
+  match Compile.program_of_json s with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok p' ->
+    Alcotest.(check bool) "roundtrip is structural identity" true (p' = p);
+    let env = Exec.alloc_inputs (Workloads.gemm ~m:4 ~n:4 ~k:12) in
+    let golden = Exec.run (Workloads.gemm ~m:4 ~n:4 ~k:12) env in
+    Alcotest.(check bool)
+      "decoded program runs bit-identically" true
+      (Dense.equal (Accel.execute_program target p' env) golden)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(* replace the first occurrence of [pat] in [s] with [rep] *)
+let replace_first s pat rep =
+  let ls = String.length s and lp = String.length pat in
+  let rec find i = if i + lp > ls then None
+    else if String.sub s i lp = pat then Some i else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "test bug: pattern %S not in document" pat
+  | Some i ->
+    String.sub s 0 i ^ rep ^ String.sub s (i + lp) (ls - i - lp)
+
+let test_codec_rejects_malformed () =
+  let target, request = target_and_request () in
+  let p = compile_exn ~target request in
+  let s = Compile.program_to_json p in
+  let expect_err name doc needle =
+    match Compile.program_of_json doc with
+    | Ok _ -> Alcotest.failf "%s: malformed document decoded" name
+    | Error e ->
+      Alcotest.(check bool) (name ^ " names the defect") true (contains e needle)
+  in
+  expect_err "not JSON" "nonsense" "";
+  expect_err "wrong schema"
+    (replace_first s Compile.schema "tensorlib-program/999")
+    "schema";
+  expect_err "digest mismatch"
+    (replace_first s "\"structure\": \"" "\"structure\": \"x")
+    "digest";
+  expect_err "missing field" (replace_first s "\"total\"" "\"totally\"") "total";
+  expect_err "negative value"
+    (replace_first s "\"passes\": " "\"passes\": -")
+    "passes"
+
+(* ---------------- CLI validation sweep ---------------- *)
+
+let cli =
+  if Sys.file_exists "../bin/tensorlib_cli.exe" then "../bin/tensorlib_cli.exe"
+  else "_build/default/bin/tensorlib_cli.exe"
+
+let run_cli ?(stdin = "/dev/null") args =
+  let out = Filename.temp_file "tlcli" ".out" in
+  let err = Filename.temp_file "tlcli" ".err" in
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s %s < %s > %s 2> %s" (Filename.quote cli) args
+         (Filename.quote stdin) (Filename.quote out) (Filename.quote err))
+  in
+  let read path =
+    let ic = open_in path in
+    let c = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    c
+  in
+  (rc, read out, read err)
+
+(* every numeric resource flag shares one validator: non-positive values
+   exit 2 with the same "must be >= 1; got N" stderr shape, whichever
+   command carries the flag *)
+let test_cli_positive_flag_validation () =
+  List.iter
+    (fun (args, flag, got) ->
+      let rc, _, err = run_cli args in
+      Alcotest.(check int) (args ^ " exits 2") 2 rc;
+      let expected = Printf.sprintf "%s must be >= 1; got %d" flag got in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s says %S" args expected)
+        true (contains err expected))
+    [ ("fault -w gemm-small -d MNK-SST --trials 0", "--trials", 0);
+      ("fault -w gemm-small -d MNK-SST --trials=-7", "--trials", -7);
+      ("sweep --network tiny --limit 0", "--limit", 0);
+      ("sweep --network tiny --deadline-ms 0", "--deadline-ms", 0);
+      ("sweep --network tiny --budget-checks=-1", "--budget-checks", -1);
+      ("serve --limit 0", "--limit", 0);
+      ("serve --max-request-bytes 0", "--max-request-bytes", 0);
+      ("serve --deadline-ms=-3", "--deadline-ms", -3);
+      ("compile -w gemm-small -d MNK-SST --rows 4 --cols 4 --headroom 0",
+       "--headroom", 0) ]
+
+(* --backend matching is case-insensitive for suggestions and never
+   guesses from empty/whitespace input *)
+let test_cli_backend_suggestions () =
+  let rc, _, err = run_cli "simulate -w gemm-small -d MNK-SST --backend TAPE" in
+  Alcotest.(check int) "unknown backend exits 2" 2 rc;
+  Alcotest.(check bool)
+    "TAPE suggests canonical tape" true
+    (contains err "did you mean \"tape\"");
+  let rc, _, err =
+    run_cli "simulate -w gemm-small -d MNK-SST --backend Closur"
+  in
+  Alcotest.(check int) "typo exits 2" 2 rc;
+  Alcotest.(check bool)
+    "Closur suggests closure" true
+    (contains err "did you mean \"closure\"");
+  let rc, _, err = run_cli "simulate -w gemm-small -d MNK-SST --backend '   '" in
+  Alcotest.(check int) "whitespace backend exits 2" 2 rc;
+  Alcotest.(check bool)
+    "whitespace gets no suggestion" false
+    (contains err "did you mean")
+
+(* the compile subcommand end-to-end: emit a program for a new shape and
+   differential-check it (--run) against golden and per-shape ROM *)
+let test_cli_compile_run () =
+  let rc, out, err =
+    run_cli
+      "compile -w gemm-small -d MNK-SST --rows 4 --cols 4 -e 'C[m,n] += \
+       A[m,k] * B[n,k]' --extents m=4,n=4,k=10 --run -o /dev/null"
+  in
+  Alcotest.(check int) "compile --run exits 0" 0 rc;
+  Alcotest.(check bool)
+    "golden differential reported" true
+    (contains out "MATCHES golden model");
+  Alcotest.(check bool)
+    "ROM differential reported" true
+    (contains out "MATCHES per-shape ROM build");
+  Alcotest.(check bool)
+    "summary names the envelope" true
+    (contains err "envelope");
+  (* an incompatible request fails with the typed rejections on stderr *)
+  let rc, _, err =
+    run_cli
+      "compile -w gemm-small -d MNK-SST --rows 4 --cols 4 -e 'C[m,n] += \
+       A[m,k] * B[n,k]' --extents m=4,n=4,k=900 -o /dev/null"
+  in
+  Alcotest.(check int) "oversized request exits 2" 2 rc;
+  Alcotest.(check bool)
+    "rejection names the envelope" true
+    (contains err "envelope")
+
+(* serve with a standing programmable accelerator answers einsum
+   requests with a verified program *)
+let test_cli_serve_einsum () =
+  let requests = Filename.temp_file "tlreq" ".jsonl" in
+  let oc = open_out requests in
+  output_string oc
+    "{\"id\": 1, \"einsum\": \"C[m,n] += A[m,k] * B[n,k]\", \"extents\": \
+     \"m=4,n=4,k=9\"}\n";
+  (* incompatible einsum: structured error, not a crash *)
+  output_string oc
+    "{\"id\": 2, \"einsum\": \"C[m,n] += A[m,k] * B[n,k]\", \"extents\": \
+     \"m=4,n=4,k=900\"}\n";
+  close_out oc;
+  let rc, out, _ =
+    run_cli ~stdin:requests
+      "serve --limit 2 --accel-workload gemm-small --accel-dataflow MNK-SST \
+       --accel-rows 4 --accel-cols 4"
+  in
+  Sys.remove requests;
+  Alcotest.(check int) "serve exits 0" 0 rc;
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "two responses" 2 (List.length lines);
+  match List.map Json.parse lines with
+  | [ Ok j1; Ok j2 ] ->
+    Alcotest.(check bool)
+      "compatible shape served" true
+      (Json.member "ok" j1 = Some (Json.Bool true));
+    Alcotest.(check bool)
+      "served program verified" true
+      (Json.member "verified" j1 = Some (Json.Bool true));
+    Alcotest.(check bool)
+      "program document attached" true
+      (match Json.member "program" j1 with
+      | Some (Json.Obj _) -> true
+      | _ -> false);
+    Alcotest.(check bool)
+      "incompatible shape rejected in-band" true
+      (Json.member "ok" j2 = Some (Json.Bool false))
+  | _ -> Alcotest.fail "responses must all be JSON"
+
+let suite =
+  [ Alcotest.test_case "programmable = ROM as generated" `Quick
+      test_programmable_matches_rom;
+    Alcotest.test_case "layout images = builder ROMs" `Quick
+      test_layout_matches_builder_images;
+    Alcotest.test_case "one netlist, three shapes" `Quick
+      test_one_netlist_three_shapes;
+    Alcotest.test_case "reprogram hardened variant" `Quick
+      test_reprogram_hardened;
+    Alcotest.test_case "execute paths on programmable target" `Quick
+      test_programmable_execute_with;
+    Alcotest.test_case "size-1 memories" `Quick test_size_one_memories;
+    Alcotest.test_case "single-pass and k=1 schedules" `Quick
+      test_single_pass_and_k1;
+    Alcotest.test_case "reject: not programmable" `Quick
+      test_reject_not_programmable;
+    Alcotest.test_case "reject: dataflow mismatch" `Quick
+      test_reject_dataflow_mismatch;
+    Alcotest.test_case "reject: capacity exceeded" `Quick
+      test_reject_capacity_exceeded;
+    Alcotest.test_case "reject: width overflow" `Quick
+      test_reject_width_overflow;
+    Alcotest.test_case "find_design reports rejections" `Quick
+      test_find_design_reports_all_rejections;
+    Alcotest.test_case "loader validation" `Quick
+      test_load_rejects_bad_programs;
+    Alcotest.test_case "program codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "program codec rejects malformed" `Quick
+      test_codec_rejects_malformed;
+    Alcotest.test_case "cli positive-flag validation" `Quick
+      test_cli_positive_flag_validation;
+    Alcotest.test_case "cli backend suggestions" `Quick
+      test_cli_backend_suggestions;
+    Alcotest.test_case "cli compile --run differential" `Quick
+      test_cli_compile_run;
+    Alcotest.test_case "cli serve einsum requests" `Quick
+      test_cli_serve_einsum ]

@@ -18,5 +18,6 @@ let () =
       ("obs", Test_obs.suite);
       ("coverage", Test_coverage.suite);
       ("absint", Test_absint.suite);
+      ("compile", Test_compile.suite);
       ("store", Test_store.suite);
       ("resil", Test_resil.suite) ]
